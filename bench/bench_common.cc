@@ -1,0 +1,81 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+
+namespace sirep::bench {
+
+bool FastMode() {
+  const char* env = std::getenv("SIREP_BENCH_FAST");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+workload::LoadOptions BaseLoadOptions(double offered_tps, size_t clients) {
+  workload::LoadOptions options;
+  options.offered_tps = offered_tps;
+  options.clients = clients;
+  if (FastMode()) {
+    options.warmup = std::chrono::milliseconds(300);
+    options.duration = std::chrono::milliseconds(1200);
+  } else {
+    options.warmup = std::chrono::milliseconds(1000);
+    options.duration = std::chrono::milliseconds(4000);
+  }
+  return options;
+}
+
+workload::LoadMetrics RunOnCluster(cluster::Cluster& cluster,
+                                   workload::WorkloadGenerator& generator,
+                                   const workload::LoadOptions& options) {
+  return workload::RunLoad(
+      generator,
+      [&](size_t i) -> std::unique_ptr<workload::TxnExecutor> {
+        client::ConnectionOptions copts;
+        copts.seed = options.seed * 131 + i;
+        auto conn = cluster.Connect(copts);
+        if (!conn.ok()) return nullptr;
+        return std::make_unique<workload::ConnectionExecutor>(
+            std::move(conn).value());
+      },
+      options);
+}
+
+workload::LoadMetrics RunCentralized(cluster::ReplicaNode& node,
+                                     workload::WorkloadGenerator& generator,
+                                     const workload::LoadOptions& options) {
+  return workload::RunLoad(
+      generator,
+      [&](size_t) {
+        return std::make_unique<workload::SessionExecutor>(node.db());
+      },
+      options);
+}
+
+void PrintTableHeader(const std::string& title,
+                      const std::vector<std::string>& columns) {
+  std::printf("\n%s\n", title.c_str());
+  for (size_t i = 0; i < columns.size(); ++i) {
+    std::printf("%s%-14s", i ? " " : "", columns[i].c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < columns.size(); ++i) {
+    std::printf("%s--------------", i ? " " : "");
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+void PrintTableRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::printf("%s%-14s", i ? " " : "", cells[i].c_str());
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+std::string Fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace sirep::bench

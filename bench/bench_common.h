@@ -1,0 +1,45 @@
+#ifndef SIREP_BENCH_BENCH_COMMON_H_
+#define SIREP_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/replica_node.h"
+#include "workload/runner.h"
+#include "workload/workload.h"
+
+namespace sirep::bench {
+
+/// True when SIREP_BENCH_FAST is set: shorter measurement windows and
+/// fewer sweep points, for CI-style smoke runs. Full runs (the default)
+/// use the durations documented in EXPERIMENTS.md.
+bool FastMode();
+
+/// Per-point measurement window derived from the mode.
+workload::LoadOptions BaseLoadOptions(double offered_tps, size_t clients);
+
+/// Runs one load point on a replicated cluster through the JDBC-like
+/// driver (one connection per client, round-robin across replicas by
+/// seed).
+workload::LoadMetrics RunOnCluster(cluster::Cluster& cluster,
+                                   workload::WorkloadGenerator& generator,
+                                   const workload::LoadOptions& options);
+
+/// Runs one load point against a single emulated node without any
+/// replication — the paper's "centralized system" baseline.
+workload::LoadMetrics RunCentralized(cluster::ReplicaNode& node,
+                                     workload::WorkloadGenerator& generator,
+                                     const workload::LoadOptions& options);
+
+/// Table output helpers (fixed-width, grep-friendly).
+void PrintTableHeader(const std::string& title,
+                      const std::vector<std::string>& columns);
+void PrintTableRow(const std::vector<std::string>& cells);
+std::string Fmt(double value, int precision = 1);
+
+}  // namespace sirep::bench
+
+#endif  // SIREP_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,98 @@
+// Figure 5 reproduction: TPC-W (ordering mix) response times vs offered
+// load — 5-replica SI-Rep vs a centralized single server.
+//
+// Paper shape to reproduce (absolute numbers depend on the testbed):
+//  * at light load (~25 tps) the two systems are comparable — the
+//    middleware's communication/validation overhead is offset by
+//    distributing the queries;
+//  * the centralized system saturates around 50 tps;
+//  * the 5-replica system sustains ~2x the centralized saturation load
+//    with acceptable response times;
+//  * read-only transactions are cheaper than updates throughout.
+
+#include "bench_common.h"
+#include "workload/tpcw.h"
+
+using namespace sirep;
+using bench::Fmt;
+
+namespace {
+
+cluster::CostModel TpcwCost() {
+  cluster::CostModel cost;
+  // Calibrated so that one emulated node (1 worker) saturates around
+  // ~50 tps on the ordering mix, as in the paper's testbed.
+  cost.select_service = std::chrono::milliseconds(5);
+  cost.update_service = std::chrono::milliseconds(7);
+  cost.insert_service = std::chrono::milliseconds(5);
+  cost.delete_service = std::chrono::milliseconds(5);
+  cost.apply_fraction = 0.2;
+  return cost;
+}
+
+workload::TpcwOptions SmallTpcw() {
+  workload::TpcwOptions options;
+  options.num_items = bench::FastMode() ? 200 : 1000;
+  options.num_ebs = 40;
+  return options;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<double> loads =
+      bench::FastMode() ? std::vector<double>{25, 50, 100}
+                        : std::vector<double>{10, 25, 50, 75, 100, 125};
+
+  bench::PrintTableHeader(
+      "Figure 5: TPC-W ordering mix, response time (ms) vs load (tps)",
+      {"load_tps", "system", "update_ms", "readonly_ms", "achieved_tps",
+       "abort_%"});
+
+  // ---- centralized (1 node, no replication, no middleware) ----
+  {
+    workload::TpcwWorkload tpcw(SmallTpcw());
+    cluster::ReplicaNode node("central", /*workers=*/1, TpcwCost());
+    if (!tpcw.Load(node.db()).ok()) return 1;
+    node.SetEmulationEnabled(true);
+    for (double load : loads) {
+      auto options = bench::BaseLoadOptions(load, /*clients=*/40);
+      auto m = bench::RunCentralized(node, tpcw, options);
+      bench::PrintTableRow({Fmt(load, 0), "centralized",
+                            Fmt(m.update_ms.Mean()),
+                            Fmt(m.readonly_ms.Mean()),
+                            Fmt(m.achieved_tps),
+                            Fmt(100.0 * m.abort_rate(), 2)});
+    }
+  }
+
+  // ---- SI-Rep, 5 replicas ----
+  {
+    cluster::ClusterOptions copt;
+    copt.num_replicas = 5;
+    copt.workers_per_replica = 1;
+    copt.cost = TpcwCost();
+    copt.gcs.multicast_delay = std::chrono::milliseconds(1);
+    cluster::Cluster cluster(copt);
+    if (!cluster.Start().ok()) return 1;
+    workload::TpcwWorkload tpcw(SmallTpcw());
+    if (!cluster
+             .LoadEverywhere(
+                 [&](engine::Database* db) { return tpcw.Load(db); })
+             .ok()) {
+      return 1;
+    }
+    cluster.SetEmulationEnabled(true);
+    for (double load : loads) {
+      auto options = bench::BaseLoadOptions(load, /*clients=*/40);
+      auto m = bench::RunOnCluster(cluster, tpcw, options);
+      bench::PrintTableRow({Fmt(load, 0), "si-rep-5",
+                            Fmt(m.update_ms.Mean()),
+                            Fmt(m.readonly_ms.Mean()),
+                            Fmt(m.achieved_tps),
+                            Fmt(100.0 * m.abort_rate(), 2)});
+      cluster.Quiesce();
+    }
+  }
+  return 0;
+}

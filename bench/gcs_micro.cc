@@ -1,0 +1,116 @@
+// GCS microbenchmarks (paper §5.2): "the delay for a uniform reliable
+// multicast does not exceed 3 ms in a LAN even for message rates of
+// several hundreds of messages per second".
+//
+// We measure multicast->last-delivery latency of our in-process GCS at
+// several message rates, with the emulated LAN delay configured to the
+// paper's regime, plus the raw (zero-delay) ordering overhead.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "gcs/group.h"
+
+using namespace sirep;
+
+namespace {
+
+/// Listener that records the delivery time of each seqno.
+class LatencyListener : public gcs::GroupListener {
+ public:
+  explicit LatencyListener(std::atomic<uint64_t>* delivered)
+      : delivered_(delivered) {}
+  void OnDeliver(const gcs::Message&) override {
+    delivered_->fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnViewChange(const gcs::View&) override {}
+
+ private:
+  std::atomic<uint64_t>* delivered_;
+};
+
+void MeasureRate(double rate_per_s, std::chrono::microseconds delay,
+                 int members) {
+  gcs::GroupOptions options;
+  options.multicast_delay = delay;
+  gcs::Group group(options);
+  std::atomic<uint64_t> delivered{0};
+  std::vector<std::unique_ptr<LatencyListener>> listeners;
+  std::vector<gcs::MemberId> ids;
+  for (int i = 0; i < members; ++i) {
+    listeners.push_back(std::make_unique<LatencyListener>(&delivered));
+    ids.push_back(group.Join(listeners.back().get()));
+  }
+  group.WaitForQuiescence();
+
+  const int kMessages = 300;
+  SampleStats latency_ms;
+  const auto interarrival =
+      std::chrono::duration<double>(1.0 / rate_per_s);
+  auto next = std::chrono::steady_clock::now();
+  for (int i = 0; i < kMessages; ++i) {
+    std::this_thread::sleep_until(next);
+    next += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        interarrival);
+    const uint64_t before = delivered.load();
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!group.Multicast(ids[i % members], "m",
+                         std::make_shared<const int>(i))
+             .ok()) {
+      break;
+    }
+    // Wait until every member delivered this message.
+    while (delivered.load() < before + static_cast<uint64_t>(members)) {
+      std::this_thread::yield();
+    }
+    latency_ms.Add(std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count());
+  }
+  std::printf("  %4.0f msg/s, %d members, cfg delay %4.1f ms: "
+              "mean %5.2f ms, p95 %5.2f ms, max %5.2f ms\n",
+              rate_per_s, members,
+              std::chrono::duration<double, std::milli>(delay).count(),
+              latency_ms.Mean(), latency_ms.Percentile(95),
+              latency_ms.Max());
+}
+
+void BM_MulticastOrderingOverhead(benchmark::State& state) {
+  // Raw cost of the total-order + enqueue path, no delay, no rate limit.
+  gcs::Group group;
+  std::atomic<uint64_t> delivered{0};
+  LatencyListener a(&delivered), b(&delivered), c(&delivered);
+  auto ma = group.Join(&a);
+  group.Join(&b);
+  group.Join(&c);
+  auto payload = std::make_shared<const int>(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(group.Multicast(ma, "m", payload));
+  }
+  state.SetItemsProcessed(state.iterations());
+  group.WaitForQuiescence();
+}
+BENCHMARK(BM_MulticastOrderingOverhead);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("\nUniform reliable total-order multicast latency "
+              "(paper: <= 3 ms at hundreds of msg/s):\n");
+  const auto delay = std::chrono::microseconds(1500);  // emulated LAN hop
+  for (double rate : {50.0, 200.0, 500.0}) {
+    MeasureRate(rate, delay, /*members=*/5);
+  }
+  std::printf("\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

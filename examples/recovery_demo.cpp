@@ -1,0 +1,110 @@
+// Online recovery demo (the paper's §5.4 extension): a replica crashes,
+// the cluster keeps committing, the replica restarts and catches up from
+// a donor's writeset log without transaction processing ever stopping —
+// then a brand-new replica joins the running cluster the same way.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "cluster/cluster.h"
+
+using sirep::cluster::Cluster;
+using sirep::cluster::ClusterOptions;
+using sirep::sql::Value;
+
+namespace {
+
+long long TotalAt(Cluster& cluster, size_t replica) {
+  auto r = cluster.db(replica)->ExecuteAutoCommit("SELECT SUM(v) FROM kv");
+  return r.ok() ? r.value().rows[0][0].AsInt() : -1;
+}
+
+}  // namespace
+
+int main() {
+  ClusterOptions options;
+  options.num_replicas = 3;
+  Cluster cluster(options);
+  if (!cluster.Start().ok()) return 1;
+  cluster.ExecuteEverywhere(
+      "CREATE TABLE kv (k INT, v INT, PRIMARY KEY (k))");
+  for (int k = 0; k < 8; ++k) {
+    cluster.ExecuteEverywhere("INSERT INTO kv VALUES (?, 0)",
+                              {Value::Int(k)});
+  }
+
+  // Background traffic that never stops.
+  std::atomic<bool> stop{false};
+  std::atomic<int> committed{0};
+  std::thread traffic([&] {
+    sirep::Prng prng(7);
+    while (!stop.load()) {
+      sirep::client::ConnectionOptions copt;
+      copt.seed = prng.Next();
+      auto conn = cluster.Connect(copt);
+      if (!conn.ok()) continue;
+      auto& c = *conn.value();
+      c.SetAutoCommit(false);
+      const int64_t k = static_cast<int64_t>(prng.Uniform(8));
+      if (c.Execute("UPDATE kv SET v = v + 1 WHERE k = ?", {Value::Int(k)})
+              .ok() &&
+          c.Commit().ok()) {
+        committed.fetch_add(1);
+      }
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::printf("cluster running, %d transactions committed so far\n",
+              committed.load());
+
+  // --- Crash and online restart -----------------------------------------
+  std::printf("\ncrashing replica 2...\n");
+  cluster.CrashReplica(2);
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  std::printf("traffic continued: %d committed; replica 2 is stale "
+              "(sum=%lld vs %lld at replica 0)\n",
+              committed.load(), TotalAt(cluster, 2), TotalAt(cluster, 0));
+
+  std::printf("restarting replica 2 online (writeset-log catch-up)...\n");
+  sirep::Status restart = cluster.RestartReplica(2);
+  std::printf("restart: %s\n", restart.ToString().c_str());
+
+  // --- A brand-new replica joins the running cluster --------------------
+  std::printf("\nadding a brand-new 4th replica while traffic flows...\n");
+  auto added = cluster.AddReplica([](sirep::engine::Database* db)
+                                      -> sirep::Status {
+    auto r = db->ExecuteAutoCommit(
+        "CREATE TABLE kv (k INT, v INT, PRIMARY KEY (k))");
+    if (!r.ok()) return r.status();
+    for (int k = 0; k < 8; ++k) {
+      auto ins = db->ExecuteAutoCommit("INSERT INTO kv VALUES (?, 0)",
+                                       {Value::Int(k)});
+      if (!ins.ok()) return ins.status();
+    }
+    return sirep::Status::OK();
+  });
+  std::printf("add replica: %s\n",
+              added.ok() ? "OK" : added.status().ToString().c_str());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  stop.store(true);
+  traffic.join();
+  cluster.Quiesce();
+
+  std::printf("\nfinal audit (%d transactions committed):\n",
+              committed.load());
+  bool consistent = true;
+  const long long expect = TotalAt(cluster, 0);
+  for (size_t r = 0; r < cluster.size(); ++r) {
+    const long long total = TotalAt(cluster, r);
+    std::printf("  replica %zu: sum(v) = %lld\n", r, total);
+    if (total != expect) consistent = false;
+  }
+  std::printf(consistent ? "all %zu replicas agree ✓\n"
+                         : "REPLICA DIVERGENCE!\n",
+              cluster.size());
+  return consistent && committed.load() == expect ? 0 : 1;
+}

@@ -1,0 +1,95 @@
+// A guided tour of snapshot isolation semantics on a single database
+// engine (no replication): snapshot reads, first-updater-wins, read-your-
+// writes, and the write-skew anomaly that distinguishes SI from
+// serializability. Useful to understand what "1-copy-SI" promises before
+// reading the replicated examples.
+
+#include <cstdio>
+
+#include "engine/database.h"
+
+using sirep::engine::Database;
+using sirep::sql::Value;
+
+namespace {
+long long Balance(Database& db, int id) {
+  auto r = db.ExecuteAutoCommit("SELECT bal FROM acct WHERE id = ?",
+                                {Value::Int(id)});
+  return r.ok() && !r.value().rows.empty() ? r.value().rows[0][0].AsInt()
+                                           : -1;
+}
+}  // namespace
+
+int main() {
+  Database db;
+  db.ExecuteAutoCommit(
+      "CREATE TABLE acct (id INT, bal INT, PRIMARY KEY (id))");
+  db.ExecuteAutoCommit("INSERT INTO acct VALUES (1, 100)");
+  db.ExecuteAutoCommit("INSERT INTO acct VALUES (2, 100)");
+
+  // ---- 1. Reads come from a snapshot taken at transaction start ----
+  std::printf("1. snapshot reads\n");
+  auto reader = db.Begin();
+  auto before = db.Execute(reader, "SELECT bal FROM acct WHERE id = 1");
+  db.ExecuteAutoCommit("UPDATE acct SET bal = 500 WHERE id = 1");
+  auto after = db.Execute(reader, "SELECT bal FROM acct WHERE id = 1");
+  std::printf("   reader saw %lld before and %lld after a concurrent "
+              "commit (same snapshot)\n",
+              static_cast<long long>(before.value().rows[0][0].AsInt()),
+              static_cast<long long>(after.value().rows[0][0].AsInt()));
+  db.Abort(reader);
+
+  // ---- 2. Writers conflict only on write/write ----
+  std::printf("2. readers never block writers, writers never block "
+              "readers\n");
+  auto t1 = db.Begin();
+  db.Execute(t1, "UPDATE acct SET bal = 1 WHERE id = 1");  // holds the lock
+  auto t2 = db.Begin();
+  auto concurrent_read = db.Execute(t2, "SELECT bal FROM acct WHERE id = 1");
+  std::printf("   while a writer holds the row, a reader still reads: "
+              "%lld\n",
+              static_cast<long long>(
+                  concurrent_read.value().rows[0][0].AsInt()));
+  db.Abort(t1);
+  db.Abort(t2);
+
+  // ---- 3. First-updater-wins ----
+  std::printf("3. first-updater-wins (the PostgreSQL behaviour, paper "
+              "section 4)\n");
+  auto w1 = db.Begin();
+  auto w2 = db.Begin();
+  db.Execute(w1, "UPDATE acct SET bal = 111 WHERE id = 2");
+  db.Commit(w1);
+  auto loser = db.Execute(w2, "UPDATE acct SET bal = 222 WHERE id = 2");
+  std::printf("   the concurrent second writer gets: %s\n",
+              loser.status().ToString().c_str());
+
+  // ---- 4. Write skew: allowed by SI ----
+  std::printf("4. write skew (allowed by SI, forbidden by "
+              "serializability)\n");
+  db.ExecuteAutoCommit("UPDATE acct SET bal = 100 WHERE id = 1");
+  db.ExecuteAutoCommit("UPDATE acct SET bal = 100 WHERE id = 2");
+  auto s1 = db.Begin();
+  auto s2 = db.Begin();
+  // Both verify the invariant bal(1)+bal(2) >= 0 on their snapshots, then
+  // each withdraws 150 from a *different* account: disjoint writesets.
+  db.Execute(s1, "SELECT SUM(bal) FROM acct");
+  db.Execute(s2, "SELECT SUM(bal) FROM acct");
+  db.Execute(s1, "UPDATE acct SET bal = bal - 150 WHERE id = 1");
+  db.Execute(s2, "UPDATE acct SET bal = bal - 150 WHERE id = 2");
+  const bool c1 = db.Commit(s1).ok();
+  const bool c2 = db.Commit(s2).ok();
+  std::printf("   both committed? %s — total is now %lld (went negative: "
+              "that's write skew)\n",
+              (c1 && c2) ? "yes" : "no", Balance(db, 1) + Balance(db, 2));
+
+  // ---- 5. Writesets: what the replication layer ships around ----
+  std::printf("5. writeset extraction (the replication primitive)\n");
+  auto t = db.Begin();
+  db.Execute(t, "UPDATE acct SET bal = 0 WHERE id = 1");
+  db.Execute(t, "DELETE FROM acct WHERE id = 2");
+  auto ws = db.ExtractWriteSet(t);
+  std::printf("   extracted before commit: %s\n", ws->ToString().c_str());
+  db.Abort(t);
+  return 0;
+}

@@ -1,0 +1,218 @@
+#include "client/driver.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "sql/parser.h"
+
+namespace sirep::client {
+
+using middleware::SrcaRepReplica;
+using middleware::TxnOutcome;
+
+Connection::Connection(ReplicaDirectory* directory, ConnectionOptions options)
+    : directory_(directory),
+      options_(options),
+      prng_(options.seed),
+      autocommit_(options.autocommit) {}
+
+Connection::~Connection() {
+  if (txn_.valid() && replica_ != nullptr && replica_->IsAlive()) {
+    replica_->RollbackTxn(txn_);
+  }
+}
+
+Status Connection::ConnectToReplica(gcs::MemberId exclude) {
+  auto replicas = directory_->Discover();
+  std::vector<SrcaRepReplica*> candidates;
+  for (auto* r : replicas) {
+    if (r == nullptr || !r->IsAlive()) continue;
+    if (exclude != gcs::kInvalidMember && r->member_id() == exclude) continue;
+    candidates.push_back(r);
+  }
+  if (options_.pinned_replica >= 0) {
+    // The pin is a preference: honoured while that replica is alive,
+    // overridden by fail-over when it is not.
+    auto it = std::find_if(candidates.begin(), candidates.end(),
+                           [&](SrcaRepReplica* r) {
+                             return static_cast<int>(r->member_id()) ==
+                                    options_.pinned_replica;
+                           });
+    if (it != candidates.end()) candidates = {*it};
+  }
+  if (candidates.empty()) {
+    return Status::Unavailable("no live replica found");
+  }
+  SrcaRepReplica* chosen = nullptr;
+  if (options_.balance == BalancePolicy::kLeastLoaded) {
+    size_t best = ~size_t{0};
+    for (auto* r : candidates) {
+      const size_t load = r->CurrentLoad();
+      if (load < best) {
+        best = load;
+        chosen = r;
+      }
+    }
+  } else {
+    chosen = candidates[prng_.Uniform(candidates.size())];
+  }
+  const bool is_failover = replica_ != nullptr && chosen != replica_;
+  replica_ = chosen;
+  if (is_failover) {
+    ++failovers_;
+    // Session consistency: make sure our last committed update is already
+    // applied at the new replica before running anything there.
+    if (last_update_gid_.valid()) {
+      replica_->InquireOutcome(last_update_gid_, exclude);
+    }
+  }
+  return Status::OK();
+}
+
+Status Connection::EnsureTxn() {
+  if (replica_ == nullptr || !replica_->IsAlive()) {
+    const gcs::MemberId crashed =
+        replica_ != nullptr ? replica_->member_id() : gcs::kInvalidMember;
+    const bool had_txn = txn_.valid();
+    txn_ = {};
+    SIREP_RETURN_IF_ERROR(ConnectToReplica(crashed));
+    if (had_txn) {
+      // Paper §5.4 case 2: the transaction existed only at the crashed
+      // replica; it is lost, but the connection survives.
+      return Status::TransactionLost(
+          "replica crashed mid-transaction; restart the transaction");
+    }
+  }
+  if (txn_.valid()) return Status::OK();
+  auto txn = replica_->BeginTxn();
+  if (!txn.ok()) return txn.status();
+  txn_ = std::move(txn).value();
+  return Status::OK();
+}
+
+Result<engine::QueryResult> Connection::Execute(
+    const std::string& sql, const std::vector<sql::Value>& params) {
+  // Recognize transaction-control statements.
+  auto parsed = sql::Parse(sql);
+  if (!parsed.ok()) return parsed.status();
+  switch (parsed.value().kind) {
+    case sql::StatementKind::kBegin: {
+      if (txn_.valid()) {
+        return Status::InvalidArgument("transaction already in progress");
+      }
+      SIREP_RETURN_IF_ERROR(EnsureTxn());
+      return engine::QueryResult{};
+    }
+    case sql::StatementKind::kCommit:
+      SIREP_RETURN_IF_ERROR(Commit());
+      return engine::QueryResult{};
+    case sql::StatementKind::kRollback:
+      SIREP_RETURN_IF_ERROR(Rollback());
+      return engine::QueryResult{};
+    default:
+      break;
+  }
+
+  const bool had_txn_before = txn_.valid();
+  Status st = EnsureTxn();
+  if (!st.ok()) return st;
+  auto result = replica_->Execute(txn_, sql, params);
+
+  if (!result.ok() &&
+      result.status().code() == StatusCode::kUnavailable &&
+      !had_txn_before) {
+    // The replica crashed under a brand-new transaction that has not
+    // executed anything yet: retry transparently elsewhere (case 1).
+    txn_ = {};
+    st = EnsureTxn();
+    if (st.ok()) result = replica_->Execute(txn_, sql, params);
+  }
+
+  if (!result.ok()) {
+    if (result.status().code() == StatusCode::kUnavailable) {
+      // Crash mid-transaction: the transaction is lost (case 2). Keep the
+      // connection usable by failing over now.
+      const gcs::MemberId crashed = replica_->member_id();
+      txn_ = {};
+      Status reconnect = ConnectToReplica(crashed);
+      if (!reconnect.ok()) return reconnect;
+      return Status::TransactionLost(
+          "replica crashed mid-transaction; restart the transaction");
+    }
+    if (result.status().IsTransactionFailure()) {
+      // The DB aborted the transaction (conflict/deadlock); forget it.
+      txn_ = {};
+    }
+    return result;
+  }
+
+  if (!had_txn_before && autocommit_) {
+    SIREP_RETURN_IF_ERROR(Commit());
+  }
+  return result;
+}
+
+Status Connection::Commit() {
+  if (!txn_.valid()) return Status::OK();
+  return CommitInternal();
+}
+
+Status Connection::CommitInternal() {
+  middleware::SrcaRepReplica::TxnHandle txn = txn_;
+  txn_ = {};
+  bool had_writes = false;
+  Status st = replica_->CommitTxn(txn, &had_writes);
+  if (st.ok()) {
+    if (had_writes) last_update_gid_ = txn.gid;
+    return st;
+  }
+  if (st.code() != StatusCode::kUnavailable) {
+    return st;  // validation conflict etc.; transaction aborted
+  }
+
+  // Crash during commit (paper §5.4 case 3): resolve the in-doubt
+  // transaction at another replica using the global transaction id.
+  const gcs::MemberId crashed = replica_->member_id();
+  replica_ = nullptr;
+  SIREP_RETURN_IF_ERROR(ConnectToReplica(crashed));
+  const TxnOutcome outcome = replica_->InquireOutcome(txn.gid, crashed);
+  switch (outcome) {
+    case TxnOutcome::kCommitted:
+      // 3b: the writeset survived (uniform reliable delivery) and the
+      // transaction committed — fail-over is fully transparent.
+      last_update_gid_ = txn.gid;
+      return Status::OK();
+    case TxnOutcome::kAborted:
+    case TxnOutcome::kUnknown:
+      // 3a: the writeset never made it out; same exception as a crash
+      // before the commit request.
+      return Status::TransactionLost(
+          "replica crashed during commit; transaction did not commit");
+  }
+  return Status::Internal("unreachable");
+}
+
+Status Connection::Rollback() {
+  if (!txn_.valid()) return Status::OK();
+  middleware::SrcaRepReplica::TxnHandle txn = txn_;
+  txn_ = {};
+  if (replica_ == nullptr || !replica_->IsAlive()) return Status::OK();
+  return replica_->RollbackTxn(txn);
+}
+
+Status Connection::EnsureConnected() {
+  if (replica_ != nullptr && replica_->IsAlive()) return Status::OK();
+  const gcs::MemberId crashed =
+      replica_ != nullptr ? replica_->member_id() : gcs::kInvalidMember;
+  return ConnectToReplica(crashed);
+}
+
+Result<std::unique_ptr<Connection>> Driver::Connect(
+    ConnectionOptions options) {
+  auto conn = std::make_unique<Connection>(directory_, options);
+  // Eagerly resolve a replica so connection errors surface here.
+  SIREP_RETURN_IF_ERROR(conn->EnsureConnected());
+  return conn;
+}
+
+}  // namespace sirep::client

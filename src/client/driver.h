@@ -1,0 +1,128 @@
+#ifndef SIREP_CLIENT_DRIVER_H_
+#define SIREP_CLIENT_DRIVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/prng.h"
+#include "common/status.h"
+#include "engine/query_result.h"
+#include "middleware/replica_mw.h"
+
+namespace sirep::client {
+
+/// How the driver finds middleware replicas — the in-process stand-in for
+/// the paper's IP-multicast discovery (§5.4: "the SI-Rep JDBC driver
+/// multicasts a discovery message... replicas that are able to handle
+/// additional workload respond"). cluster::Cluster implements this.
+class ReplicaDirectory {
+ public:
+  virtual ~ReplicaDirectory() = default;
+
+  /// Live replicas currently accepting connections.
+  virtual std::vector<middleware::SrcaRepReplica*> Discover() = 0;
+};
+
+/// How the driver picks among the replicas discovery returns.
+enum class BalancePolicy {
+  kRandom,       ///< uniform choice (the default; paper behaviour)
+  kLeastLoaded,  ///< pick the replica reporting the smallest load
+};
+
+struct ConnectionOptions {
+  bool autocommit = true;
+  BalancePolicy balance = BalancePolicy::kRandom;
+  /// Seed for the replica choice (reproducible tests).
+  uint64_t seed = 1;
+  /// If >= 0, prefer this member id while it is alive (tests / sticky
+  /// routing); fail-over still moves to a survivor when it crashes.
+  int pinned_replica = -1;
+};
+
+/// A JDBC-like connection. The replication middleware is completely
+/// transparent: the application executes SQL and commits; fail-over,
+/// discovery, and in-doubt resolution happen underneath (paper §5.4).
+///
+/// Transaction semantics mirror JDBC: with autocommit on, each statement
+/// is its own transaction; with autocommit off, the first statement after
+/// a commit/rollback implicitly starts one. BEGIN/COMMIT/ROLLBACK
+/// statements are also accepted.
+///
+/// Error contract on replica crash:
+///  * no transaction active: fail-over is fully transparent;
+///  * mid-transaction (commit not yet requested): kTransactionLost — the
+///    transaction never left its replica; restart it;
+///  * crash during Commit(): the driver inquires at another replica and
+///    returns the true outcome — OK if the writeset survived (uniform
+///    delivery), kTransactionLost otherwise.
+class Connection {
+ public:
+  Connection(ReplicaDirectory* directory, ConnectionOptions options);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Executes one SQL statement (handles BEGIN/COMMIT/ROLLBACK too).
+  Result<engine::QueryResult> Execute(
+      const std::string& sql, const std::vector<sql::Value>& params = {});
+
+  Status Commit();
+  Status Rollback();
+
+  void SetAutoCommit(bool autocommit) { autocommit_ = autocommit; }
+  bool autocommit() const { return autocommit_; }
+  bool in_transaction() const { return txn_.valid(); }
+
+  /// Resolves a replica if none is connected yet (discovery). Called by
+  /// Driver::Connect; safe to call any time.
+  Status EnsureConnected();
+
+  /// The replica currently serving this connection (introspection).
+  middleware::SrcaRepReplica* replica() const { return replica_; }
+
+  /// Number of transparent fail-overs performed so far.
+  uint64_t failover_count() const { return failovers_; }
+
+ private:
+  /// (Re)connects to a live replica, excluding `exclude` (or pass
+  /// kInvalidMember). After fail-over, waits until this client's last
+  /// committed update transaction is visible at the new replica
+  /// (session consistency / read-your-writes).
+  Status ConnectToReplica(gcs::MemberId exclude);
+
+  /// Ensures a transaction is open (JDBC implicit begin).
+  Status EnsureTxn();
+
+  /// Commit with in-doubt resolution on crash.
+  Status CommitInternal();
+
+  ReplicaDirectory* const directory_;
+  ConnectionOptions options_;
+  Prng prng_;
+
+  middleware::SrcaRepReplica* replica_ = nullptr;
+  middleware::SrcaRepReplica::TxnHandle txn_;
+  bool autocommit_;
+  uint64_t failovers_ = 0;
+
+  /// Last update transaction this client committed, for session
+  /// consistency across fail-over.
+  middleware::GlobalTxnId last_update_gid_;
+};
+
+/// Entry point, mirroring DriverManager.getConnection().
+class Driver {
+ public:
+  explicit Driver(ReplicaDirectory* directory) : directory_(directory) {}
+
+  Result<std::unique_ptr<Connection>> Connect(ConnectionOptions options = {});
+
+ private:
+  ReplicaDirectory* const directory_;
+};
+
+}  // namespace sirep::client
+
+#endif  // SIREP_CLIENT_DRIVER_H_

@@ -1,0 +1,151 @@
+#include "cluster/cluster.h"
+
+#include <chrono>
+#include <thread>
+
+namespace sirep::cluster {
+
+Cluster::Cluster(ClusterOptions options)
+    : options_(options),
+      group_(std::make_unique<gcs::Group>(options.gcs)),
+      driver_(this) {
+  nodes_.reserve(options_.num_replicas);
+  replicas_.reserve(options_.num_replicas);
+  for (size_t i = 0; i < options_.num_replicas; ++i) {
+    nodes_.push_back(std::make_unique<ReplicaNode>(
+        "replica" + std::to_string(i), options_.workers_per_replica,
+        options_.cost));
+    replicas_.push_back(std::make_unique<middleware::SrcaRepReplica>(
+        nodes_.back()->db(), group_.get(), options_.replica));
+  }
+}
+
+Cluster::~Cluster() {
+  for (auto& replica : replicas_) replica->Shutdown();
+  group_->Shutdown();
+}
+
+Status Cluster::Start() {
+  for (auto& replica : replicas_) {
+    SIREP_RETURN_IF_ERROR(replica->Start());
+  }
+  return Status::OK();
+}
+
+Status Cluster::ExecuteEverywhere(const std::string& sql,
+                                  const std::vector<sql::Value>& params) {
+  for (auto& node : nodes_) {
+    auto result = node->db()->ExecuteAutoCommit(sql, params);
+    if (!result.ok()) return result.status();
+  }
+  return Status::OK();
+}
+
+Status Cluster::LoadEverywhere(
+    const std::function<Status(engine::Database*)>& loader) {
+  for (auto& node : nodes_) {
+    SIREP_RETURN_IF_ERROR(loader(node->db()));
+  }
+  return Status::OK();
+}
+
+void Cluster::SetEmulationEnabled(bool enabled) {
+  for (auto& node : nodes_) node->SetEmulationEnabled(enabled);
+}
+
+void Cluster::CrashReplica(size_t index) {
+  if (index < replicas_.size()) replicas_[index]->Crash();
+}
+
+std::vector<middleware::SrcaRepReplica*> Cluster::Discover() {
+  std::vector<middleware::SrcaRepReplica*> out;
+  for (auto& replica : replicas_) {
+    // Paper §5.4: "replicas that are able to handle additional workload
+    // respond" — a recovering replica does not respond to discovery.
+    if (replica->IsAcceptingClients()) out.push_back(replica.get());
+  }
+  return out;
+}
+
+Status Cluster::RestartReplica(size_t index) {
+  if (index >= replicas_.size()) {
+    return Status::InvalidArgument("no replica " + std::to_string(index));
+  }
+  if (replicas_[index]->IsAlive()) {
+    return Status::InvalidArgument("replica " + std::to_string(index) +
+                                   " has not crashed");
+  }
+  const uint64_t from_tid = replicas_[index]->StableCommitPrefix();
+  // The database "process" restarts: committed data survives, in-flight
+  // transactions of the dead incarnation roll back implicitly.
+  nodes_[index]->db()->engine().SimulateRestart();
+  middleware::ReplicaOptions ropt = options_.replica;
+  ropt.start_recovering = true;
+  auto incarnation = std::make_unique<middleware::SrcaRepReplica>(
+      nodes_[index]->db(), group_.get(), ropt);
+  SIREP_RETURN_IF_ERROR(incarnation->Start());
+  SIREP_RETURN_IF_ERROR(incarnation->Recover(from_tid));
+  replicas_[index] = std::move(incarnation);
+  return Status::OK();
+}
+
+Result<size_t> Cluster::AddReplica(
+    const std::function<Status(engine::Database*)>& schema_loader) {
+  auto node = std::make_unique<ReplicaNode>(
+      "replica" + std::to_string(nodes_.size()), options_.workers_per_replica,
+      options_.cost);
+  SIREP_RETURN_IF_ERROR(schema_loader(node->db()));
+  middleware::ReplicaOptions ropt = options_.replica;
+  ropt.start_recovering = true;
+  auto replica = std::make_unique<middleware::SrcaRepReplica>(
+      node->db(), group_.get(), ropt);
+  SIREP_RETURN_IF_ERROR(replica->Start());
+  SIREP_RETURN_IF_ERROR(replica->Recover(/*from_tid=*/0));
+  nodes_.push_back(std::move(node));
+  replicas_.push_back(std::move(replica));
+  return nodes_.size() - 1;
+}
+
+size_t Cluster::VacuumAll() {
+  size_t freed = 0;
+  for (auto& node : nodes_) freed += node->db()->engine().Vacuum();
+  return freed;
+}
+
+middleware::SrcaRepReplica::Stats Cluster::AggregateStats() const {
+  middleware::SrcaRepReplica::Stats total;
+  for (const auto& replica : replicas_) {
+    auto s = replica->stats();
+    total.committed += s.committed;
+    total.empty_ws_commits += s.empty_ws_commits;
+    total.local_val_aborts += s.local_val_aborts;
+    total.global_val_aborts += s.global_val_aborts;
+    total.remote_discards += s.remote_discards;
+    total.apply_retries += s.apply_retries;
+    total.holes.starts += s.holes.starts;
+    total.holes.delayed_starts += s.holes.delayed_starts;
+    total.holes.commits += s.holes.commits;
+    total.holes.delayed_commits += s.holes.delayed_commits;
+  }
+  return total;
+}
+
+void Cluster::Quiesce() {
+  group_->WaitForQuiescence();
+  // Then wait for every live replica's tocommit queue to drain (remote
+  // applies are asynchronous after delivery).
+  while (true) {
+    bool busy = false;
+    for (auto& replica : replicas_) {
+      if (!replica->IsAlive()) continue;
+      if (replica->PendingQueueSize() > 0) {
+        busy = true;
+        break;
+      }
+    }
+    if (!busy) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace sirep::cluster

@@ -1,0 +1,116 @@
+#ifndef SIREP_CLUSTER_CLUSTER_H_
+#define SIREP_CLUSTER_CLUSTER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/driver.h"
+#include "cluster/cost_model.h"
+#include "cluster/replica_node.h"
+#include "common/status.h"
+#include "gcs/group.h"
+#include "middleware/replica_mw.h"
+
+namespace sirep::cluster {
+
+struct ClusterOptions {
+  size_t num_replicas = 3;
+  middleware::ReplicaOptions replica;
+  gcs::GroupOptions gcs;
+  /// Worker slots per replica (emulated machine parallelism).
+  size_t workers_per_replica = 4;
+  /// All-zero by default: no service-time emulation.
+  CostModel cost;
+};
+
+/// Wires up a full SI-Rep deployment in one process (paper Fig. 3c): N
+/// (database, middleware) pairs over one group, plus replica discovery
+/// for the JDBC-like driver. Also the fault-injection surface: crash any
+/// replica and watch clients fail over.
+class Cluster : public client::ReplicaDirectory {
+ public:
+  explicit Cluster(ClusterOptions options = {});
+  ~Cluster() override;
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Joins every middleware replica to the group. Call once, first.
+  Status Start();
+
+  // ---- schema / data loading (bypasses replication, like restoring the
+  // same backup at every replica before opening for business) ----
+
+  /// Runs one autocommitted statement at every replica.
+  Status ExecuteEverywhere(const std::string& sql,
+                           const std::vector<sql::Value>& params = {});
+
+  /// Runs an arbitrary loader against every replica's database.
+  Status LoadEverywhere(
+      const std::function<Status(engine::Database*)>& loader);
+
+  /// Enables/disables cost emulation at every node (enable after loading).
+  void SetEmulationEnabled(bool enabled);
+
+  // ---- client access ----
+
+  client::Driver& driver() { return driver_; }
+  Result<std::unique_ptr<client::Connection>> Connect(
+      client::ConnectionOptions options = {}) {
+    return driver_.Connect(options);
+  }
+
+  // ---- fault injection & introspection ----
+
+  void CrashReplica(size_t index);
+
+  // ---- online recovery (extension) ----
+
+  /// Restarts a previously crashed replica over its surviving database
+  /// (simulating a node reboot with its disk intact): a fresh middleware
+  /// incarnation joins the group and catches up from the old
+  /// incarnation's stable commit prefix while the rest of the cluster
+  /// keeps processing transactions.
+  Status RestartReplica(size_t index);
+
+  /// Adds a brand-new replica while the cluster runs: `schema_loader`
+  /// creates the (empty) schema — writesets address tuples by table name
+  /// — and recovery replays the full writeset log. Returns its index.
+  Result<size_t> AddReplica(
+      const std::function<Status(engine::Database*)>& schema_loader);
+
+  size_t size() const { return nodes_.size(); }
+  ReplicaNode* node(size_t index) { return nodes_[index].get(); }
+  engine::Database* db(size_t index) { return nodes_[index]->db(); }
+  middleware::SrcaRepReplica* replica(size_t index) {
+    return replicas_[index].get();
+  }
+  gcs::Group& group() { return *group_; }
+
+  /// Sum of per-replica stats (for benches).
+  middleware::SrcaRepReplica::Stats AggregateStats() const;
+
+  /// Blocks until all multicast traffic has been delivered and all
+  /// tocommit queues drained (test helper).
+  void Quiesce();
+
+  /// Runs version garbage collection at every replica (PostgreSQL's
+  /// VACUUM). Returns total versions freed.
+  size_t VacuumAll();
+
+  // client::ReplicaDirectory
+  std::vector<middleware::SrcaRepReplica*> Discover() override;
+
+ private:
+  ClusterOptions options_;
+  std::unique_ptr<gcs::Group> group_;
+  std::vector<std::unique_ptr<ReplicaNode>> nodes_;
+  std::vector<std::unique_ptr<middleware::SrcaRepReplica>> replicas_;
+  client::Driver driver_;
+};
+
+}  // namespace sirep::cluster
+
+#endif  // SIREP_CLUSTER_CLUSTER_H_

@@ -1,0 +1,67 @@
+#ifndef SIREP_CLUSTER_REPLICA_NODE_H_
+#define SIREP_CLUSTER_REPLICA_NODE_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "cluster/cost_model.h"
+#include "common/sync.h"
+#include "engine/database.h"
+
+namespace sirep::cluster {
+
+/// One emulated machine: a database replica plus a bounded worker
+/// capacity. Every statement executed (and every remote writeset applied)
+/// at this node first claims a worker slot for its emulated service time,
+/// which is what produces realistic queueing under load.
+///
+/// The middleware replica for this node is created by Cluster (it needs
+/// the group); this class owns only the DB-side resources so it can also
+/// back the centralized (replication-free) baseline.
+class ReplicaNode {
+ public:
+  ReplicaNode(std::string name, size_t workers, CostModel cost)
+      : db_(std::make_unique<engine::Database>(std::move(name))),
+        workers_(static_cast<int>(workers)),
+        cost_(cost) {
+    db_->SetCostHooks(
+        [this](const sql::Statement& stmt) {
+          Charge(cost_.StatementCost(stmt));
+        },
+        [this](const storage::WriteSet& ws) { Charge(cost_.ApplyCost(ws)); });
+  }
+
+  engine::Database* db() { return db_.get(); }
+
+  /// Turns the cost emulation on/off (off during bulk data loading).
+  void SetEmulationEnabled(bool enabled) {
+    emulate_.store(enabled && cost_.enabled(), std::memory_order_release);
+  }
+
+  const CostModel& cost() const { return cost_; }
+
+  /// Occupies one worker slot for `duration` (no-op when emulation is
+  /// off or the duration is zero).
+  void Charge(std::chrono::microseconds duration) {
+    if (duration.count() <= 0 ||
+        !emulate_.load(std::memory_order_acquire)) {
+      return;
+    }
+    workers_.Acquire();
+    std::this_thread::sleep_for(duration);
+    workers_.Release();
+  }
+
+ private:
+  std::unique_ptr<engine::Database> db_;
+  Semaphore workers_;
+  CostModel cost_;
+  std::atomic<bool> emulate_{false};
+};
+
+}  // namespace sirep::cluster
+
+#endif  // SIREP_CLUSTER_REPLICA_NODE_H_

@@ -1,0 +1,65 @@
+#ifndef SIREP_COMMON_LOGGING_H_
+#define SIREP_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace sirep {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level. Defaults to kWarn so tests/benches stay
+/// quiet; examples raise it to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Builds one log line and emits it (thread-safely) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is disabled.
+class NullLog {
+ public:
+  template <typename T>
+  NullLog& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace sirep
+
+#define SIREP_LOG_ENABLED(level) \
+  (static_cast<int>(level) >= static_cast<int>(::sirep::GetLogLevel()))
+
+#define SIREP_LOG(level)                                      \
+  if (!SIREP_LOG_ENABLED(::sirep::LogLevel::level))           \
+    ;                                                         \
+  else                                                        \
+    ::sirep::internal_logging::LogMessage(                    \
+        ::sirep::LogLevel::level, __FILE__, __LINE__)
+
+#define SIREP_DLOG SIREP_LOG(kDebug)
+#define SIREP_ILOG SIREP_LOG(kInfo)
+#define SIREP_WLOG SIREP_LOG(kWarn)
+#define SIREP_ELOG SIREP_LOG(kError)
+
+#endif  // SIREP_COMMON_LOGGING_H_

@@ -1,0 +1,25 @@
+#include "common/prng.h"
+
+#include <algorithm>
+
+namespace sirep {
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta) : n_(n) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = sum;
+  }
+  for (auto& v : cdf_) v /= sum;
+}
+
+uint64_t ZipfGenerator::Sample(Prng& prng) const {
+  double u = prng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace sirep

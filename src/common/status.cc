@@ -1,0 +1,48 @@
+#include "common/status.h"
+
+namespace sirep {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kAborted:
+      return "Aborted";
+    case StatusCode::kConflict:
+      return "Conflict";
+    case StatusCode::kDeadlock:
+      return "Deadlock";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kTransactionLost:
+      return "TransactionLost";
+    case StatusCode::kTimedOut:
+      return "TimedOut";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  std::string out = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace sirep

@@ -1,0 +1,155 @@
+#ifndef SIREP_COMMON_STATUS_H_
+#define SIREP_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace sirep {
+
+/// Error codes used across SI-Rep. Transaction aborts are statuses, not
+/// exceptions: the middleware routinely aborts transactions as part of
+/// normal operation (validation failure, write/write conflict, deadlock
+/// victim), so the abort path must be cheap and explicit.
+enum class StatusCode {
+  kOk = 0,
+  /// The transaction was aborted. `message()` says why (validation
+  /// failure, explicit rollback, crash of its local replica, ...).
+  kAborted,
+  /// A write/write conflict with a committed concurrent transaction was
+  /// detected (first-updater-wins version check, or middleware validation).
+  kConflict,
+  /// The transaction was chosen as a deadlock victim.
+  kDeadlock,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  /// No replica is able to serve the request (all crashed, or the group
+  /// is shutting down).
+  kUnavailable,
+  /// A replica crashed while a commit was in flight and the fail-over
+  /// target never saw the writeset: the transaction is lost and the client
+  /// must restart it (paper §5.4, case 2 / case 3a).
+  kTransactionLost,
+  kTimedOut,
+  kNotSupported,
+  kInternal,
+};
+
+/// Human-readable name of `code`, e.g. "Conflict".
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation: a code plus an optional message. Modeled after
+/// the Status idiom of Arrow / RocksDB. Cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status TransactionLost(std::string msg) {
+    return Status(StatusCode::kTransactionLost, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// True for any of the "transaction did not commit" codes. Such statuses
+  /// are expected during normal concurrent operation and a client should
+  /// retry the transaction.
+  bool IsTransactionFailure() const {
+    return code_ == StatusCode::kAborted || code_ == StatusCode::kConflict ||
+           code_ == StatusCode::kDeadlock ||
+           code_ == StatusCode::kTransactionLost;
+  }
+
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// A Status or a value of type T. `value()` may only be called when
+/// `ok()`; this is checked with an assertion in debug builds.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT implicit
+  Result(Status status) : status_(std::move(status)) {  // NOLINT implicit
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace sirep
+
+/// Propagate a non-OK Status from an expression.
+#define SIREP_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::sirep::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+#endif  // SIREP_COMMON_STATUS_H_

@@ -1,0 +1,56 @@
+#ifndef SIREP_COMMON_THREAD_POOL_H_
+#define SIREP_COMMON_THREAD_POOL_H_
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/sync.h"
+
+namespace sirep {
+
+/// Fixed-size thread pool. Tasks may block (e.g. on database locks); size
+/// the pool accordingly. Submitting after Shutdown() drops the task.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads) {
+    threads_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      threads_.emplace_back([this] {
+        while (true) {
+          auto task = queue_.Pop();
+          if (!task.has_value()) return;
+          (*task)();
+        }
+      });
+    }
+  }
+
+  ~ThreadPool() { Shutdown(); }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Returns false if the pool is shut down.
+  bool Submit(std::function<void()> task) {
+    return queue_.Push(std::move(task));
+  }
+
+  void Shutdown() {
+    queue_.Close();
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    threads_.clear();
+  }
+
+  size_t size() const { return threads_.size(); }
+
+ private:
+  WorkQueue<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace sirep
+
+#endif  // SIREP_COMMON_THREAD_POOL_H_

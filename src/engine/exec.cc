@@ -1,0 +1,277 @@
+#include "engine/exec.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace sirep::engine {
+
+using sql::BinOp;
+using sql::Expr;
+using sql::ExprKind;
+using sql::UnOp;
+using sql::Value;
+using sql::ValueType;
+
+namespace {
+
+/// SQL LIKE matcher: '%' matches any run (incl. empty), '_' any single
+/// character. Iterative with backtracking over the last '%'.
+bool LikeMatch(const std::string& text, const std::string& pattern) {
+  size_t t = 0, p = 0;
+  size_t star_p = std::string::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+Result<Value> EvalBinary(const Expr& expr, const sql::Schema* schema,
+                         const sql::Row* row,
+                         const std::vector<Value>& params) {
+  // AND/OR evaluate lazily to short-circuit.
+  if (expr.bin_op == BinOp::kAnd || expr.bin_op == BinOp::kOr) {
+    auto left = Eval(*expr.left, schema, row, params);
+    if (!left.ok()) return left;
+    if (left.value().type() != ValueType::kBool) {
+      return Status::InvalidArgument("AND/OR operand is not boolean");
+    }
+    const bool lval = left.value().AsBool();
+    if (expr.bin_op == BinOp::kAnd && !lval) return Value::Bool(false);
+    if (expr.bin_op == BinOp::kOr && lval) return Value::Bool(true);
+    auto right = Eval(*expr.right, schema, row, params);
+    if (!right.ok()) return right;
+    if (right.value().type() != ValueType::kBool) {
+      return Status::InvalidArgument("AND/OR operand is not boolean");
+    }
+    return Value::Bool(right.value().AsBool());
+  }
+
+  auto left = Eval(*expr.left, schema, row, params);
+  if (!left.ok()) return left;
+  auto right = Eval(*expr.right, schema, row, params);
+  if (!right.ok()) return right;
+  const Value& a = left.value();
+  const Value& b = right.value();
+
+  switch (expr.bin_op) {
+    case BinOp::kLike: {
+      if (a.is_null() || b.is_null()) return Value::Bool(false);
+      if (a.type() != ValueType::kString ||
+          b.type() != ValueType::kString) {
+        return Status::InvalidArgument("LIKE requires string operands");
+      }
+      return Value::Bool(LikeMatch(a.AsString(), b.AsString()));
+    }
+    case BinOp::kEq:
+    case BinOp::kNe:
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe: {
+      if (a.is_null() || b.is_null()) return Value::Bool(false);
+      const int c = a.Compare(b);
+      switch (expr.bin_op) {
+        case BinOp::kEq:
+          return Value::Bool(c == 0);
+        case BinOp::kNe:
+          return Value::Bool(c != 0);
+        case BinOp::kLt:
+          return Value::Bool(c < 0);
+        case BinOp::kLe:
+          return Value::Bool(c <= 0);
+        case BinOp::kGt:
+          return Value::Bool(c > 0);
+        default:
+          return Value::Bool(c >= 0);
+      }
+    }
+    case BinOp::kAdd:
+    case BinOp::kSub:
+    case BinOp::kMul:
+    case BinOp::kDiv: {
+      if (a.is_null() || b.is_null()) return Value::Null();
+      if (!a.IsNumeric() || !b.IsNumeric()) {
+        return Status::InvalidArgument("arithmetic on non-numeric value");
+      }
+      const bool as_double = a.type() == ValueType::kDouble ||
+                             b.type() == ValueType::kDouble;
+      if (as_double) {
+        const double x = a.AsDouble(), y = b.AsDouble();
+        switch (expr.bin_op) {
+          case BinOp::kAdd:
+            return Value::Double(x + y);
+          case BinOp::kSub:
+            return Value::Double(x - y);
+          case BinOp::kMul:
+            return Value::Double(x * y);
+          default:
+            if (y == 0.0) return Status::InvalidArgument("division by zero");
+            return Value::Double(x / y);
+        }
+      }
+      const int64_t x = a.AsInt(), y = b.AsInt();
+      switch (expr.bin_op) {
+        case BinOp::kAdd:
+          return Value::Int(x + y);
+        case BinOp::kSub:
+          return Value::Int(x - y);
+        case BinOp::kMul:
+          return Value::Int(x * y);
+        default:
+          if (y == 0) return Status::InvalidArgument("division by zero");
+          return Value::Int(x / y);
+      }
+    }
+    default:
+      return Status::Internal("unhandled binary op");
+  }
+}
+
+}  // namespace
+
+Result<Value> Eval(const Expr& expr, const sql::Schema* schema,
+                   const sql::Row* row, const std::vector<Value>& params) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return expr.literal;
+    case ExprKind::kParam: {
+      if (expr.param_index < 0 ||
+          static_cast<size_t>(expr.param_index) >= params.size()) {
+        return Status::InvalidArgument(
+            "missing value for parameter ?" +
+            std::to_string(expr.param_index + 1) + " (got " +
+            std::to_string(params.size()) + " parameters)");
+      }
+      return params[expr.param_index];
+    }
+    case ExprKind::kColumnRef: {
+      if (schema == nullptr || row == nullptr) {
+        return Status::InvalidArgument("column reference '" + expr.column +
+                                       "' outside a row context");
+      }
+      const int idx = schema->FindColumn(expr.column);
+      if (idx < 0) {
+        return Status::InvalidArgument("unknown column '" + expr.column + "'");
+      }
+      return (*row)[idx];
+    }
+    case ExprKind::kUnary: {
+      auto operand = Eval(*expr.left, schema, row, params);
+      if (!operand.ok()) return operand;
+      const Value& v = operand.value();
+      switch (expr.un_op) {
+        case UnOp::kNot:
+          if (v.type() != ValueType::kBool) {
+            return Status::InvalidArgument("NOT operand is not boolean");
+          }
+          return Value::Bool(!v.AsBool());
+        case UnOp::kNeg:
+          if (v.is_null()) return Value::Null();
+          if (v.type() == ValueType::kInt) return Value::Int(-v.AsInt());
+          if (v.type() == ValueType::kDouble) {
+            return Value::Double(-v.AsDouble());
+          }
+          return Status::InvalidArgument("negation of non-numeric value");
+        case UnOp::kIsNull:
+          return Value::Bool(v.is_null());
+        case UnOp::kIsNotNull:
+          return Value::Bool(!v.is_null());
+      }
+      return Status::Internal("unhandled unary op");
+    }
+    case ExprKind::kBinary:
+      return EvalBinary(expr, schema, row, params);
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<bool> Matches(const Expr* where, const sql::Schema& schema,
+                     const sql::Row& row, const std::vector<Value>& params) {
+  if (where == nullptr) return true;
+  auto result = Eval(*where, &schema, &row, params);
+  if (!result.ok()) return result.status();
+  if (result.value().type() != ValueType::kBool) {
+    return Status::InvalidArgument("WHERE clause is not boolean");
+  }
+  return result.value().AsBool();
+}
+
+namespace {
+
+/// Collects `col = constant` terms from an AND-tree, keyed by resolved
+/// column index (so qualified and plain spellings meet). Returns false if
+/// any non-AND / non-equality structure is found (the caller falls back
+/// to a scan; this is only an optimization, so being conservative is
+/// fine).
+bool CollectEqualities(const Expr* expr, const sql::Schema& schema,
+                       const std::vector<Value>& params,
+                       std::unordered_map<int, Value>* out) {
+  if (expr->kind != ExprKind::kBinary) return false;
+  if (expr->bin_op == BinOp::kAnd) {
+    return CollectEqualities(expr->left.get(), schema, params, out) &&
+           CollectEqualities(expr->right.get(), schema, params, out);
+  }
+  if (expr->bin_op != BinOp::kEq) return false;
+  const Expr* col = nullptr;
+  const Expr* val = nullptr;
+  if (expr->left->kind == ExprKind::kColumnRef) {
+    col = expr->left.get();
+    val = expr->right.get();
+  } else if (expr->right->kind == ExprKind::kColumnRef) {
+    col = expr->right.get();
+    val = expr->left.get();
+  } else {
+    return false;
+  }
+  Value constant;
+  if (val->kind == ExprKind::kLiteral) {
+    constant = val->literal;
+  } else if (val->kind == ExprKind::kParam) {
+    if (val->param_index < 0 ||
+        static_cast<size_t>(val->param_index) >= params.size()) {
+      return false;
+    }
+    constant = params[val->param_index];
+  } else {
+    return false;
+  }
+  const int idx = schema.FindColumn(col->column);
+  if (idx < 0) return false;
+  // A repeated column with a different constant makes the predicate
+  // unsatisfiable; keep the first binding and let the point lookup + final
+  // Matches() filter sort it out.
+  out->emplace(idx, std::move(constant));
+  return true;
+}
+
+}  // namespace
+
+std::optional<sql::Key> TryExtractKeyLookup(
+    const sql::Schema& schema, const Expr* where,
+    const std::vector<Value>& params) {
+  if (where == nullptr) return std::nullopt;
+  std::unordered_map<int, Value> eq;
+  if (!CollectEqualities(where, schema, params, &eq)) return std::nullopt;
+  sql::Key key;
+  for (size_t idx : schema.key_indexes()) {
+    auto it = eq.find(static_cast<int>(idx));
+    if (it == eq.end()) return std::nullopt;
+    key.parts.push_back(it->second);
+  }
+  return key;
+}
+
+}  // namespace sirep::engine

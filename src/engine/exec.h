@@ -1,0 +1,43 @@
+#ifndef SIREP_ENGINE_EXEC_H_
+#define SIREP_ENGINE_EXEC_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/schema.h"
+#include "sql/value.h"
+
+namespace sirep::engine {
+
+/// Evaluates `expr` against an optional row (for column references) and
+/// the statement parameters ('?' placeholders).
+///
+/// Semantics (deliberately small but consistent):
+///  * arithmetic on INT stays INT; mixing with DOUBLE promotes to DOUBLE;
+///    any NULL operand yields NULL; division by zero is an error.
+///  * comparisons yield BOOL; a NULL operand yields FALSE (except via
+///    IS NULL / IS NOT NULL).
+///  * AND/OR/NOT require BOOL operands.
+Result<sql::Value> Eval(const sql::Expr& expr, const sql::Schema* schema,
+                        const sql::Row* row,
+                        const std::vector<sql::Value>& params);
+
+/// True if `where` (may be null => always true) accepts the row.
+/// Evaluation errors propagate.
+Result<bool> Matches(const sql::Expr* where, const sql::Schema& schema,
+                     const sql::Row& row,
+                     const std::vector<sql::Value>& params);
+
+/// If `where` is a conjunction of equality predicates that pins every
+/// primary-key column to a constant (literal or parameter), returns that
+/// key — enabling a point lookup instead of a scan. Returns nullopt
+/// otherwise.
+std::optional<sql::Key> TryExtractKeyLookup(
+    const sql::Schema& schema, const sql::Expr* where,
+    const std::vector<sql::Value>& params);
+
+}  // namespace sirep::engine
+
+#endif  // SIREP_ENGINE_EXEC_H_

@@ -1,0 +1,27 @@
+#include "engine/query_result.h"
+
+#include <sstream>
+
+namespace sirep::engine {
+
+std::string QueryResult::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) os << " | ";
+    os << columns[i];
+  }
+  if (!columns.empty()) os << "\n";
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << " | ";
+      os << row[i].ToString();
+    }
+    os << "\n";
+  }
+  if (columns.empty()) {
+    os << rows_affected << " row(s) affected\n";
+  }
+  return os.str();
+}
+
+}  // namespace sirep::engine

@@ -1,0 +1,64 @@
+#include "engine/session.h"
+
+namespace sirep::engine {
+
+Result<QueryResult> Session::Execute(const std::string& sql,
+                                     const std::vector<sql::Value>& params) {
+  auto stmt = db_->Prepare(sql);
+  if (!stmt.ok()) return stmt.status();
+
+  switch (stmt.value()->kind) {
+    case sql::StatementKind::kBegin:
+      if (txn_ != nullptr) {
+        return Status::InvalidArgument("transaction already in progress");
+      }
+      txn_ = db_->Begin();
+      return QueryResult{};
+    case sql::StatementKind::kCommit: {
+      SIREP_RETURN_IF_ERROR(Commit());
+      return QueryResult{};
+    }
+    case sql::StatementKind::kRollback: {
+      SIREP_RETURN_IF_ERROR(Rollback());
+      return QueryResult{};
+    }
+    default:
+      break;
+  }
+
+  const bool own_txn = txn_ == nullptr;
+  if (own_txn) txn_ = db_->Begin();
+  auto result = db_->Execute(txn_, *stmt.value(), params);
+  if (!result.ok()) {
+    // A transaction-failure status means storage already aborted the
+    // transaction; statement-level errors (parse, unknown column) leave
+    // it usable only in autocommit mode, where we abort our own txn.
+    if (result.status().IsTransactionFailure() || own_txn) {
+      db_->Abort(txn_);
+      txn_ = nullptr;
+    }
+    return result;
+  }
+  if (own_txn && autocommit_) {
+    Status st = db_->Commit(txn_);
+    txn_ = nullptr;
+    if (!st.ok()) return st;
+  }
+  return result;
+}
+
+Status Session::Commit() {
+  if (txn_ == nullptr) return Status::OK();
+  Status st = db_->Commit(txn_);
+  txn_ = nullptr;
+  return st;
+}
+
+Status Session::Rollback() {
+  if (txn_ == nullptr) return Status::OK();
+  db_->Abort(txn_);
+  txn_ = nullptr;
+  return Status::OK();
+}
+
+}  // namespace sirep::engine

@@ -1,0 +1,53 @@
+#ifndef SIREP_ENGINE_SESSION_H_
+#define SIREP_ENGINE_SESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "engine/query_result.h"
+
+namespace sirep::engine {
+
+/// A client session against a single (non-replicated) Database, with
+/// JDBC-like transaction semantics: with autocommit on (default) every
+/// statement runs in its own transaction; with autocommit off, the first
+/// statement after a commit/rollback implicitly begins a transaction
+/// (JDBC has no explicit begin — paper §5.3).
+///
+/// BEGIN / COMMIT / ROLLBACK statements are accepted and translated.
+/// Used by the examples and tests for standalone operation; the replicated
+/// path goes through client::Connection instead.
+class Session {
+ public:
+  explicit Session(Database* db) : db_(db) {}
+  ~Session() { Rollback(); }
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  void SetAutoCommit(bool autocommit) { autocommit_ = autocommit; }
+  bool autocommit() const { return autocommit_; }
+  bool in_transaction() const { return txn_ != nullptr; }
+
+  /// Executes one statement. Errors with a transaction-failure code mean
+  /// the active transaction was aborted; the session forgets it.
+  Result<QueryResult> Execute(const std::string& sql,
+                              const std::vector<sql::Value>& params = {});
+
+  /// Commits the active transaction (no-op without one).
+  Status Commit();
+
+  /// Rolls back the active transaction (no-op without one).
+  Status Rollback();
+
+ private:
+  Database* db_;
+  storage::TransactionPtr txn_;
+  bool autocommit_ = true;
+};
+
+}  // namespace sirep::engine
+
+#endif  // SIREP_ENGINE_SESSION_H_

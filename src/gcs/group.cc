@@ -1,0 +1,174 @@
+#include "gcs/group.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sirep::gcs {
+
+bool View::Contains(MemberId m) const {
+  return std::find(members.begin(), members.end(), m) != members.end();
+}
+
+Group::Group(GroupOptions options) : options_(options) {}
+
+Group::~Group() { Shutdown(); }
+
+MemberId Group::Join(GroupListener* listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) return kInvalidMember;
+  const MemberId id = next_member_++;
+  auto member = std::make_unique<Member>();
+  member->listener = listener;
+  members_[id] = std::move(member);
+  members_[id]->delivery_thread =
+      std::thread([this, id] { DeliveryLoop(id); });
+  EnqueueViewLocked();
+  return id;
+}
+
+void Group::EnqueueViewLocked() {
+  View view;
+  view.view_id = ++view_id_;
+  for (const auto& [id, member] : members_) {
+    if (!member->crashed.load(std::memory_order_acquire)) {
+      view.members.push_back(id);
+    }
+  }
+  std::sort(view.members.begin(), view.members.end());
+  Event event;
+  event.kind = Event::Kind::kView;
+  event.view = view;
+  event.deliver_at = std::chrono::steady_clock::now();
+  for (const auto& [id, member] : members_) {
+    if (member->crashed.load(std::memory_order_acquire)) continue;
+    pending_count_.fetch_add(1, std::memory_order_relaxed);
+    if (!member->queue.Push(event)) {
+      pending_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Group::Crash(MemberId member_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = members_.find(member_id);
+  if (it == members_.end() ||
+      it->second->crashed.load(std::memory_order_acquire)) {
+    return;
+  }
+  it->second->crashed.store(true, std::memory_order_release);
+  // Stop delivery to the crashed member. Its queue may still hold
+  // messages; they are dropped (the process is gone). Uniformity is about
+  // *surviving* members, whose queues already hold everything multicast
+  // before this point — and the view change below is enqueued after them.
+  it->second->queue.Close();
+  SIREP_ILOG << "GCS: member " << member_id << " crashed";
+  EnqueueViewLocked();
+}
+
+bool Group::IsAlive(MemberId member) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = members_.find(member);
+  return it != members_.end() &&
+         !it->second->crashed.load(std::memory_order_acquire) && !shutdown_;
+}
+
+Status Group::Multicast(MemberId sender, std::string type,
+                        std::shared_ptr<const void> payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) return Status::Unavailable("group is shut down");
+  auto it = members_.find(sender);
+  if (it == members_.end()) {
+    return Status::InvalidArgument("unknown sender " + std::to_string(sender));
+  }
+  if (it->second->crashed.load(std::memory_order_acquire)) {
+    return Status::Unavailable("sender " + std::to_string(sender) +
+                               " has crashed");
+  }
+  Event event;
+  event.kind = Event::Kind::kMessage;
+  event.message.sender = sender;
+  event.message.seqno = ++next_seqno_;
+  event.message.type = std::move(type);
+  event.message.payload = std::move(payload);
+  event.deliver_at = std::chrono::steady_clock::now() +
+                     options_.multicast_delay;
+  // Enqueue to every live member under the same lock that assigned the
+  // sequence number: this is what makes the order total and the delivery
+  // uniform.
+  for (const auto& [id, member] : members_) {
+    if (member->crashed.load(std::memory_order_acquire)) continue;
+    pending_count_.fetch_add(1, std::memory_order_relaxed);
+    if (!member->queue.Push(event)) {
+      pending_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  return Status::OK();
+}
+
+View Group::CurrentView() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  View view;
+  view.view_id = view_id_;
+  for (const auto& [id, member] : members_) {
+    if (!member->crashed.load(std::memory_order_acquire)) {
+      view.members.push_back(id);
+    }
+  }
+  std::sort(view.members.begin(), view.members.end());
+  return view;
+}
+
+void Group::DeliveryLoop(MemberId id) {
+  Member* self;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    self = members_[id].get();
+  }
+  while (true) {
+    auto event = self->queue.Pop();
+    if (!event.has_value()) break;  // closed and drained
+    if (!self->crashed.load(std::memory_order_acquire)) {
+      // Emulated network latency: sleep until the scheduled delivery
+      // time. The queue is FIFO and the delay constant, so order is
+      // preserved.
+      std::this_thread::sleep_until(event->deliver_at);
+      if (event->kind == Event::Kind::kMessage) {
+        self->listener->OnDeliver(event->message);
+        delivered_count_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        self->listener->OnViewChange(event->view);
+      }
+    }
+    if (pending_count_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(quiesce_mu_);
+      quiesce_cv_.notify_all();
+    }
+  }
+}
+
+void Group::WaitForQuiescence() {
+  std::unique_lock<std::mutex> lock(quiesce_mu_);
+  quiesce_cv_.wait(lock, [&] {
+    return pending_count_.load(std::memory_order_acquire) <= 0;
+  });
+}
+
+void Group::Shutdown() {
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    for (auto& [id, member] : members_) {
+      member->crashed.store(true, std::memory_order_release);
+      member->queue.Close();
+      threads.push_back(std::move(member->delivery_thread));
+    }
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace sirep::gcs

@@ -1,0 +1,153 @@
+#ifndef SIREP_GCS_GROUP_H_
+#define SIREP_GCS_GROUP_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/sync.h"
+
+namespace sirep::gcs {
+
+/// Identifies a group member (one SI-Rep middleware replica).
+using MemberId = uint32_t;
+constexpr MemberId kInvalidMember = ~0u;
+
+/// A multicast message. The payload is an immutable, type-erased blob
+/// shared between all recipients (we model Spread running in one process;
+/// a wire format would serialize WriteSets instead).
+struct Message {
+  MemberId sender = kInvalidMember;
+  uint64_t seqno = 0;  ///< position in the total order (1-based)
+  std::string type;    ///< application tag, e.g. "writeset"
+  std::shared_ptr<const void> payload;
+
+  template <typename T>
+  const T* As() const {
+    return static_cast<const T*>(payload.get());
+  }
+};
+
+/// A membership view: delivered to surviving members after every
+/// join/crash, in order with respect to messages (view synchrony).
+struct View {
+  uint64_t view_id = 0;
+  std::vector<MemberId> members;
+
+  bool Contains(MemberId m) const;
+};
+
+/// Callbacks invoked on the member's dedicated delivery thread, in total
+/// order. Implementations must not block indefinitely (they may take
+/// locks, enqueue work, etc.).
+class GroupListener {
+ public:
+  virtual ~GroupListener() = default;
+  virtual void OnDeliver(const Message& message) = 0;
+  virtual void OnViewChange(const View& view) = 0;
+};
+
+struct GroupOptions {
+  /// Emulated one-way multicast latency (ordering + network). The paper
+  /// reports Spread's uniform reliable multicast at <= 3 ms in a LAN.
+  std::chrono::microseconds multicast_delay{0};
+};
+
+/// In-process group communication system providing the guarantees SI-Rep
+/// needs from Spread (paper §5.2):
+///
+///  * **Total order**: all members deliver all messages in one global
+///    order (sequencer-based: a global sequence number is assigned
+///    atomically with enqueueing to every member's delivery queue).
+///  * **Uniform reliable delivery**: once Multicast() returns, the message
+///    is queued for every member; a subsequent crash of the sender (or of
+///    any member) cannot un-deliver it at survivors, and every survivor
+///    delivers it *before* the crash notification (view change).
+///  * **View synchrony**: membership changes are delivered as views,
+///    totally ordered with messages.
+///
+/// Each member gets a dedicated delivery thread; listener callbacks run
+/// there, strictly in order.
+class Group {
+ public:
+  explicit Group(GroupOptions options = {});
+  ~Group();
+
+  Group(const Group&) = delete;
+  Group& operator=(const Group&) = delete;
+
+  /// Adds a member. The new view is delivered to all members (including
+  /// the new one, as its first event).
+  MemberId Join(GroupListener* listener);
+
+  /// Simulates a crash: the member stops receiving anything, its future
+  /// multicasts are rejected, and survivors get a view change ordered
+  /// after every message multicast before the crash.
+  void Crash(MemberId member);
+
+  /// True if the member has not crashed (and the group is running).
+  bool IsAlive(MemberId member) const;
+
+  /// Multicasts to all members in total order. Returns kUnavailable if
+  /// the sender has crashed or the group is shut down.
+  Status Multicast(MemberId sender, std::string type,
+                   std::shared_ptr<const void> payload);
+
+  View CurrentView() const;
+
+  /// Blocks until every queued event has been delivered (test helper).
+  void WaitForQuiescence();
+
+  /// Stops delivery threads. Pending events are dropped.
+  void Shutdown();
+
+  uint64_t messages_delivered() const {
+    return delivered_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Event {
+    enum class Kind { kMessage, kView } kind = Kind::kMessage;
+    Message message;
+    View view;
+    std::chrono::steady_clock::time_point deliver_at;
+  };
+
+  struct Member {
+    GroupListener* listener = nullptr;
+    /// Set on crash (and shutdown); the delivery loop discards any events
+    /// still queued instead of delivering them.
+    std::atomic<bool> crashed{false};
+    WorkQueue<Event> queue;
+    std::thread delivery_thread;
+  };
+
+  void DeliveryLoop(MemberId id);
+  void EnqueueViewLocked();  // caller holds mu_
+
+  GroupOptions options_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<MemberId, std::unique_ptr<Member>> members_;
+  MemberId next_member_ = 0;
+  uint64_t next_seqno_ = 0;
+  uint64_t view_id_ = 0;
+  bool shutdown_ = false;
+
+  std::atomic<uint64_t> delivered_count_{0};
+  std::atomic<int64_t> pending_count_{0};
+  std::mutex quiesce_mu_;
+  std::condition_variable quiesce_cv_;
+};
+
+}  // namespace sirep::gcs
+
+#endif  // SIREP_GCS_GROUP_H_

@@ -1,0 +1,38 @@
+#ifndef SIREP_MIDDLEWARE_GLOBAL_TXN_ID_H_
+#define SIREP_MIDDLEWARE_GLOBAL_TXN_ID_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace sirep::middleware {
+
+/// Globally unique transaction identifier assigned by the local middleware
+/// replica when a transaction starts (paper §5.4). It travels with the
+/// writeset so every replica can record the transaction's outcome, which
+/// is what lets a failed-over client resolve an in-doubt commit.
+struct GlobalTxnId {
+  uint32_t replica = 0;  ///< middleware replica that owns the transaction
+  uint64_t seq = 0;      ///< per-replica sequence number (1-based)
+
+  bool valid() const { return seq != 0; }
+
+  bool operator==(const GlobalTxnId& other) const {
+    return replica == other.replica && seq == other.seq;
+  }
+
+  std::string ToString() const {
+    return "T" + std::to_string(replica) + "." + std::to_string(seq);
+  }
+};
+
+struct GlobalTxnIdHash {
+  size_t operator()(const GlobalTxnId& id) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(id.replica) << 48) ^
+                                 id.seq);
+  }
+};
+
+}  // namespace sirep::middleware
+
+#endif  // SIREP_MIDDLEWARE_GLOBAL_TXN_ID_H_

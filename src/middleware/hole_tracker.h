@@ -1,0 +1,203 @@
+#ifndef SIREP_MIDDLEWARE_HOLE_TRACKER_H_
+#define SIREP_MIDDLEWARE_HOLE_TRACKER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <set>
+
+namespace sirep::middleware {
+
+/// Implements Adjustment 3 of the paper (§4.3.3): synchronizing the start
+/// of local transactions with the (possibly out-of-validation-order)
+/// commit order, so that indirectly induced conflicts always follow the
+/// validation order and 1-copy-SI is preserved.
+///
+/// A **hole** exists at a replica when some transaction validated at
+/// position t committed while a transaction validated earlier (t' < t)
+/// has not yet committed here. The rules:
+///
+///  * a local transaction may only *start* when there are no holes
+///    (RunStart blocks);
+///  * while local transactions are waiting to start, a *remote*
+///    transaction whose commit would create a new hole (an
+///    earlier-validated transaction is still outstanding) is not
+///    dispatched (GateOpen); local commits always proceed.
+///
+/// Crucially — and this is the paper's own hidden-deadlock argument —
+/// the remote gate is applied *before* the writeset application starts,
+/// while the remote transaction holds no locks yet: "This does not lead
+/// to hidden deadlocks since there are only remote transactions delayed
+/// in tocommit_queue which have not yet started and acquired locks."
+/// Gating at commit time instead (after locks are acquired) can deadlock
+/// through a running local transaction.
+///
+/// With `enabled == false` the tracker implements SRCA-Opt: it keeps the
+/// statistics (so the holes-frequency experiment can run on both modes)
+/// but never blocks or gates, giving up 1-copy-SI as §4.3.2 describes.
+class HoleTracker {
+ public:
+  explicit HoleTracker(bool enabled) : enabled_(enabled) {}
+
+  struct Stats {
+    uint64_t starts = 0;
+    uint64_t delayed_starts = 0;  ///< starts that found holes
+    uint64_t commits = 0;
+    uint64_t delayed_commits = 0;  ///< remote dispatches the gate deferred
+  };
+
+  /// Registers a transaction that passed global validation at this
+  /// replica (it *will* commit here, creating a potential hole boundary).
+  void NoteValidated(uint64_t tid) {
+    std::lock_guard<std::mutex> lock(mu_);
+    outstanding_.insert(tid);
+  }
+
+  /// Runs `begin_fn` (the database begin) once there are no holes. The
+  /// callable runs under the tracker mutex, making the no-holes condition
+  /// atomic with the snapshot acquisition.
+  template <typename Fn>
+  auto RunStart(Fn&& begin_fn) {
+    bool waited = false;
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.starts;
+    if (HasHolesLocked() && !cancelled_) {
+      ++stats_.delayed_starts;
+      if (enabled_) {
+        ++waiting_starts_;
+        cv_.wait(lock, [&] { return cancelled_ || !HasHolesLocked(); });
+        --waiting_starts_;
+        waited = true;
+      }
+    }
+    auto result = begin_fn();
+    lock.unlock();
+    // A start leaving the wait set may open remote dispatch gates.
+    if (waited) NotifyChange();
+    return result;
+  }
+
+  /// Dispatch gate for validated transactions: true when committing
+  /// `tid` is currently acceptable. Local transactions always pass
+  /// (hidden-deadlock freedom); remote ones are held back while a local
+  /// start is waiting and an earlier-validated transaction is still
+  /// outstanding. The caller re-checks on every change notification.
+  bool GateOpen(uint64_t tid, bool is_local) const {
+    if (!enabled_) return true;
+    std::lock_guard<std::mutex> lock(mu_);
+    return cancelled_ || waiting_starts_ == 0 || is_local ||
+           !WouldCreateNewHoleLocked(tid);
+  }
+
+  /// Statistics: a remote dispatch was deferred by the gate (call once
+  /// per transaction).
+  void CountDeferredCommit() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.delayed_commits;
+  }
+
+  /// Runs `commit_fn` (the database commit) and marks `tid` committed,
+  /// atomically with the hole bookkeeping. No gating happens here — the
+  /// gate was applied at dispatch time.
+  template <typename Fn>
+  auto RecordCommit(uint64_t tid, Fn&& commit_fn) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.commits;
+    auto result = commit_fn();
+    outstanding_.erase(tid);
+    if (tid > max_committed_) max_committed_ = tid;
+    cv_.notify_all();
+    lock.unlock();
+    NotifyChange();
+    return result;
+  }
+
+  /// Registers a callback invoked (outside the internal mutex) whenever
+  /// gates may have opened: a commit, a discard, or a waiting start
+  /// finishing. The replica re-runs its dispatch scan on it.
+  void SetChangeListener(std::function<void()> listener) {
+    std::lock_guard<std::mutex> lock(mu_);
+    change_listener_ = std::move(listener);
+  }
+
+  /// Permanently releases all waiters and opens all gates: the replica
+  /// crashed or is shutting down, so no start may block on commits that
+  /// will never happen. Irreversible.
+  void Cancel() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cancelled_ = true;
+      cv_.notify_all();
+    }
+    NotifyChange();
+  }
+
+  /// Drops a validated transaction that will never commit here (replica
+  /// shutting down / crashed mid-pipeline) so waiters are not stranded.
+  void Discard(uint64_t tid) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      outstanding_.erase(tid);
+      cv_.notify_all();
+    }
+    NotifyChange();
+  }
+
+  bool HasHoles() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return HasHolesLocked();
+  }
+
+  /// Largest tid T such that every validated tid <= T has committed at
+  /// this replica — the durable prefix a restarted replica can recover
+  /// from (re-applying anything after it is idempotent).
+  uint64_t StablePrefix() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (outstanding_.empty()) return max_committed_;
+    return *outstanding_.begin() - 1;
+  }
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  bool enabled() const { return enabled_; }
+
+ private:
+  bool HasHolesLocked() const {
+    return !outstanding_.empty() && *outstanding_.begin() < max_committed_;
+  }
+
+  /// Committing `tid` creates a new hole iff an earlier-validated
+  /// transaction is still outstanding.
+  bool WouldCreateNewHoleLocked(uint64_t tid) const {
+    auto it = outstanding_.begin();
+    if (it == outstanding_.end()) return false;
+    return *it < tid;
+  }
+
+  void NotifyChange() {
+    std::function<void()> listener;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      listener = change_listener_;
+    }
+    if (listener) listener();
+  }
+
+  const bool enabled_;
+  std::function<void()> change_listener_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::set<uint64_t> outstanding_;
+  uint64_t max_committed_ = 0;
+  int waiting_starts_ = 0;
+  bool cancelled_ = false;
+  Stats stats_;
+};
+
+}  // namespace sirep::middleware
+
+#endif  // SIREP_MIDDLEWARE_HOLE_TRACKER_H_

@@ -1,0 +1,42 @@
+#ifndef SIREP_MIDDLEWARE_MESSAGES_H_
+#define SIREP_MIDDLEWARE_MESSAGES_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "middleware/global_txn_id.h"
+#include "storage/write_set.h"
+
+namespace sirep::middleware {
+
+/// Message type tag used on the group for writeset dissemination.
+inline constexpr char kWriteSetMessageType[] = "writeset";
+
+/// The payload multicast in total order when a local transaction asks to
+/// commit (paper Fig. 4, I.2.g): the writeset, the sender's certification
+/// watermark, and the global transaction id for outcome tracking.
+struct WriteSetMessage {
+  GlobalTxnId gid;
+  /// `lastvalidated_tid` at the origin replica when the message was sent:
+  /// global validation only needs to check writesets validated after this
+  /// point (everything before was covered by local validation).
+  uint64_t cert = 0;
+  std::shared_ptr<const storage::WriteSet> ws;
+};
+
+/// Message type tag for replicated DDL.
+inline constexpr char kDdlMessageType[] = "ddl";
+
+/// DDL (CREATE TABLE / CREATE INDEX) is replicated by shipping the
+/// statement text in total order; every replica executes it at the same
+/// position relative to all writesets, so schema changes land before any
+/// writeset that references them.
+struct DdlMessage {
+  GlobalTxnId gid;
+  std::string sql;
+};
+
+}  // namespace sirep::middleware
+
+#endif  // SIREP_MIDDLEWARE_MESSAGES_H_

@@ -1,0 +1,784 @@
+#include "middleware/replica_mw.h"
+
+#include <set>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace sirep::middleware {
+
+SrcaRepReplica::SrcaRepReplica(engine::Database* db, gcs::Group* group,
+                               ReplicaOptions options)
+    : db_(db),
+      group_(group),
+      options_(options),
+      ws_list_(options.ws_list_window),
+      holes_(options.mode == ReplicaMode::kSrcaRep),
+      appliers_(options.applier_threads) {
+  if (options_.start_recovering) {
+    delivery_mode_ = DeliveryMode::kBuffering;
+    accepting_.store(false, std::memory_order_release);
+  }
+}
+
+SrcaRepReplica::~SrcaRepReplica() { Shutdown(); }
+
+Status SrcaRepReplica::Start() {
+  member_id_ = group_->Join(this);
+  if (member_id_ == gcs::kInvalidMember) {
+    return Status::Unavailable("group is shut down");
+  }
+  // Re-run the dispatch scan whenever the hole gate may have opened
+  // (a commit, a discard, or a waiting start proceeding).
+  holes_.SetChangeListener([this] { ScheduleAppliers(); });
+  return Status::OK();
+}
+
+Result<SrcaRepReplica::TxnHandle> SrcaRepReplica::BeginTxn() {
+  if (!IsAlive()) return Status::Unavailable("replica crashed");
+  if (!IsAcceptingClients()) {
+    return Status::Unavailable("replica is recovering");
+  }
+  TxnHandle handle;
+  handle.gid.replica = member_id_;
+  handle.gid.seq = next_local_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Adjustment 3: a local transaction only starts when the commit order
+  // has no holes; the begin is atomic with that check.
+  handle.db_txn = holes_.RunStart([&] { return db_->Begin(); });
+  {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    active_txns_.insert(handle.gid);
+  }
+  return handle;
+}
+
+Result<engine::QueryResult> SrcaRepReplica::Execute(
+    const TxnHandle& txn, const std::string& sql,
+    const std::vector<sql::Value>& params) {
+  if (!IsAlive()) return Status::Unavailable("replica crashed");
+  if (!txn.valid()) return Status::InvalidArgument("invalid transaction");
+  // DDL replicates through the total order so every replica's schema
+  // changes at the same logical position (it is not transactional: like
+  // the paper's PostgreSQL setup, schema changes take effect immediately
+  // and are not rolled back with the surrounding transaction).
+  auto parsed = db_->Prepare(sql);
+  if (!parsed.ok()) return parsed.status();
+  const auto kind = parsed.value()->kind;
+  if (kind == sql::StatementKind::kCreateTable ||
+      kind == sql::StatementKind::kCreateIndex) {
+    SIREP_RETURN_IF_ERROR(ReplicateDdl(sql));
+    return engine::QueryResult{};
+  }
+  return db_->Execute(txn.db_txn, sql, params);
+}
+
+Status SrcaRepReplica::ReplicateDdl(const std::string& sql) {
+  GlobalTxnId gid;
+  gid.replica = member_id_;
+  gid.seq = next_local_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  auto pending = std::make_shared<PendingDdl>();
+  {
+    std::lock_guard<std::mutex> lock(pending_ddl_mu_);
+    pending_ddl_[gid] = pending;
+  }
+  auto payload =
+      std::make_shared<const DdlMessage>(DdlMessage{gid, sql});
+  Status mc = group_->Multicast(member_id_, kDdlMessageType, payload);
+  if (!mc.ok()) {
+    std::lock_guard<std::mutex> lock(pending_ddl_mu_);
+    pending_ddl_.erase(gid);
+    return mc;
+  }
+  std::unique_lock<std::mutex> lock(pending->mu);
+  pending->cv.wait(lock, [&] {
+    return pending->done || !IsAlive() ||
+           shutdown_.load(std::memory_order_acquire);
+  });
+  return pending->done ? pending->outcome
+                       : Status::Unavailable("replica crashed during DDL");
+}
+
+void SrcaRepReplica::ProcessDdl(const gcs::Message& message) {
+  const auto* msg = message.As<DdlMessage>();
+  Status outcome;
+  {
+    // Serialized with validation under wsmutex: the DDL takes effect at a
+    // single, identical position in every replica's schedule, and gets a
+    // tid slot so recovery replay preserves the interleaving.
+    std::lock_guard<std::mutex> lock(wsmutex_);
+    auto r = db_->ExecuteAutoCommit(msg->sql);
+    outcome = r.ok() ? Status::OK() : r.status();
+    const uint64_t tid = ++lastvalidated_tid_;
+    holes_.NoteValidated(tid);
+    holes_.RecordCommit(tid, [] { return 0; });
+    if (options_.ws_log_capacity > 0 && outcome.ok()) {
+      LogEntry entry;
+      entry.tid = tid;
+      entry.gid = msg->gid;
+      entry.ddl = msg->sql;
+      ws_log_.push_back(std::move(entry));
+      while (ws_log_.size() > options_.ws_log_capacity) ws_log_.pop_front();
+    }
+  }
+  if (msg->gid.replica == member_id_) {
+    std::shared_ptr<PendingDdl> pending;
+    {
+      std::lock_guard<std::mutex> lock(pending_ddl_mu_);
+      auto it = pending_ddl_.find(msg->gid);
+      if (it != pending_ddl_.end()) {
+        pending = it->second;
+        pending_ddl_.erase(it);
+      }
+    }
+    if (pending != nullptr) {
+      std::lock_guard<std::mutex> lock(pending->mu);
+      pending->done = true;
+      pending->outcome = outcome;
+      pending->cv.notify_all();
+    }
+  }
+}
+
+Status SrcaRepReplica::RollbackTxn(const TxnHandle& txn) {
+  if (!txn.valid()) return Status::InvalidArgument("invalid transaction");
+  db_->Abort(txn.db_txn);
+  std::lock_guard<std::mutex> lock(active_mu_);
+  active_txns_.erase(txn.gid);
+  return Status::OK();
+}
+
+Status SrcaRepReplica::CommitTxn(const TxnHandle& txn, bool* had_writes) {
+  if (!IsAlive()) return Status::Unavailable("replica crashed");
+  if (!txn.valid()) return Status::InvalidArgument("invalid transaction");
+  // Whatever the outcome, the transaction stops being "active" now.
+  {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    active_txns_.erase(txn.gid);
+  }
+
+  // Fig. 4, I.2.a: retrieve the writeset before committing.
+  auto ws = db_->ExtractWriteSet(txn.db_txn);
+  if (had_writes != nullptr) *had_writes = !ws->empty();
+
+  // I.2.c: read-only (or write-free) transactions commit right away —
+  // under SI they never conflict and other replicas need not hear of them.
+  if (ws->empty()) {
+    Status st = db_->Commit(txn.db_txn);
+    if (st.ok()) {
+      RecordOutcome(txn.gid, /*committed=*/true);
+      MarkLocallyCommitted(txn.gid);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.committed;
+      ++stats_.empty_ws_commits;
+    }
+    return st;
+  }
+
+  auto pending = std::make_shared<PendingLocal>();
+  pending->db_txn = txn.db_txn;
+  uint64_t cert = 0;
+  {
+    // I.2.d: local validation — against *remote* transactions still in
+    // this replica's tocommit queue (Adjustment 1: conflicts with
+    // anything else were already caught inside the database).
+    std::lock_guard<std::mutex> lock(wsmutex_);
+    if (tocommit_queue_.ConflictsWithRemote(*ws)) {
+      db_->Abort(txn.db_txn);
+      RecordOutcome(txn.gid, /*committed=*/false);
+      {
+        std::lock_guard<std::mutex> slock(stats_mu_);
+        ++stats_.local_val_aborts;
+      }
+      return Status::Conflict("local validation failed for " +
+                              txn.gid.ToString());
+    }
+    // I.2.e: remember how far validation had progressed; the receivers
+    // only need to check writesets validated after this point.
+    cert = lastvalidated_tid_;
+    std::lock_guard<std::mutex> plock(pending_mu_);
+    pending_[txn.gid] = pending;
+  }
+
+  // I.2.g: disseminate in total order.
+  auto payload = std::make_shared<const WriteSetMessage>(
+      WriteSetMessage{txn.gid, cert, ws});
+  Status mc = group_->Multicast(member_id_, kWriteSetMessageType, payload);
+  if (!mc.ok()) {
+    {
+      std::lock_guard<std::mutex> plock(pending_mu_);
+      pending_.erase(txn.gid);
+    }
+    db_->Abort(txn.db_txn);
+    return mc;
+  }
+
+  // Wait for global validation (step II on the delivery thread).
+  ValidationResult result;
+  {
+    std::unique_lock<std::mutex> lock(pending->mu);
+    pending->cv.wait(lock, [&] { return pending->done; });
+    result = pending->result;
+  }
+
+  switch (result.kind) {
+    case ValidationResult::Kind::kFailed:
+      // The delivery thread already aborted the DB transaction.
+      return Status::Conflict("global validation failed for " +
+                              txn.gid.ToString());
+    case ValidationResult::Kind::kCrashed:
+      return Status::Unavailable("replica crashed during commit of " +
+                                 txn.gid.ToString());
+    case ValidationResult::Kind::kValidated:
+      break;
+  }
+
+  // Step III for a local transaction: validation guarantees no
+  // conflicting transaction sits before us in the queue, so we commit
+  // immediately (Adjustment 2); the hole gate never applies to local
+  // transactions, but the commit is recorded atomically with the hole
+  // bookkeeping.
+  Status st = holes_.RecordCommit(result.tid,
+                                  [&] { return db_->Commit(txn.db_txn); });
+  tocommit_queue_.Remove(result.tid);
+  MarkLocallyCommitted(txn.gid);
+  ScheduleAppliers();
+  if (st.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.committed;
+  }
+  return st;
+}
+
+namespace {
+constexpr char kRecoveryRequestType[] = "recovery_request";
+}  // namespace
+
+void SrcaRepReplica::OnDeliver(const gcs::Message& message) {
+  if (shutdown_.load(std::memory_order_acquire)) return;
+  if (message.type == kRecoveryRequestType) {
+    HandleRecoveryRequest(message);
+    return;
+  }
+  if (message.type != kWriteSetMessageType &&
+      message.type != kDdlMessageType) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(buffer_mu_);
+    if (delivery_mode_ == DeliveryMode::kBuffering) {
+      // Before our own recovery marker the donor's package covers the
+      // message; after it, we replay it ourselves once caught up.
+      if (fence_seen_) buffered_.push_back(message);
+      return;
+    }
+  }
+  if (message.type == kDdlMessageType) {
+    ProcessDdl(message);
+  } else {
+    ProcessWriteSet(message);
+  }
+}
+
+void SrcaRepReplica::ProcessWriteSet(const gcs::Message& message) {
+  const auto* msg = message.As<WriteSetMessage>();
+  const bool is_local = msg->gid.replica == member_id_;
+
+  bool conflict;
+  uint64_t tid = 0;
+  {
+    // Step II: global validation, in delivery order (the total order makes
+    // every replica take the same decision here).
+    std::lock_guard<std::mutex> lock(wsmutex_);
+    if (!ws_list_.empty() && msg->cert + 1 < ws_list_.MinRetainedTid()) {
+      // The cert predates our retained window (an extremely lagged
+      // sender). We cannot check exactly — abort conservatively. All
+      // replicas share the window size and delivery order, so they all
+      // take this branch identically.
+      SIREP_WLOG << "ws_list window underrun for " << msg->gid.ToString()
+                 << " (cert " << msg->cert << " < min retained "
+                 << ws_list_.MinRetainedTid() << ")";
+      conflict = true;
+    } else {
+      conflict = ws_list_.ConflictsAfter(msg->cert, *msg->ws);
+    }
+    if (!conflict) {
+      tid = ++lastvalidated_tid_;
+      ws_list_.Append(tid, msg->ws);
+      if (options_.ws_log_capacity > 0) {
+        ws_log_.push_back(LogEntry{tid, msg->gid, msg->ws});
+        while (ws_log_.size() > options_.ws_log_capacity) {
+          ws_log_.pop_front();
+        }
+      }
+      holes_.NoteValidated(tid);
+      ToCommitEntry entry;
+      entry.tid = tid;
+      entry.gid = msg->gid;
+      entry.local = is_local;
+      entry.ws = msg->ws;
+      // Local entries are committed by the waiting client thread.
+      entry.dispatched = is_local;
+      tocommit_queue_.Append(std::move(entry));
+    }
+  }
+
+  RecordOutcome(msg->gid, /*committed=*/!conflict);
+
+  if (is_local) {
+    std::shared_ptr<PendingLocal> pending;
+    {
+      std::lock_guard<std::mutex> plock(pending_mu_);
+      auto it = pending_.find(msg->gid);
+      if (it != pending_.end()) {
+        pending = it->second;
+        pending_.erase(it);
+      }
+    }
+    if (pending != nullptr) {
+      if (conflict) {
+        db_->Abort(pending->db_txn);
+        std::lock_guard<std::mutex> slock(stats_mu_);
+        ++stats_.global_val_aborts;
+      }
+      std::lock_guard<std::mutex> lock(pending->mu);
+      pending->done = true;
+      pending->result.kind = conflict ? ValidationResult::Kind::kFailed
+                                      : ValidationResult::Kind::kValidated;
+      pending->result.tid = tid;
+      pending->cv.notify_all();
+    }
+    // else: the client gave up (crash path) — nothing to do.
+  } else {
+    if (conflict) {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.remote_discards;
+    } else {
+      ScheduleAppliers();
+    }
+  }
+}
+
+void SrcaRepReplica::ScheduleAppliers() {
+  if (shutdown_.load(std::memory_order_acquire) || !IsAlive()) return;
+  // Adjustment 3's gate is applied here, *before* the remote transaction
+  // begins and acquires locks (paper §4.3.3's hidden-deadlock argument).
+  size_t deferred = 0;
+  auto ready = tocommit_queue_.TakeDispatchableRemotes(
+      [this](uint64_t tid) { return holes_.GateOpen(tid, false); },
+      &deferred);
+  for (size_t i = 0; i < deferred; ++i) holes_.CountDeferredCommit();
+  for (auto& entry : ready) {
+    appliers_.Submit([this, entry = std::move(entry)]() mutable {
+      ApplyRemote(std::move(entry));
+    });
+  }
+}
+
+void SrcaRepReplica::ApplyRemote(ToCommitEntry entry) {
+  // Step III for a remote transaction: apply the writeset, then commit.
+  // Deadlocks with local transactions are possible (paper §4.2) — the
+  // database aborts one side; if it was us, retry until success. A
+  // version-check conflict can only be transient here (the conflicting
+  // local transaction is guaranteed to fail validation and abort).
+  while (!shutdown_.load(std::memory_order_acquire) && IsAlive()) {
+    auto txn = db_->Begin();
+    Status st = db_->ApplyWriteSet(txn, *entry.ws);
+    if (st.ok()) {
+      st = holes_.RecordCommit(entry.tid, [&] { return db_->Commit(txn); });
+      if (st.ok()) {
+        tocommit_queue_.Remove(entry.tid);
+        MarkLocallyCommitted(entry.gid);
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.committed;
+        }
+        ScheduleAppliers();
+        return;
+      }
+    }
+    db_->Abort(txn);
+    if (st.code() == StatusCode::kDeadlock ||
+        st.code() == StatusCode::kConflict ||
+        st.code() == StatusCode::kAborted) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.apply_retries;
+      }
+      std::this_thread::yield();
+      continue;
+    }
+    SIREP_ELOG << "unretryable writeset apply failure for "
+               << entry.gid.ToString() << ": " << st.ToString();
+    holes_.Discard(entry.tid);
+    tocommit_queue_.Remove(entry.tid);
+    return;
+  }
+  // Crashed/shutting down: release bookkeeping so nothing waits forever.
+  holes_.Discard(entry.tid);
+}
+
+void SrcaRepReplica::HandleRecoveryRequest(const gcs::Message& message) {
+  const auto* req = message.As<RecoveryRequest>();
+  if (req->requester == member_id_) {
+    // Our own marker: everything delivered from here on is ours to
+    // replay; everything before is covered by the donor's package.
+    std::lock_guard<std::mutex> lock(buffer_mu_);
+    fence_seen_ = true;
+    return;
+  }
+  if (req->donor != member_id_ || req->channel == nullptr) return;
+
+  // Donor side: snapshot the validation state exactly at the marker
+  // point of the total order (we are on the delivery thread, so every
+  // earlier message has been fully validated).
+  RecoveryPackage package;
+  if (!IsAcceptingClients()) {
+    // A replica that is itself recovering (or shutting down) has stale
+    // state and must not donate.
+    package.status = Status::Unavailable("chosen donor is not live");
+    {
+      std::lock_guard<std::mutex> lock(req->channel->mu);
+      req->channel->package = std::move(package);
+      req->channel->ready = true;
+    }
+    req->channel->cv.notify_all();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(wsmutex_);
+    package.lastvalidated = lastvalidated_tid_;
+    package.ws_window = ws_list_.Snapshot();
+    if (options_.ws_log_capacity == 0) {
+      package.status =
+          Status::NotSupported("this replica keeps no writeset log");
+    } else if (!ws_log_.empty() && req->from_tid + 1 < ws_log_.front().tid) {
+      // The log no longer reaches back to the recoverer's prefix: fall
+      // back to a full-state transfer (the paper's "complete database
+      // copy", done online at the marker). The copy includes every
+      // commit up to our stable prefix; the log tail covers the
+      // validated-but-uncommitted remainder (idempotent to re-apply).
+      const uint64_t stable = holes_.StablePrefix();
+      if (stable + 1 < ws_log_.front().tid) {
+        package.status = Status::Internal(
+            "writeset log smaller than the commit pipeline; increase "
+            "ws_log_capacity");
+      } else {
+        package.status = Status::OK();
+        package.has_full_copy = true;
+        auto dump_txn = db_->Begin();
+        for (const auto& table : db_->engine().TableNames()) {
+          TableDump dump;
+          dump.table = table;
+          dump.schema = db_->engine().GetTable(table)->schema();
+          Status scan = db_->engine().Scan(
+              dump_txn, table,
+              [&](const sql::Key&, const sql::Row& row) {
+                dump.rows.push_back(row);
+              });
+          if (!scan.ok()) {
+            package.status = scan;
+            break;
+          }
+          package.full_copy.push_back(std::move(dump));
+        }
+        db_->Abort(dump_txn);
+        for (const auto& entry : ws_log_) {
+          if (entry.tid > stable) package.log_suffix.push_back(entry);
+        }
+      }
+    } else {
+      package.status = Status::OK();
+      for (const auto& entry : ws_log_) {
+        if (entry.tid > req->from_tid) package.log_suffix.push_back(entry);
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(req->channel->mu);
+    req->channel->package = std::move(package);
+    req->channel->ready = true;
+  }
+  req->channel->cv.notify_all();
+}
+
+Status SrcaRepReplica::Recover(uint64_t from_tid,
+                               std::chrono::milliseconds timeout) {
+  if (!IsAlive()) return Status::Unavailable("replica crashed");
+  {
+    std::lock_guard<std::mutex> lock(buffer_mu_);
+    if (delivery_mode_ != DeliveryMode::kBuffering) {
+      return Status::InvalidArgument(
+          "Recover() requires start_recovering = true");
+    }
+  }
+
+  // Try each live member as donor until one that is fully live answers.
+  // Before every attempt the fence and buffer reset: only the messages
+  // after the *successful* marker may be replayed from the buffer, or
+  // they would be double-counted against the donor's package.
+  RecoveryPackage package;
+  package.status = Status::Unavailable("no donor available for recovery");
+  for (gcs::MemberId donor : group_->CurrentView().members) {
+    if (donor == member_id_) continue;
+    {
+      std::lock_guard<std::mutex> lock(buffer_mu_);
+      fence_seen_ = false;
+      buffered_.clear();
+    }
+    auto channel = std::make_shared<RecoveryChannel>();
+    auto payload = std::make_shared<const RecoveryRequest>(
+        RecoveryRequest{member_id_, donor, from_tid, channel});
+    Status mc = group_->Multicast(member_id_, kRecoveryRequestType, payload);
+    if (!mc.ok()) return mc;
+    {
+      std::unique_lock<std::mutex> lock(channel->mu);
+      if (!channel->cv.wait_for(lock, timeout,
+                                [&] { return channel->ready; })) {
+        return Status::TimedOut("recovery donor did not respond");
+      }
+      package = std::move(channel->package);
+    }
+    if (package.status.ok() ||
+        package.status.code() != StatusCode::kUnavailable) {
+      break;  // success, or a hard error worth reporting
+    }
+  }
+  SIREP_RETURN_IF_ERROR(package.status);
+  SIREP_ILOG << "replica " << member_id_ << " recovering: "
+             << (package.has_full_copy ? "full copy + " : "")
+             << package.log_suffix.size() << " writesets to replay, "
+             << "resuming validation at tid " << package.lastvalidated;
+
+  // Phase 0 (full-copy fallback): synchronize our committed state with
+  // the donor's dump — overwrite every dumped row, delete everything the
+  // donor no longer has.
+  if (package.has_full_copy) {
+    for (const auto& dump : package.full_copy) {
+      storage::MvccTable* table = db_->engine().GetTable(dump.table);
+      if (table == nullptr) {
+        // The table was created via replicated DDL we never saw: create
+        // it from the shipped schema.
+        SIREP_RETURN_IF_ERROR(
+            db_->engine().CreateTable(dump.table, dump.schema));
+        table = db_->engine().GetTable(dump.table);
+      }
+      storage::WriteSet sync;
+      auto view_txn = db_->Begin();
+      std::set<sql::Key> local_keys;
+      Status scan = db_->engine().Scan(
+          view_txn, dump.table,
+          [&](const sql::Key& key, const sql::Row&) {
+            local_keys.insert(key);
+          });
+      db_->Abort(view_txn);
+      if (!scan.ok()) return scan;
+      for (const auto& row : dump.rows) {
+        const sql::Key key = table->schema().KeyOf(row);
+        local_keys.erase(key);
+        sync.Record({dump.table, key}, storage::WriteOp::kUpdate, row);
+      }
+      for (const auto& key : local_keys) {
+        sync.Record({dump.table, key}, storage::WriteOp::kDelete, {});
+      }
+      if (sync.empty()) continue;
+      auto txn = db_->Begin();
+      Status st = db_->ApplyWriteSet(txn, sync);
+      if (st.ok()) st = db_->Commit(txn);
+      if (!st.ok()) {
+        db_->Abort(txn);
+        return Status::Internal("full-copy import failed for table '" +
+                                dump.table + "': " + st.ToString());
+      }
+    }
+  }
+
+  // Phase 1: replay the missed writesets into our database. Nobody else
+  // touches this DB (no clients, no appliers), and re-applying writesets
+  // our previous incarnation already committed is idempotent.
+  for (const auto& entry : package.log_suffix) {
+    if (entry.ws == nullptr) {
+      // Replicated DDL at this position. AlreadyExists is fine (a
+      // restarted replica's schema survived the crash).
+      auto r = db_->ExecuteAutoCommit(entry.ddl);
+      if (!r.ok() && r.status().code() != StatusCode::kAlreadyExists) {
+        return Status::Internal("recovery DDL replay failed: " +
+                                r.status().ToString());
+      }
+      continue;
+    }
+    while (true) {
+      auto txn = db_->Begin();
+      Status st = db_->ApplyWriteSet(txn, *entry.ws);
+      if (st.ok()) st = db_->Commit(txn);
+      if (st.ok()) break;
+      db_->Abort(txn);
+      if (!st.IsTransactionFailure()) {
+        return Status::Internal("recovery replay failed at tid " +
+                                std::to_string(entry.tid) + ": " +
+                                st.ToString());
+      }
+    }
+    RecordOutcome(entry.gid, /*committed=*/true);
+    MarkLocallyCommitted(entry.gid);
+  }
+
+  // Phase 2: adopt the donor's validation state so our future decisions
+  // match every other replica's.
+  {
+    std::lock_guard<std::mutex> lock(wsmutex_);
+    lastvalidated_tid_ = package.lastvalidated;
+    ws_list_.Load(package.ws_window);
+    ws_log_.assign(package.log_suffix.begin(), package.log_suffix.end());
+  }
+
+  // Phase 3: drain the buffered post-marker messages through normal
+  // validation. First a few passes without blocking delivery (bulk of
+  // the backlog); then a final pass holding buffer_mu_, during which the
+  // delivery thread briefly blocks — that makes the flip to live
+  // atomic and bounds the drain even under heavy concurrent traffic.
+  for (int pass = 0; pass < 16; ++pass) {
+    std::vector<gcs::Message> batch;
+    {
+      std::lock_guard<std::mutex> lock(buffer_mu_);
+      if (buffered_.size() < 64) break;
+      batch.swap(buffered_);
+    }
+    for (const auto& message : batch) {
+      if (message.type == kDdlMessageType) {
+        ProcessDdl(message);
+      } else {
+        ProcessWriteSet(message);
+      }
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(buffer_mu_);
+    while (!buffered_.empty()) {
+      std::vector<gcs::Message> batch;
+      batch.swap(buffered_);
+      // Intentionally processed under buffer_mu_: new deliveries wait.
+      for (const auto& message : batch) {
+        if (message.type == kDdlMessageType) {
+          ProcessDdl(message);
+        } else {
+          ProcessWriteSet(message);
+        }
+      }
+    }
+    delivery_mode_ = DeliveryMode::kLive;
+  }
+  accepting_.store(true, std::memory_order_release);
+  SIREP_ILOG << "replica " << member_id_ << " recovery complete";
+  return Status::OK();
+}
+
+void SrcaRepReplica::RecordOutcome(const GlobalTxnId& gid, bool committed) {
+  std::lock_guard<std::mutex> lock(outcomes_mu_);
+  auto& entry = outcomes_[gid];
+  entry.committed = committed;
+  if (!committed) entry.locally_committed = true;  // nothing to wait for
+  outcomes_cv_.notify_all();
+}
+
+void SrcaRepReplica::MarkLocallyCommitted(const GlobalTxnId& gid) {
+  std::lock_guard<std::mutex> lock(outcomes_mu_);
+  auto& entry = outcomes_[gid];
+  entry.committed = true;
+  entry.locally_committed = true;
+  outcomes_cv_.notify_all();
+}
+
+TxnOutcome SrcaRepReplica::InquireOutcome(const GlobalTxnId& gid,
+                                          gcs::MemberId crashed_origin) {
+  std::unique_lock<std::mutex> lock(outcomes_mu_);
+  // Paper §5.4: either the writeset (and hence the outcome) arrives, or
+  // the view change reporting the origin's crash does — uniform reliable
+  // delivery guarantees no third possibility.
+  outcomes_cv_.wait(lock, [&] {
+    if (shutdown_.load(std::memory_order_acquire) || !IsAlive()) return true;
+    if (outcomes_.count(gid)) return true;
+    return view_.view_id != 0 && !view_.Contains(crashed_origin);
+  });
+  auto it = outcomes_.find(gid);
+  if (it == outcomes_.end()) return TxnOutcome::kUnknown;
+  if (!it->second.committed) return TxnOutcome::kAborted;
+  // Wait for the writeset to be committed *here* so the client sees its
+  // own writes after fail-over.
+  outcomes_cv_.wait(lock, [&] {
+    if (shutdown_.load(std::memory_order_acquire) || !IsAlive()) return true;
+    auto jt = outcomes_.find(gid);
+    return jt != outcomes_.end() && jt->second.locally_committed;
+  });
+  return TxnOutcome::kCommitted;
+}
+
+void SrcaRepReplica::OnViewChange(const gcs::View& view) {
+  std::lock_guard<std::mutex> lock(outcomes_mu_);
+  view_ = view;
+  outcomes_cv_.notify_all();
+}
+
+void SrcaRepReplica::Crash() {
+  bool expected = false;
+  if (!crashed_.compare_exchange_strong(expected, true,
+                                        std::memory_order_acq_rel)) {
+    return;
+  }
+  group_->Crash(member_id_);
+  // Release clients blocked waiting for holes to close — those commits
+  // will never happen now.
+  holes_.Cancel();
+  // Fail every in-flight local commit: their clients will run in-doubt
+  // resolution against another replica.
+  std::unordered_map<GlobalTxnId, std::shared_ptr<PendingLocal>,
+                     GlobalTxnIdHash>
+      pending;
+  {
+    std::lock_guard<std::mutex> plock(pending_mu_);
+    pending.swap(pending_);
+  }
+  for (auto& [gid, p] : pending) {
+    std::lock_guard<std::mutex> lock(p->mu);
+    if (!p->done) {
+      p->done = true;
+      p->result.kind = ValidationResult::Kind::kCrashed;
+      p->cv.notify_all();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> plock(pending_ddl_mu_);
+    for (auto& [gid, p] : pending_ddl_) {
+      std::lock_guard<std::mutex> lock(p->mu);
+      p->cv.notify_all();  // waiters re-check IsAlive and bail out
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(outcomes_mu_);
+    outcomes_cv_.notify_all();
+  }
+  SIREP_ILOG << "middleware replica " << member_id_ << " crashed";
+}
+
+void SrcaRepReplica::Shutdown() {
+  bool expected = false;
+  if (!shutdown_.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+    return;
+  }
+  holes_.SetChangeListener(nullptr);
+  holes_.Cancel();
+  appliers_.Shutdown();
+  {
+    std::lock_guard<std::mutex> lock(outcomes_mu_);
+    outcomes_cv_.notify_all();
+  }
+}
+
+SrcaRepReplica::Stats SrcaRepReplica::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  Stats out = stats_;
+  out.holes = holes_.stats();
+  return out;
+}
+
+}  // namespace sirep::middleware

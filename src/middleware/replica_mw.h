@@ -1,0 +1,348 @@
+#ifndef SIREP_MIDDLEWARE_REPLICA_MW_H_
+#define SIREP_MIDDLEWARE_REPLICA_MW_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "engine/database.h"
+#include "engine/query_result.h"
+#include "gcs/group.h"
+#include "middleware/global_txn_id.h"
+#include "middleware/hole_tracker.h"
+#include "middleware/messages.h"
+#include "middleware/tocommit_queue.h"
+#include "middleware/ws_list.h"
+
+namespace sirep::middleware {
+
+/// Which replica-control variant to run (paper §4.3.3 / §6.3).
+enum class ReplicaMode {
+  /// Full SRCA-Rep: adjustments 1-3, provides 1-copy-SI.
+  kSrcaRep,
+  /// SRCA-Opt: adjustments 1-2 only. Starts/commits never synchronize, so
+  /// commit orders may diverge across replicas under indirect conflicts —
+  /// faster under update-intensive load, but only per-replica SI.
+  kSrcaOpt,
+};
+
+struct ReplicaOptions {
+  ReplicaMode mode = ReplicaMode::kSrcaRep;
+  /// Validated writesets retained for online recovery donation (paper
+  /// §5.4: "the middleware probably has to log writesets"). 0 disables
+  /// the log; such a replica cannot act as a recovery donor.
+  size_t ws_log_capacity = 1 << 20;
+  /// Join in recovery mode: buffer deliveries and reject clients until
+  /// Recover() completes. Used when restarting a crashed replica or
+  /// adding a new one while the cluster keeps processing transactions.
+  bool start_recovering = false;
+  /// Threads applying remote writesets concurrently. Must be > 1 or
+  /// blocked applies (waiting on local transactions' locks) would
+  /// serialize unrelated applies; local commits are never run here (the
+  /// committing client's thread performs them), so the hidden-deadlock
+  /// freedom of Adjustment 2 does not depend on this pool's size.
+  size_t applier_threads = 8;
+  /// Sliding window of retained validated writesets (see WsList).
+  size_t ws_list_window = 65536;
+};
+
+/// Validation/commit outcome of a transaction as known at this replica.
+enum class TxnOutcome { kUnknown, kCommitted, kAborted };
+
+/// One SI-Rep middleware replica M^k (paper Fig. 3c / Fig. 4): runs in
+/// front of exactly one database replica, executes local transactions
+/// against it, multicasts writesets in total order, validates all
+/// writesets in delivery order, and applies/commits them subject to the
+/// conflict-ordering and hole rules.
+///
+/// Clients do not use this class directly; client::Connection (the
+/// JDBC-like driver) talks to it and handles fail-over.
+class SrcaRepReplica : public gcs::GroupListener {
+ public:
+  /// A client transaction local to this replica.
+  struct TxnHandle {
+    GlobalTxnId gid;
+    storage::TransactionPtr db_txn;
+    bool valid() const { return gid.valid() && db_txn != nullptr; }
+  };
+
+  struct Stats {
+    uint64_t committed = 0;
+    uint64_t empty_ws_commits = 0;   ///< read-only fast path
+    uint64_t local_val_aborts = 0;   ///< failed Fig.4 I.2.d
+    uint64_t global_val_aborts = 0;  ///< failed Fig.4 II.2 (local txns)
+    uint64_t remote_discards = 0;    ///< failed II.2 (remote txns)
+    uint64_t apply_retries = 0;      ///< deadlock/conflict retries in III
+    HoleTracker::Stats holes;
+  };
+
+  SrcaRepReplica(engine::Database* db, gcs::Group* group,
+                 ReplicaOptions options = {});
+  ~SrcaRepReplica() override;
+
+  SrcaRepReplica(const SrcaRepReplica&) = delete;
+  SrcaRepReplica& operator=(const SrcaRepReplica&) = delete;
+
+  /// Joins the group. Must be called before any transaction.
+  Status Start();
+
+  gcs::MemberId member_id() const { return member_id_; }
+  engine::Database* db() const { return db_; }
+
+  // ---- session API ----
+
+  /// Starts a local transaction. Under SRCA-Rep this waits until the
+  /// commit order has no holes (Adjustment 3; the paper issues a dummy
+  /// statement to force an early, synchronized begin — we have an explicit
+  /// begin instead).
+  Result<TxnHandle> BeginTxn();
+
+  /// Executes a statement of the transaction at the local DB replica.
+  /// A transaction-failure status means the transaction was aborted
+  /// inside the database (conflict/deadlock) — restart it.
+  Result<engine::QueryResult> Execute(const TxnHandle& txn,
+                                      const std::string& sql,
+                                      const std::vector<sql::Value>& params =
+                                          {});
+
+  /// Runs the commit protocol: writeset extraction, local validation,
+  /// total-order multicast, global validation, local commit. Blocks until
+  /// the outcome is decided. kConflict => validation failed (transaction
+  /// aborted); kUnavailable => this replica crashed mid-protocol (the
+  /// driver runs in-doubt resolution elsewhere). `had_writes`, if
+  /// non-null, reports whether a writeset was disseminated (false for the
+  /// read-only fast path — such transactions exist only here and cannot
+  /// be inquired about at other replicas).
+  Status CommitTxn(const TxnHandle& txn, bool* had_writes = nullptr);
+
+  /// Aborts a transaction that has not entered the commit protocol.
+  Status RollbackTxn(const TxnHandle& txn);
+
+  // ---- fail-over support (paper §5.4) ----
+
+  /// Looks up the outcome of `gid`. If the outcome is not yet known, waits
+  /// until either the writeset message arrives or the current view no
+  /// longer contains `crashed_origin` — by uniform reliable delivery, one
+  /// of the two must happen. When the outcome is kCommitted, additionally
+  /// waits until the writeset is committed at *this* replica so the
+  /// inquiring client will read its own writes here.
+  TxnOutcome InquireOutcome(const GlobalTxnId& gid,
+                            gcs::MemberId crashed_origin);
+
+  // ---- fault injection ----
+
+  /// Simulates the crash of this middleware/DB pair: leaves the group,
+  /// fails all in-flight commits with kUnavailable, rejects future calls.
+  void Crash();
+
+  bool IsAlive() const { return !crashed_.load(std::memory_order_acquire); }
+
+  /// Graceful stop (test teardown). Not a crash: no view change blame.
+  void Shutdown();
+
+  // ---- online recovery (extension; paper §5.4 / conclusion) ----
+
+  /// True when live (not crashed, not still recovering): the discovery
+  /// service only hands clients replicas for which this holds.
+  bool IsAcceptingClients() const {
+    return IsAlive() && !shutdown_.load(std::memory_order_acquire) &&
+           accepting_.load(std::memory_order_acquire);
+  }
+
+  /// Catches this replica up while the rest of the cluster keeps
+  /// committing ("online recovery"):
+  ///  1. multicasts a recovery marker in total order;
+  ///  2. the chosen donor snapshots its validation state and writeset-log
+  ///     suffix after `from_tid` exactly at the marker;
+  ///  3. this replica replays the suffix into its database, adopts the
+  ///     validation state, drains the messages buffered past the marker,
+  ///     and goes live.
+  /// `from_tid` is the stable commit prefix of a restarting replica
+  /// (StableCommitPrefix() of its previous incarnation), or 0 for a
+  /// brand-new node whose schema has been created. Requires the replica
+  /// to have been constructed with `start_recovering = true`.
+  Status Recover(uint64_t from_tid,
+                 std::chrono::milliseconds timeout =
+                     std::chrono::milliseconds(30000));
+
+  /// Durable prefix a restarted incarnation can recover from: every
+  /// validated tid <= this value has committed at this replica, and
+  /// re-applying later writesets is idempotent.
+  uint64_t StableCommitPrefix() const { return holes_.StablePrefix(); }
+
+  Stats stats() const;
+
+  /// Validated transactions not yet committed at this replica (test and
+  /// quiescence helper).
+  size_t PendingQueueSize() const { return tocommit_queue_.size(); }
+
+  /// Load metric for load-balanced discovery (paper conclusion:
+  /// "load-balancing issues"): active local transactions plus the
+  /// backlog of validated-but-uncommitted writesets.
+  size_t CurrentLoad() const {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    return active_txns_.size() + tocommit_queue_.size();
+  }
+
+  // ---- GroupListener (GCS delivery thread) ----
+  void OnDeliver(const gcs::Message& message) override;
+  void OnViewChange(const gcs::View& view) override;
+
+ private:
+  /// Result of global validation for a pending local commit.
+  struct ValidationResult {
+    enum class Kind { kValidated, kFailed, kCrashed } kind = Kind::kFailed;
+    uint64_t tid = 0;
+  };
+
+  struct PendingLocal {
+    storage::TransactionPtr db_txn;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    ValidationResult result;
+  };
+
+  struct LogEntry {
+    uint64_t tid = 0;
+    GlobalTxnId gid;
+    std::shared_ptr<const storage::WriteSet> ws;  ///< null for DDL entries
+    std::string ddl;                              ///< set for DDL entries
+  };
+
+  /// One table's committed contents in a full-state transfer. The schema
+  /// rides along so a recoverer that never saw the replicated CREATE
+  /// TABLE can create it.
+  struct TableDump {
+    std::string table;
+    sql::Schema schema;
+    std::vector<sql::Row> rows;
+  };
+
+  /// What a donor hands a recovering replica at the marker point. Either
+  /// `log_suffix` alone suffices (incremental catch-up), or `full_copy`
+  /// carries the complete committed state (the paper's "complete database
+  /// copy", produced online when the writeset log no longer reaches back
+  /// to the recoverer's prefix) plus the log tail for the transactions
+  /// validated but not yet committed at dump time.
+  struct RecoveryPackage {
+    Status status;
+    uint64_t lastvalidated = 0;
+    std::vector<std::pair<uint64_t,
+                          std::shared_ptr<const storage::WriteSet>>>
+        ws_window;
+    std::vector<LogEntry> log_suffix;
+    bool has_full_copy = false;
+    std::vector<TableDump> full_copy;
+  };
+  struct RecoveryChannel {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool ready = false;
+    RecoveryPackage package;
+  };
+  struct RecoveryRequest {
+    gcs::MemberId requester = gcs::kInvalidMember;
+    gcs::MemberId donor = gcs::kInvalidMember;
+    uint64_t from_tid = 0;
+    std::shared_ptr<RecoveryChannel> channel;
+  };
+
+  void RecordOutcome(const GlobalTxnId& gid, bool committed);
+  void MarkLocallyCommitted(const GlobalTxnId& gid);
+
+  /// Steps II/III trigger for one delivered writeset message (the body of
+  /// OnDeliver in live mode; also used when draining the recovery
+  /// buffer).
+  void ProcessWriteSet(const gcs::Message& message);
+
+  /// Executes a replicated DDL statement at its total-order position.
+  void ProcessDdl(const gcs::Message& message);
+
+  /// Client-side DDL protocol: multicast + wait for local execution.
+  Status ReplicateDdl(const std::string& sql);
+
+  /// Donor/requester handling of a recovery marker.
+  void HandleRecoveryRequest(const gcs::Message& message);
+
+  /// Dispatches every queue entry that became eligible (Adjustment 2).
+  void ScheduleAppliers();
+
+  /// Applies + commits one remote writeset, retrying on deadlock.
+  void ApplyRemote(ToCommitEntry entry);
+
+  engine::Database* const db_;
+  gcs::Group* const group_;
+  const ReplicaOptions options_;
+  gcs::MemberId member_id_ = gcs::kInvalidMember;
+
+  std::atomic<bool> crashed_{false};
+  std::atomic<bool> shutdown_{false};
+  std::atomic<bool> accepting_{true};
+  std::atomic<uint64_t> next_local_seq_{0};
+
+  // Recovery buffering: while kBuffering, delivered writesets after the
+  // marker are queued here and replayed by Recover()'s thread; the flip
+  // to kLive happens under buffer_mu_ once the buffer drains.
+  enum class DeliveryMode { kLive, kBuffering };
+  std::mutex buffer_mu_;
+  DeliveryMode delivery_mode_ = DeliveryMode::kLive;
+  bool fence_seen_ = false;
+  std::vector<gcs::Message> buffered_;
+
+  // Fig. 4 state. wsmutex_ protects lastvalidated_tid_ and ws_list_, and
+  // serializes validation (steps I.2.c-f and II).
+  std::mutex wsmutex_;
+  uint64_t lastvalidated_tid_ = 0;
+  WsList ws_list_;
+  std::deque<LogEntry> ws_log_;  // guarded by wsmutex_
+
+  ToCommitQueue tocommit_queue_;
+  HoleTracker holes_;
+  ThreadPool appliers_;
+
+  std::mutex pending_mu_;
+  std::unordered_map<GlobalTxnId, std::shared_ptr<PendingLocal>,
+                     GlobalTxnIdHash>
+      pending_;
+
+  struct PendingDdl {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status outcome;
+  };
+  std::mutex pending_ddl_mu_;
+  std::unordered_map<GlobalTxnId, std::shared_ptr<PendingDdl>,
+                     GlobalTxnIdHash>
+      pending_ddl_;
+
+  mutable std::mutex active_mu_;
+  std::unordered_set<GlobalTxnId, GlobalTxnIdHash> active_txns_;
+
+  struct OutcomeEntry {
+    bool committed = false;
+    bool locally_committed = false;
+  };
+  mutable std::mutex outcomes_mu_;
+  std::condition_variable outcomes_cv_;
+  std::unordered_map<GlobalTxnId, OutcomeEntry, GlobalTxnIdHash> outcomes_;
+  gcs::View view_;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+}  // namespace sirep::middleware
+
+#endif  // SIREP_MIDDLEWARE_REPLICA_MW_H_

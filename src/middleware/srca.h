@@ -1,0 +1,120 @@
+#ifndef SIREP_MIDDLEWARE_SRCA_H_
+#define SIREP_MIDDLEWARE_SRCA_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "engine/query_result.h"
+#include "middleware/ws_list.h"
+#include "storage/write_set.h"
+
+namespace sirep::middleware {
+
+/// SRCA — the Simple Replica Control Algorithm of the paper's Fig. 1:
+/// a *centralized* middleware in front of N database replicas.
+///
+/// Faithful to the figure:
+///  * one `dbmutex` per replica makes begin atomic with commits, so
+///    `Ti.cert = lastcommitted_tid_k` identifies exactly the transactions
+///    concurrent to Ti;
+///  * validation is a single atomic phase under `wsmutex` against
+///    `ws_list`;
+///  * each replica has a `tocommit_queue` processed **strictly in
+///    validation order by one committer thread** (step II).
+///
+/// Because writesets apply serially, SRCA exhibits the "hidden deadlock"
+/// of §4.2 when run over a real first-updater-wins database like ours —
+/// that is by design (a test demonstrates it); SrcaRepReplica is the
+/// production algorithm. SRCA is retained as the reference model for the
+/// 1-copy-SI proofs and for differential testing.
+class SrcaMiddleware {
+ public:
+  struct TxnHandle {
+    uint64_t client_txn = 0;  ///< middleware-assigned id
+    size_t replica = 0;       ///< local replica index
+    storage::TransactionPtr db_txn;
+    uint64_t cert = 0;
+  };
+
+  struct Stats {
+    uint64_t committed = 0;
+    uint64_t validation_aborts = 0;
+    uint64_t empty_ws_commits = 0;
+  };
+
+  explicit SrcaMiddleware(std::vector<engine::Database*> replicas);
+  ~SrcaMiddleware();
+
+  SrcaMiddleware(const SrcaMiddleware&) = delete;
+  SrcaMiddleware& operator=(const SrcaMiddleware&) = delete;
+
+  /// Begins a transaction local at `replica` (Fig. 1, I.1). Pass
+  /// `kAnyReplica` for round-robin assignment.
+  static constexpr size_t kAnyReplica = ~size_t{0};
+  Result<TxnHandle> Begin(size_t replica = kAnyReplica);
+
+  /// Fig. 1, I.2: forward to the local replica.
+  Result<engine::QueryResult> Execute(const TxnHandle& txn,
+                                      const std::string& sql,
+                                      const std::vector<sql::Value>& params =
+                                          {});
+
+  /// Fig. 1, I.3: extract writeset, validate, enqueue everywhere, wait
+  /// for the local commit. kConflict => validation failed.
+  Status Commit(TxnHandle& txn);
+
+  Status Rollback(const TxnHandle& txn);
+
+  size_t num_replicas() const { return replicas_.size(); }
+  Stats stats() const;
+
+  void Shutdown();
+
+ private:
+  struct QueueEntry {
+    uint64_t tid = 0;
+    size_t local_replica = 0;
+    storage::TransactionPtr local_txn;  ///< only meaningful at local replica
+    std::shared_ptr<const storage::WriteSet> ws;
+    /// Client notification for the local replica's commit.
+    std::shared_ptr<std::pair<std::mutex, std::condition_variable>> signal;
+    std::shared_ptr<Status> outcome;
+    std::shared_ptr<bool> done;
+  };
+
+  struct Replica {
+    engine::Database* db = nullptr;
+    std::mutex dbmutex;
+    uint64_t lastcommitted_tid = 0;
+    std::mutex queue_mu;
+    std::condition_variable queue_cv;
+    std::deque<QueueEntry> tocommit_queue;
+    std::thread committer;
+  };
+
+  void CommitterLoop(size_t replica_index);
+
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<size_t> next_replica_{0};
+  std::atomic<uint64_t> next_client_txn_{0};
+
+  std::mutex wsmutex_;
+  uint64_t next_tid_ = 0;
+  WsList ws_list_;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+}  // namespace sirep::middleware
+
+#endif  // SIREP_MIDDLEWARE_SRCA_H_

@@ -1,0 +1,71 @@
+#include "middleware/table_locks.h"
+
+#include <algorithm>
+
+namespace sirep::middleware {
+
+TableLockManager::TicketId TableLockManager::Request(
+    const std::vector<std::string>& tables, TableLockMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const TicketId id = ++next_ticket_;
+  modes_[id] = mode;
+  auto& mine = tickets_[id];
+  for (const auto& table : tables) {
+    // Deduplicate so Release removes each queue entry exactly once.
+    if (std::find(mine.begin(), mine.end(), table) != mine.end()) continue;
+    mine.push_back(table);
+    queues_[table].push_back(Waiter{id, mode});
+  }
+  if (!GrantedLocked(id)) ++contended_;
+  return id;
+}
+
+bool TableLockManager::GrantedLocked(TicketId ticket) const {
+  auto it = tickets_.find(ticket);
+  if (it == tickets_.end()) return false;
+  const TableLockMode my_mode = modes_.at(ticket);
+  for (const auto& table : it->second) {
+    const auto& queue = queues_.at(table);
+    for (const auto& waiter : queue) {
+      if (waiter.id == ticket) break;  // everything ahead was compatible
+      if (my_mode == TableLockMode::kExclusive ||
+          waiter.mode == TableLockMode::kExclusive) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void TableLockManager::Wait(TicketId ticket) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return GrantedLocked(ticket); });
+}
+
+bool TableLockManager::IsGranted(TicketId ticket) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GrantedLocked(ticket);
+}
+
+void TableLockManager::Release(TicketId ticket) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tickets_.find(ticket);
+  if (it == tickets_.end()) return;
+  for (const auto& table : it->second) {
+    auto& queue = queues_[table];
+    queue.erase(std::remove_if(queue.begin(), queue.end(),
+                               [&](const Waiter& w) { return w.id == ticket; }),
+                queue.end());
+    if (queue.empty()) queues_.erase(table);
+  }
+  tickets_.erase(it);
+  modes_.erase(ticket);
+  cv_.notify_all();
+}
+
+uint64_t TableLockManager::contended_requests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return contended_;
+}
+
+}  // namespace sirep::middleware

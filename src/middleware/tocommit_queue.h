@@ -1,0 +1,124 @@
+#ifndef SIREP_MIDDLEWARE_TOCOMMIT_QUEUE_H_
+#define SIREP_MIDDLEWARE_TOCOMMIT_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "middleware/global_txn_id.h"
+#include "storage/write_set.h"
+
+namespace sirep::middleware {
+
+/// One entry of a replica's `tocommit_queue`: a validated transaction
+/// waiting to be applied (if remote) and committed at this replica.
+struct ToCommitEntry {
+  uint64_t tid = 0;  ///< global validation id
+  GlobalTxnId gid;
+  bool local = false;  ///< local at this replica?
+  std::shared_ptr<const storage::WriteSet> ws;
+  bool dispatched = false;     ///< already handed to an applier (internal)
+  bool gate_deferred = false;  ///< hole gate deferral already counted
+};
+
+/// The per-replica `tocommit_queue` of the paper (Fig. 1 II / Fig. 4 III),
+/// with the conflict queries the three algorithm variants need:
+///
+///  * SRCA applies strictly in order (front of queue);
+///  * Adjustment 1 validates a finishing local transaction against the
+///    *remote* entries still queued (ConflictsWithRemote);
+///  * Adjustment 2 dispatches any entry with no conflicting predecessor
+///    still in the queue (NextDispatchable).
+///
+/// Thread-safe.
+class ToCommitQueue {
+ public:
+  void Append(ToCommitEntry entry) {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.push_back(std::move(entry));
+  }
+
+  /// Local validation (Adjustment 1 / Fig. 4 I.2.d): does `ws` intersect
+  /// the writeset of any *remote* transaction still queued?
+  bool ConflictsWithRemote(const storage::WriteSet& ws) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& entry : entries_) {
+      if (!entry.local && entry.ws != nullptr && entry.ws->Intersects(ws)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Marks and returns the queued, not-yet-dispatched entries that have no
+  /// conflicting entry ordered before them (Adjustment 2's eligibility
+  /// rule) and whose hole gate is open (Adjustment 3; `gate_open` may be
+  /// null to skip gating). Local entries are committed by the client
+  /// thread and are dispatched there, so this only returns remote
+  /// entries. `deferred_by_gate`, if non-null, counts entries newly held
+  /// back by the gate (for the holes statistics).
+  std::vector<ToCommitEntry> TakeDispatchableRemotes(
+      const std::function<bool(uint64_t tid)>& gate_open = nullptr,
+      size_t* deferred_by_gate = nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<ToCommitEntry> ready;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      ToCommitEntry& entry = entries_[i];
+      if (entry.local || entry.dispatched) continue;
+      bool blocked = false;
+      for (size_t j = 0; j < i; ++j) {
+        if (entries_[j].ws != nullptr && entry.ws != nullptr &&
+            entries_[j].ws->Intersects(*entry.ws)) {
+          blocked = true;
+          break;
+        }
+      }
+      if (blocked) continue;
+      if (gate_open != nullptr && !gate_open(entry.tid)) {
+        if (!entry.gate_deferred) {
+          entry.gate_deferred = true;
+          if (deferred_by_gate != nullptr) ++*deferred_by_gate;
+        }
+        continue;
+      }
+      entry.dispatched = true;
+      ready.push_back(entry);
+    }
+    return ready;
+  }
+
+  /// Removes a committed (or discarded) transaction.
+  void Remove(uint64_t tid) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->tid == tid) {
+        entries_.erase(it);
+        return;
+      }
+    }
+  }
+
+  /// tid of the front entry, or 0 if empty (SRCA's strict in-order apply).
+  uint64_t FrontTid() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.empty() ? 0 : entries_.front().tid;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<ToCommitEntry> entries_;
+};
+
+}  // namespace sirep::middleware
+
+#endif  // SIREP_MIDDLEWARE_TOCOMMIT_QUEUE_H_

@@ -1,0 +1,94 @@
+#ifndef SIREP_MIDDLEWARE_WS_LIST_H_
+#define SIREP_MIDDLEWARE_WS_LIST_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "storage/write_set.h"
+
+namespace sirep::middleware {
+
+/// The list of validated writesets (`ws_list` in the paper's Fig. 1 and
+/// Fig. 4), ordered by validation id (tid). Validation of transaction Ti
+/// checks whether any Tj with Ti.cert < Tj.tid has a writeset overlapping
+/// Ti's.
+///
+/// Not internally synchronized: the caller serializes access under its
+/// `wsmutex`, exactly as in the paper's pseudo-code.
+///
+/// Entries are pruned by a sliding window to bound memory. Because a
+/// validation request's cert normally lags current tids by at most the
+/// in-flight multicast depth (a few hundred), a generous window never
+/// affects results; if a cert ever falls below the window the caller must
+/// abort conservatively (see MinRetainedTid()).
+class WsList {
+ public:
+  explicit WsList(size_t max_entries = 65536) : max_entries_(max_entries) {}
+
+  void Append(uint64_t tid, std::shared_ptr<const storage::WriteSet> ws) {
+    entries_.push_back(Entry{tid, std::move(ws)});
+    while (entries_.size() > max_entries_) entries_.pop_front();
+  }
+
+  /// True iff some validated Tj with tid > cert conflicts with `ws`.
+  bool ConflictsAfter(uint64_t cert, const storage::WriteSet& ws) const {
+    // Entries are tid-ordered; binary-search the first tid > cert.
+    size_t lo = 0, hi = entries_.size();
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (entries_[mid].tid > cert) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    for (size_t i = lo; i < entries_.size(); ++i) {
+      if (entries_[i].ws->Intersects(ws)) return true;
+    }
+    return false;
+  }
+
+  /// Oldest tid still retained; a validation with cert < MinRetainedTid()-1
+  /// cannot be decided exactly and must abort conservatively.
+  uint64_t MinRetainedTid() const {
+    return entries_.empty() ? 0 : entries_.front().tid;
+  }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// State transfer for online recovery: export the retained window...
+  std::vector<std::pair<uint64_t, std::shared_ptr<const storage::WriteSet>>>
+  Snapshot() const {
+    std::vector<std::pair<uint64_t, std::shared_ptr<const storage::WriteSet>>>
+        out;
+    out.reserve(entries_.size());
+    for (const auto& e : entries_) out.emplace_back(e.tid, e.ws);
+    return out;
+  }
+
+  /// ...and adopt a donor's window verbatim (replaces current content),
+  /// so the recovering replica's validation decisions match the donor's.
+  void Load(
+      const std::vector<
+          std::pair<uint64_t, std::shared_ptr<const storage::WriteSet>>>&
+          snapshot) {
+    entries_.clear();
+    for (const auto& [tid, ws] : snapshot) Append(tid, ws);
+  }
+
+ private:
+  struct Entry {
+    uint64_t tid;
+    std::shared_ptr<const storage::WriteSet> ws;
+  };
+  size_t max_entries_;
+  std::deque<Entry> entries_;
+};
+
+}  // namespace sirep::middleware
+
+#endif  // SIREP_MIDDLEWARE_WS_LIST_H_

@@ -1,0 +1,66 @@
+#include "sql/ast.h"
+
+namespace sirep::sql {
+
+namespace {
+const char* BinOpToString(BinOp op) {
+  switch (op) {
+    case BinOp::kEq:
+      return "=";
+    case BinOp::kNe:
+      return "<>";
+    case BinOp::kLt:
+      return "<";
+    case BinOp::kLe:
+      return "<=";
+    case BinOp::kGt:
+      return ">";
+    case BinOp::kGe:
+      return ">=";
+    case BinOp::kAnd:
+      return "AND";
+    case BinOp::kOr:
+      return "OR";
+    case BinOp::kAdd:
+      return "+";
+    case BinOp::kSub:
+      return "-";
+    case BinOp::kMul:
+      return "*";
+    case BinOp::kDiv:
+      return "/";
+    case BinOp::kLike:
+      return "LIKE";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.ToString();
+    case ExprKind::kColumnRef:
+      return column;
+    case ExprKind::kParam:
+      return "?" + std::to_string(param_index);
+    case ExprKind::kUnary:
+      switch (un_op) {
+        case UnOp::kNot:
+          return "(NOT " + left->ToString() + ")";
+        case UnOp::kNeg:
+          return "(-" + left->ToString() + ")";
+        case UnOp::kIsNull:
+          return "(" + left->ToString() + " IS NULL)";
+        case UnOp::kIsNotNull:
+          return "(" + left->ToString() + " IS NOT NULL)";
+      }
+      return "?";
+    case ExprKind::kBinary:
+      return "(" + left->ToString() + " " + BinOpToString(bin_op) + " " +
+             right->ToString() + ")";
+  }
+  return "?";
+}
+
+}  // namespace sirep::sql

@@ -1,0 +1,146 @@
+#ifndef SIREP_SQL_AST_H_
+#define SIREP_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sql/schema.h"
+#include "sql/value.h"
+
+namespace sirep::sql {
+
+enum class ExprKind { kLiteral, kColumnRef, kParam, kUnary, kBinary };
+
+enum class BinOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  /// SQL LIKE with '%' (any run) and '_' (any char) wildcards.
+  kLike,
+};
+
+enum class UnOp { kNot, kNeg, kIsNull, kIsNotNull };
+
+/// Expression tree node. A plain struct: the evaluator in `engine/exec`
+/// walks it directly.
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+
+  Value literal;           // kLiteral
+  std::string column;      // kColumnRef
+  int param_index = -1;    // kParam: 0-based '?' position
+  BinOp bin_op = BinOp::kEq;
+  UnOp un_op = UnOp::kNot;
+  std::unique_ptr<Expr> left;
+  std::unique_ptr<Expr> right;
+
+  std::string ToString() const;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class AggFunc { kNone, kCount, kSum, kAvg, kMin, kMax };
+
+/// One SELECT output item: either a column reference or an aggregate over
+/// a column (or COUNT(*)). Column names may be qualified ("alias.col").
+struct SelectItem {
+  AggFunc agg = AggFunc::kNone;
+  std::string column;  // empty for COUNT(*)
+  bool star = false;   // COUNT(*)
+};
+
+/// A table in the FROM clause, optionally aliased. Comma-joins and
+/// JOIN..ON both produce entries here (ON predicates are folded into the
+/// WHERE tree).
+struct TableRef {
+  std::string table;
+  std::string alias;  // defaults to the table name
+};
+
+struct CreateTableStmt {
+  std::string table;
+  std::vector<Column> columns;
+  std::vector<std::string> key_columns;
+};
+
+/// CREATE INDEX name ON table (column) — single-column secondary index.
+struct CreateIndexStmt {
+  std::string index;
+  std::string table;
+  std::string column;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;  // empty => all columns in order
+  std::vector<ExprPtr> values;
+};
+
+struct SelectStmt {
+  bool star = false;               // SELECT *
+  std::vector<SelectItem> items;   // used when !star
+  std::vector<TableRef> tables;    // >= 1; joins when > 1
+  ExprPtr where;                   // may be null (JOIN..ON folded in)
+  std::vector<std::string> group_by;  // qualified or plain column names
+  /// ORDER BY: a (possibly qualified) column name, or an output position
+  /// (1-based, SQL-92 style — needed to order by an aggregate).
+  std::optional<std::string> order_by;
+  int64_t order_by_position = 0;  // > 0 when ordering by position
+  bool order_desc = false;
+  int64_t limit = -1;              // -1 => no limit
+
+  /// Single-table convenience (most statements).
+  const std::string& table() const { return tables.front().table; }
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;  // may be null
+};
+
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;  // may be null
+};
+
+enum class StatementKind {
+  kCreateTable,
+  kCreateIndex,
+  kInsert,
+  kSelect,
+  kUpdate,
+  kDelete,
+  kBegin,
+  kCommit,
+  kRollback,
+};
+
+/// A parsed SQL statement. Exactly the member matching `kind` is set.
+struct Statement {
+  StatementKind kind = StatementKind::kSelect;
+  std::unique_ptr<CreateTableStmt> create_table;
+  std::unique_ptr<CreateIndexStmt> create_index;
+  std::unique_ptr<InsertStmt> insert;
+  std::unique_ptr<SelectStmt> select;
+  std::unique_ptr<UpdateStmt> update;
+  std::unique_ptr<DeleteStmt> delete_;
+
+  bool IsReadOnly() const { return kind == StatementKind::kSelect; }
+};
+
+}  // namespace sirep::sql
+
+#endif  // SIREP_SQL_AST_H_

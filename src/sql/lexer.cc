@@ -1,0 +1,204 @@
+#include "sql/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <unordered_set>
+
+namespace sirep::sql {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "SELECT", "FROM",    "WHERE",  "INSERT", "INTO",   "VALUES", "UPDATE",
+      "SET",    "DELETE",  "CREATE", "TABLE",  "PRIMARY", "KEY",   "AND",
+      "OR",     "NOT",     "NULL",   "TRUE",   "FALSE",  "ORDER",  "BY",
+      "ASC",    "DESC",    "LIMIT",  "INT",    "BIGINT", "DOUBLE", "FLOAT",
+      "VARCHAR", "TEXT",   "STRING", "BOOL",   "BOOLEAN", "BEGIN", "COMMIT",
+      "ROLLBACK", "ABORT", "IS",     "COUNT",  "SUM",    "AVG",    "MIN",
+      "MAX",    "GROUP",   "BY",     "JOIN",   "ON",     "AS",     "HAVING", "INDEX",
+      "IN",     "BETWEEN", "LIKE",
+  };
+  return *kKeywords;
+}
+
+std::string ToUpper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+}  // namespace
+
+bool IsKeyword(const std::string& word) {
+  return Keywords().count(word) > 0;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '_')) {
+        ++j;
+      }
+      std::string word = sql.substr(i, j - i);
+      std::string upper = ToUpper(word);
+      if (IsKeyword(upper)) {
+        tok.type = TokenType::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.type = TokenType::kIdentifier;
+        tok.text = word;
+      }
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i;
+      bool is_double = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '.' || sql[j] == 'e' || sql[j] == 'E' ||
+                       ((sql[j] == '+' || sql[j] == '-') && j > i &&
+                        (sql[j - 1] == 'e' || sql[j - 1] == 'E')))) {
+        if (sql[j] == '.' || sql[j] == 'e' || sql[j] == 'E') is_double = true;
+        ++j;
+      }
+      const std::string num = sql.substr(i, j - i);
+      if (is_double) {
+        tok.type = TokenType::kDoubleLiteral;
+        tok.double_value = std::strtod(num.c_str(), nullptr);
+      } else {
+        tok.type = TokenType::kIntLiteral;
+        tok.int_value = std::strtoll(num.c_str(), nullptr, 10);
+      }
+      tok.text = num;
+      i = j;
+    } else if (c == '\'') {
+      std::string text;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {  // escaped quote ''
+            text += '\'';
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        text += sql[j];
+        ++j;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at offset " +
+                                       std::to_string(i));
+      }
+      tok.type = TokenType::kStringLiteral;
+      tok.text = std::move(text);
+      i = j;
+    } else {
+      switch (c) {
+        case '?':
+          tok.type = TokenType::kParam;
+          ++i;
+          break;
+        case ',':
+          tok.type = TokenType::kComma;
+          ++i;
+          break;
+        case '(':
+          tok.type = TokenType::kLParen;
+          ++i;
+          break;
+        case ')':
+          tok.type = TokenType::kRParen;
+          ++i;
+          break;
+        case '*':
+          tok.type = TokenType::kStar;
+          ++i;
+          break;
+        case '+':
+          tok.type = TokenType::kPlus;
+          ++i;
+          break;
+        case '-':
+          tok.type = TokenType::kMinus;
+          ++i;
+          break;
+        case '/':
+          tok.type = TokenType::kSlash;
+          ++i;
+          break;
+        case ';':
+          tok.type = TokenType::kSemicolon;
+          ++i;
+          break;
+        case '.':
+          tok.type = TokenType::kDot;
+          ++i;
+          break;
+        case '=':
+          tok.type = TokenType::kEq;
+          ++i;
+          break;
+        case '!':
+          if (i + 1 < n && sql[i + 1] == '=') {
+            tok.type = TokenType::kNe;
+            i += 2;
+          } else {
+            return Status::InvalidArgument("unexpected '!' at offset " +
+                                           std::to_string(i));
+          }
+          break;
+        case '<':
+          if (i + 1 < n && sql[i + 1] == '=') {
+            tok.type = TokenType::kLe;
+            i += 2;
+          } else if (i + 1 < n && sql[i + 1] == '>') {
+            tok.type = TokenType::kNe;
+            i += 2;
+          } else {
+            tok.type = TokenType::kLt;
+            ++i;
+          }
+          break;
+        case '>':
+          if (i + 1 < n && sql[i + 1] == '=') {
+            tok.type = TokenType::kGe;
+            i += 2;
+          } else {
+            tok.type = TokenType::kGt;
+            ++i;
+          }
+          break;
+        default:
+          return Status::InvalidArgument(std::string("unexpected character '") +
+                                         c + "' at offset " +
+                                         std::to_string(i));
+      }
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace sirep::sql

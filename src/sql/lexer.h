@@ -1,0 +1,54 @@
+#ifndef SIREP_SQL_LEXER_H_
+#define SIREP_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sirep::sql {
+
+enum class TokenType {
+  kIdentifier,   // table/column names, unquoted
+  kKeyword,      // SELECT, FROM, ... (uppercased in `text`)
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,  // contents without quotes
+  kParam,          // '?'
+  kComma,
+  kLParen,
+  kRParen,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kEq,       // =
+  kNe,       // <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kSemicolon,
+  kDot,
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;      // identifier / keyword / literal text
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t position = 0;   // byte offset in the input, for error messages
+};
+
+/// Tokenizes a SQL string. Keywords are recognized case-insensitively and
+/// reported uppercased; identifiers keep their original case but are
+/// matched case-sensitively downstream (our schemas use lowercase names).
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+/// True if `word` (already uppercased) is a reserved keyword.
+bool IsKeyword(const std::string& word);
+
+}  // namespace sirep::sql
+
+#endif  // SIREP_SQL_LEXER_H_

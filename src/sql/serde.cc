@@ -1,0 +1,152 @@
+#include "sql/serde.h"
+
+#include <cstring>
+
+namespace sirep::sql {
+
+namespace {
+constexpr uint8_t kTagNull = 0;
+constexpr uint8_t kTagBool = 1;
+constexpr uint8_t kTagInt = 2;
+constexpr uint8_t kTagDouble = 3;
+constexpr uint8_t kTagString = 4;
+
+Status Truncated(const char* what) {
+  return Status::InvalidArgument(std::string("truncated input decoding ") +
+                                 what);
+}
+}  // namespace
+
+void EncodeU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void EncodeU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void EncodeString(const std::string& s, std::string* out) {
+  EncodeU32(static_cast<uint32_t>(s.size()), out);
+  out->append(s);
+}
+
+void EncodeValue(const Value& value, std::string* out) {
+  switch (value.type()) {
+    case ValueType::kNull:
+      out->push_back(static_cast<char>(kTagNull));
+      return;
+    case ValueType::kBool:
+      out->push_back(static_cast<char>(kTagBool));
+      out->push_back(value.AsBool() ? 1 : 0);
+      return;
+    case ValueType::kInt:
+      out->push_back(static_cast<char>(kTagInt));
+      EncodeU64(static_cast<uint64_t>(value.AsInt()), out);
+      return;
+    case ValueType::kDouble: {
+      out->push_back(static_cast<char>(kTagDouble));
+      const double d = value.AsDouble();
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      EncodeU64(bits, out);
+      return;
+    }
+    case ValueType::kString:
+      out->push_back(static_cast<char>(kTagString));
+      EncodeString(value.AsString(), out);
+      return;
+  }
+}
+
+void EncodeRow(const Row& row, std::string* out) {
+  EncodeU32(static_cast<uint32_t>(row.size()), out);
+  for (const auto& v : row) EncodeValue(v, out);
+}
+
+Status DecodeU32(const std::string& in, size_t* pos, uint32_t* out) {
+  if (*pos + 4 > in.size()) return Truncated("u32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(in[*pos + i])) << (8 * i);
+  }
+  *pos += 4;
+  *out = v;
+  return Status::OK();
+}
+
+Status DecodeU64(const std::string& in, size_t* pos, uint64_t* out) {
+  if (*pos + 8 > in.size()) return Truncated("u64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(in[*pos + i])) << (8 * i);
+  }
+  *pos += 8;
+  *out = v;
+  return Status::OK();
+}
+
+Status DecodeString(const std::string& in, size_t* pos, std::string* out) {
+  uint32_t len = 0;
+  SIREP_RETURN_IF_ERROR(DecodeU32(in, pos, &len));
+  if (*pos + len > in.size()) return Truncated("string body");
+  out->assign(in, *pos, len);
+  *pos += len;
+  return Status::OK();
+}
+
+Status DecodeValue(const std::string& in, size_t* pos, Value* out) {
+  if (*pos >= in.size()) return Truncated("value tag");
+  const uint8_t tag = static_cast<uint8_t>(in[(*pos)++]);
+  switch (tag) {
+    case kTagNull:
+      *out = Value::Null();
+      return Status::OK();
+    case kTagBool: {
+      if (*pos >= in.size()) return Truncated("bool");
+      *out = Value::Bool(in[(*pos)++] != 0);
+      return Status::OK();
+    }
+    case kTagInt: {
+      uint64_t v = 0;
+      SIREP_RETURN_IF_ERROR(DecodeU64(in, pos, &v));
+      *out = Value::Int(static_cast<int64_t>(v));
+      return Status::OK();
+    }
+    case kTagDouble: {
+      uint64_t bits = 0;
+      SIREP_RETURN_IF_ERROR(DecodeU64(in, pos, &bits));
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      *out = Value::Double(d);
+      return Status::OK();
+    }
+    case kTagString: {
+      std::string s;
+      SIREP_RETURN_IF_ERROR(DecodeString(in, pos, &s));
+      *out = Value::String(std::move(s));
+      return Status::OK();
+    }
+    default:
+      return Status::InvalidArgument("unknown value tag " +
+                                     std::to_string(tag));
+  }
+}
+
+Status DecodeRow(const std::string& in, size_t* pos, Row* out) {
+  uint32_t count = 0;
+  SIREP_RETURN_IF_ERROR(DecodeU32(in, pos, &count));
+  out->clear();
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Value v;
+    SIREP_RETURN_IF_ERROR(DecodeValue(in, pos, &v));
+    out->push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
+}  // namespace sirep::sql

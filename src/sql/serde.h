@@ -1,0 +1,42 @@
+#ifndef SIREP_SQL_SERDE_H_
+#define SIREP_SQL_SERDE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "sql/value.h"
+
+namespace sirep::sql {
+
+/// Binary serialization for values and rows — the on-disk format of the
+/// write-ahead log and the wire format a networked deployment would use
+/// for writesets. Little-endian, length-prefixed, no alignment
+/// requirements.
+///
+/// Encoding:
+///   Value: 1-byte type tag, then
+///     NULL   -> nothing
+///     BOOL   -> 1 byte
+///     INT    -> 8 bytes LE
+///     DOUBLE -> 8 bytes (bit pattern)
+///     STRING -> u32 length + bytes
+///   Row: u32 count + values.
+
+void EncodeU32(uint32_t v, std::string* out);
+void EncodeU64(uint64_t v, std::string* out);
+void EncodeValue(const Value& value, std::string* out);
+void EncodeRow(const Row& row, std::string* out);
+void EncodeString(const std::string& s, std::string* out);
+
+/// Decoders advance `*pos`; they fail cleanly (kInvalidArgument) on
+/// truncated or corrupt input instead of reading out of bounds.
+Status DecodeU32(const std::string& in, size_t* pos, uint32_t* out);
+Status DecodeU64(const std::string& in, size_t* pos, uint64_t* out);
+Status DecodeValue(const std::string& in, size_t* pos, Value* out);
+Status DecodeRow(const std::string& in, size_t* pos, Row* out);
+Status DecodeString(const std::string& in, size_t* pos, std::string* out);
+
+}  // namespace sirep::sql
+
+#endif  // SIREP_SQL_SERDE_H_

@@ -1,0 +1,170 @@
+#include "sql/value.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace sirep::sql {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kBool:
+      return "BOOL";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  switch (data_.index()) {
+    case 0:
+      return ValueType::kNull;
+    case 1:
+      return ValueType::kInt;
+    case 2:
+      return ValueType::kDouble;
+    case 3:
+      return ValueType::kString;
+    case 4:
+      return ValueType::kBool;
+  }
+  return ValueType::kNull;
+}
+
+double Value::AsDouble() const {
+  if (std::holds_alternative<int64_t>(data_)) {
+    return static_cast<double>(std::get<int64_t>(data_));
+  }
+  return std::get<double>(data_);
+}
+
+namespace {
+/// Rank used for cross-type ordering: NULL < BOOL < numeric < STRING.
+int TypeRank(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return 1;
+    case ValueType::kInt:
+    case ValueType::kDouble:
+      return 2;
+    case ValueType::kString:
+      return 3;
+  }
+  return 4;
+}
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  const ValueType ta = type();
+  const ValueType tb = other.type();
+  const int ra = TypeRank(ta);
+  const int rb = TypeRank(tb);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (ta) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool: {
+      const bool a = AsBool(), b = other.AsBool();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case ValueType::kInt:
+    case ValueType::kDouble: {
+      if (ta == ValueType::kInt && tb == ValueType::kInt) {
+        const int64_t a = AsInt(), b = other.AsInt();
+        return a == b ? 0 : (a < b ? -1 : 1);
+      }
+      const double a = AsDouble(), b = other.AsDouble();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case ValueType::kString: {
+      const int c = AsString().compare(other.AsString());
+      return c == 0 ? 0 : (c < 0 ? -1 : 1);
+    }
+  }
+  return 0;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b9;
+    case ValueType::kBool:
+      return std::hash<bool>()(AsBool());
+    case ValueType::kInt:
+      return std::hash<int64_t>()(AsInt());
+    case ValueType::kDouble: {
+      // Hash doubles that hold integral values like the equal int so that
+      // Compare-equal values hash equal.
+      const double d = AsDouble();
+      if (d == std::floor(d) && std::abs(d) < 1e18) {
+        return std::hash<int64_t>()(static_cast<int64_t>(d));
+      }
+      return std::hash<double>()(d);
+    }
+    case ValueType::kString:
+      return std::hash<std::string>()(AsString());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return AsBool() ? "TRUE" : "FALSE";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << AsDouble();
+      return os.str();
+    }
+    case ValueType::kString:
+      return "'" + AsString() + "'";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& value) {
+  return os << value.ToString();
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+bool Key::operator<(const Key& other) const {
+  const size_t n = std::min(parts.size(), other.parts.size());
+  for (size_t i = 0; i < n; ++i) {
+    const int c = parts[i].Compare(other.parts[i]);
+    if (c != 0) return c < 0;
+  }
+  return parts.size() < other.parts.size();
+}
+
+size_t Key::Hash() const {
+  size_t h = 0x345678;
+  for (const auto& v : parts) {
+    h = h * 1000003 ^ v.Hash();
+  }
+  return h;
+}
+
+std::string Key::ToString() const { return RowToString(parts); }
+
+}  // namespace sirep::sql

@@ -1,0 +1,111 @@
+#include "storage/lock_manager.h"
+
+#include <algorithm>
+
+namespace sirep::storage {
+
+Status LockManager::Acquire(TxnId txn, const TupleId& tuple) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (poisoned_.count(txn)) {
+      // Consume the poison: the transaction observed its cancellation.
+      poisoned_.erase(txn);
+      waits_for_.erase(txn);
+      return Status::Aborted("transaction poisoned while locking " +
+                             tuple.ToString());
+    }
+    auto it = holders_.find(tuple);
+    if (it == holders_.end()) {
+      holders_[tuple] = txn;
+      held_[txn].push_back(tuple);
+      waits_for_.erase(txn);
+      return Status::OK();
+    }
+    if (it->second == txn) {
+      waits_for_.erase(txn);
+      return Status::OK();  // re-entrant
+    }
+    const TxnId holder = it->second;
+    // Would waiting close a cycle? Each transaction waits for at most one
+    // other, so following edges from the holder either terminates or
+    // reaches us.
+    if (ReachesLocked(holder, txn)) {
+      ++deadlock_count_;
+      waits_for_.erase(txn);
+      return Status::Deadlock("would deadlock on " + tuple.ToString() +
+                              " held by txn " + std::to_string(holder));
+    }
+    waits_for_[txn] = holder;
+    cv_.wait(lock);
+    waits_for_.erase(txn);
+    // Re-check everything: the lock may have been grabbed by a third
+    // party, the holder may have changed, or we may have been poisoned.
+  }
+}
+
+bool LockManager::ReachesLocked(TxnId from, TxnId target) const {
+  TxnId cur = from;
+  // The functional wait-for graph has at most |txns| edges; bound the
+  // chase defensively anyway.
+  for (size_t steps = 0; steps < waits_for_.size() + 1; ++steps) {
+    if (cur == target) return true;
+    auto it = waits_for_.find(cur);
+    if (it == waits_for_.end()) return false;
+    cur = it->second;
+  }
+  return cur == target;
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = held_.find(txn);
+  if (it != held_.end()) {
+    for (const auto& tuple : it->second) {
+      auto h = holders_.find(tuple);
+      if (h != holders_.end() && h->second == txn) holders_.erase(h);
+    }
+    held_.erase(it);
+  }
+  // Clear a pending poison only if the transaction is not blocked inside
+  // Acquire right now — a blocked transaction must still observe it (the
+  // waiter consumes and erases the flag itself).
+  if (waits_for_.find(txn) == waits_for_.end()) {
+    poisoned_.erase(txn);
+  }
+  cv_.notify_all();
+}
+
+void LockManager::Poison(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  poisoned_.insert(txn);
+  cv_.notify_all();
+}
+
+TxnId LockManager::HolderOf(const TupleId& tuple) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = holders_.find(tuple);
+  return it == holders_.end() ? kInvalidTxnId : it->second;
+}
+
+size_t LockManager::LocksHeld(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = held_.find(txn);
+  return it == held_.end() ? 0 : it->second.size();
+}
+
+void LockManager::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Anyone still blocked belongs to the dead incarnation: poison them so
+  // they observe kAborted instead of acquiring a ghost lock.
+  for (const auto& [txn, holder] : waits_for_) poisoned_.insert(txn);
+  holders_.clear();
+  held_.clear();
+  cv_.notify_all();
+}
+
+uint64_t LockManager::deadlock_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return deadlock_count_;
+}
+
+}  // namespace sirep::storage

@@ -1,0 +1,44 @@
+#ifndef SIREP_STORAGE_TYPES_H_
+#define SIREP_STORAGE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sql/value.h"
+
+namespace sirep::storage {
+
+/// Database-local transaction identifier.
+using TxnId = uint64_t;
+constexpr TxnId kInvalidTxnId = 0;
+
+/// Monotone commit timestamp; doubles as the snapshot timestamp (a
+/// snapshot sees every version with commit_ts <= snapshot_ts).
+using Timestamp = uint64_t;
+
+/// Identifies a tuple across the database: (table, primary key). This is
+/// the granularity of locks, of version chains, and of writeset entries —
+/// the paper's "record level" concurrency control.
+struct TupleId {
+  std::string table;
+  sql::Key key;
+
+  bool operator==(const TupleId& other) const {
+    return table == other.table && key == other.key;
+  }
+  bool operator<(const TupleId& other) const {
+    if (table != other.table) return table < other.table;
+    return key < other.key;
+  }
+  std::string ToString() const { return table + key.ToString(); }
+};
+
+struct TupleIdHash {
+  size_t operator()(const TupleId& id) const {
+    return std::hash<std::string>()(id.table) * 1000003 ^ id.key.Hash();
+  }
+};
+
+}  // namespace sirep::storage
+
+#endif  // SIREP_STORAGE_TYPES_H_

@@ -1,0 +1,125 @@
+#include "storage/wal.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "sql/serde.h"
+
+namespace sirep::storage {
+
+namespace {
+constexpr uint32_t kRecordMagic = 0x53495245;  // "SIRE"
+}  // namespace
+
+Wal::~Wal() { Close(); }
+
+Status Wal::Open() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) return Status::OK();
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::Internal("cannot open WAL at " + path_);
+  }
+  return Status::OK();
+}
+
+void Wal::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status Wal::AppendCommit(Timestamp commit_ts, const WriteSet& ws) {
+  std::string record;
+  sql::EncodeU32(kRecordMagic, &record);
+  sql::EncodeU64(commit_ts, &record);
+  sql::EncodeU32(static_cast<uint32_t>(ws.size()), &record);
+  for (const auto& entry : ws.entries()) {
+    sql::EncodeString(entry.tuple.table, &record);
+    record.push_back(static_cast<char>(entry.op));
+    sql::EncodeRow(entry.tuple.key.parts, &record);
+    sql::EncodeRow(entry.after, &record);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::Internal("WAL not open");
+  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+    return Status::Internal("short WAL write");
+  }
+  std::fflush(file_);
+  return Status::OK();
+}
+
+Status Wal::Replay(
+    const std::function<Status(Timestamp, const WriteSet&)>& fn) const {
+  std::string contents;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::FILE* in = std::fopen(path_.c_str(), "rb");
+    if (in == nullptr) return Status::OK();  // no log yet
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+      contents.append(buf, n);
+    }
+    std::fclose(in);
+  }
+
+  size_t pos = 0;
+  while (pos < contents.size()) {
+    const size_t record_start = pos;
+    uint32_t magic = 0;
+    uint64_t commit_ts = 0;
+    uint32_t count = 0;
+    WriteSet ws;
+    auto read_record = [&]() -> Status {
+      SIREP_RETURN_IF_ERROR(sql::DecodeU32(contents, &pos, &magic));
+      if (magic != kRecordMagic) {
+        return Status::InvalidArgument("bad WAL record magic");
+      }
+      SIREP_RETURN_IF_ERROR(sql::DecodeU64(contents, &pos, &commit_ts));
+      SIREP_RETURN_IF_ERROR(sql::DecodeU32(contents, &pos, &count));
+      for (uint32_t i = 0; i < count; ++i) {
+        std::string table;
+        SIREP_RETURN_IF_ERROR(sql::DecodeString(contents, &pos, &table));
+        if (pos >= contents.size()) {
+          return Status::InvalidArgument("truncated op byte");
+        }
+        const auto op = static_cast<WriteOp>(contents[pos++]);
+        sql::Row key_parts, after;
+        SIREP_RETURN_IF_ERROR(sql::DecodeRow(contents, &pos, &key_parts));
+        SIREP_RETURN_IF_ERROR(sql::DecodeRow(contents, &pos, &after));
+        ws.Record({std::move(table), sql::Key{std::move(key_parts)}}, op,
+                  std::move(after));
+      }
+      return Status::OK();
+    };
+    Status st = read_record();
+    if (!st.ok()) {
+      // Torn tail from a crash mid-append: everything before it is valid.
+      SIREP_WLOG << "WAL " << path_ << ": dropping torn tail at byte "
+                 << record_start << " (" << st.ToString() << ")";
+      return Status::OK();
+    }
+    SIREP_RETURN_IF_ERROR(fn(commit_ts, ws));
+  }
+  return Status::OK();
+}
+
+Status Wal::Truncate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  std::FILE* out = std::fopen(path_.c_str(), "wb");
+  if (out == nullptr) return Status::Internal("cannot truncate WAL");
+  std::fclose(out);
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) return Status::Internal("cannot reopen WAL");
+  return Status::OK();
+}
+
+}  // namespace sirep::storage

@@ -1,0 +1,93 @@
+#include "storage/write_set.h"
+
+#include <algorithm>
+
+namespace sirep::storage {
+
+const char* WriteOpToString(WriteOp op) {
+  switch (op) {
+    case WriteOp::kInsert:
+      return "INSERT";
+    case WriteOp::kUpdate:
+      return "UPDATE";
+    case WriteOp::kDelete:
+      return "DELETE";
+  }
+  return "?";
+}
+
+void WriteSet::Record(TupleId tuple, WriteOp op, sql::Row after) {
+  auto it = index_.find(tuple);
+  if (it == index_.end()) {
+    index_[tuple] = entries_.size();
+    entries_.push_back(WriteSetEntry{std::move(tuple), op, std::move(after)});
+    return;
+  }
+  WriteSetEntry& existing = entries_[it->second];
+  switch (op) {
+    case WriteOp::kInsert:
+      // delete + insert within one transaction => net update.
+      existing.op = existing.op == WriteOp::kDelete ? WriteOp::kUpdate
+                                                    : existing.op;
+      existing.after = std::move(after);
+      break;
+    case WriteOp::kUpdate:
+      // insert + update stays an insert with the final image.
+      existing.after = std::move(after);
+      break;
+    case WriteOp::kDelete:
+      // Whatever came before, the net effect on the committed state is a
+      // delete (an insert of a brand-new key followed by delete is a no-op
+      // against committed state, but keeping the delete entry is harmless
+      // and keeps conflict detection conservative).
+      existing.op = WriteOp::kDelete;
+      existing.after.clear();
+      break;
+  }
+}
+
+const WriteSetEntry* WriteSet::Find(const TupleId& tuple) const {
+  auto it = index_.find(tuple);
+  if (it == index_.end()) return nullptr;
+  return &entries_[it->second];
+}
+
+bool WriteSet::Intersects(const WriteSet& other) const {
+  // Probe the smaller set against the larger index.
+  const WriteSet* small = this;
+  const WriteSet* large = &other;
+  if (small->size() > large->size()) std::swap(small, large);
+  for (const auto& entry : small->entries_) {
+    if (large->Contains(entry.tuple)) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> WriteSet::Tables() const {
+  std::vector<std::string> tables;
+  for (const auto& entry : entries_) {
+    if (std::find(tables.begin(), tables.end(), entry.tuple.table) ==
+        tables.end()) {
+      tables.push_back(entry.tuple.table);
+    }
+  }
+  return tables;
+}
+
+void WriteSet::Clear() {
+  entries_.clear();
+  index_.clear();
+}
+
+std::string WriteSet::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::string(WriteOpToString(entries_[i].op)) + " " +
+           entries_[i].tuple.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace sirep::storage

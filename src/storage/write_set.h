@@ -1,0 +1,72 @@
+#ifndef SIREP_STORAGE_WRITE_SET_H_
+#define SIREP_STORAGE_WRITE_SET_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sql/value.h"
+#include "storage/types.h"
+
+namespace sirep::storage {
+
+enum class WriteOp { kInsert, kUpdate, kDelete };
+
+const char* WriteOpToString(WriteOp op);
+
+/// One modified tuple: the after-image plus enough identity to apply it at
+/// a remote replica without re-executing SQL. `after` is empty for deletes.
+struct WriteSetEntry {
+  TupleId tuple;
+  WriteOp op = WriteOp::kUpdate;
+  sql::Row after;
+};
+
+/// The set of tuples a transaction modified, in first-modification order.
+/// This is what the middleware extracts before commit, validates against
+/// other writesets (write/write intersection), multicasts, and applies at
+/// remote replicas. Multiple writes to the same tuple are coalesced into
+/// the final image.
+class WriteSet {
+ public:
+  /// Records a write, coalescing with an earlier write to the same tuple.
+  /// Coalescing rules: insert+update => insert(final image);
+  /// insert+delete => entry removed entirely (the tuple never existed
+  /// outside the transaction is wrong for re-inserts of committed tuples,
+  /// so delete of a previously-inserted tuple keeps a delete entry only if
+  /// the insert was against an existing committed tombstone — we keep it
+  /// simple and correct by downgrading to delete); update+delete => delete.
+  void Record(TupleId tuple, WriteOp op, sql::Row after);
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+  const std::vector<WriteSetEntry>& entries() const { return entries_; }
+
+  bool Contains(const TupleId& tuple) const {
+    return index_.count(tuple) > 0;
+  }
+
+  /// Looks up the pending after-image for `tuple`; returns nullptr if the
+  /// transaction has not written it. Used for read-your-own-writes.
+  const WriteSetEntry* Find(const TupleId& tuple) const;
+
+  /// True iff the two writesets touch at least one common tuple — the
+  /// write/write conflict test of SI validation.
+  bool Intersects(const WriteSet& other) const;
+
+  /// Tables touched by this writeset (used by the table-granularity
+  /// baseline protocol for comparison benches).
+  std::vector<std::string> Tables() const;
+
+  void Clear();
+
+  std::string ToString() const;
+
+ private:
+  std::vector<WriteSetEntry> entries_;
+  std::unordered_map<TupleId, size_t, TupleIdHash> index_;
+};
+
+}  // namespace sirep::storage
+
+#endif  // SIREP_STORAGE_WRITE_SET_H_

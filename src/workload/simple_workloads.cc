@@ -1,0 +1,111 @@
+#include "workload/simple_workloads.h"
+
+#include <algorithm>
+
+namespace sirep::workload {
+
+using sql::Value;
+
+namespace {
+
+/// Creates `num_tables` tables named <prefix>0..N-1 with (k INT PK, v INT,
+/// pad VARCHAR) and loads `rows` keys [0, rows) into each.
+Status LoadKvTables(engine::Database* db, const std::string& prefix,
+                    int64_t num_tables, int64_t rows) {
+  for (int64_t t = 0; t < num_tables; ++t) {
+    const std::string table = prefix + std::to_string(t);
+    auto r = db->ExecuteAutoCommit("CREATE TABLE " + table +
+                                   " (k INT, v INT, pad VARCHAR(100),"
+                                   " PRIMARY KEY (k))");
+    if (!r.ok()) return r.status();
+    auto txn = db->Begin();
+    const std::string insert =
+        "INSERT INTO " + table + " VALUES (?, ?, ?)";
+    for (int64_t k = 0; k < rows; ++k) {
+      auto res = db->Execute(txn, insert,
+                             {Value::Int(k), Value::Int(0),
+                              Value::String("xxxxxxxxxxxxxxxx")});
+      if (!res.ok()) {
+        db->Abort(txn);
+        return res.status();
+      }
+    }
+    SIREP_RETURN_IF_ERROR(db->Commit(txn));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status LargeDbWorkload::Load(engine::Database* db) {
+  return LoadKvTables(db, "lt", options_.num_tables, options_.rows_per_table);
+}
+
+TxnInstance LargeDbWorkload::Next(Prng& prng) {
+  TxnInstance txn;
+  if (static_cast<int64_t>(prng.Uniform(100)) < options_.update_percent) {
+    // Update transaction: 10 single-row increments on random tables/keys.
+    for (int64_t i = 0; i < options_.updates_per_txn; ++i) {
+      const int64_t t = static_cast<int64_t>(
+          prng.Uniform(static_cast<uint64_t>(options_.num_tables)));
+      const int64_t k = static_cast<int64_t>(
+          prng.Uniform(static_cast<uint64_t>(options_.rows_per_table)));
+      const std::string table = "lt" + std::to_string(t);
+      txn.statements.push_back(
+          {"UPDATE " + table + " SET v = v + 1 WHERE k = ?",
+           {Value::Int(k)}});
+      if (std::find(txn.tables.begin(), txn.tables.end(), table) ==
+          txn.tables.end()) {
+        txn.tables.push_back(table);
+      }
+    }
+  } else {
+    // Medium query: an aggregate over a key range of one table. Its
+    // "medium execution requirement" weight comes from the cost model's
+    // select_service, not from the scanned row count.
+    const int64_t t = static_cast<int64_t>(
+        prng.Uniform(static_cast<uint64_t>(options_.num_tables)));
+    const int64_t lo = static_cast<int64_t>(prng.Uniform(
+        static_cast<uint64_t>(std::max<int64_t>(1, options_.rows_per_table -
+                                                       100))));
+    const std::string table = "lt" + std::to_string(t);
+    txn.read_only = true;
+    txn.tables = {table};
+    txn.statements.push_back(
+        {"SELECT SUM(v), COUNT(*) FROM " + table +
+             " WHERE k >= ? AND k < ?",
+         {Value::Int(lo), Value::Int(lo + 100)}});
+  }
+  return txn;
+}
+
+Status UpdateIntensiveWorkload::Load(engine::Database* db) {
+  return LoadKvTables(db, "ut", options_.num_tables, options_.rows_per_table);
+}
+
+TxnInstance UpdateIntensiveWorkload::Next(Prng& prng) {
+  TxnInstance txn;
+  // Pick `tables_per_txn` distinct tables, then spread the updates.
+  std::vector<int64_t> tables;
+  while (static_cast<int64_t>(tables.size()) < options_.tables_per_txn) {
+    const int64_t t = static_cast<int64_t>(
+        prng.Uniform(static_cast<uint64_t>(options_.num_tables)));
+    if (std::find(tables.begin(), tables.end(), t) == tables.end()) {
+      tables.push_back(t);
+    }
+  }
+  for (int64_t t : tables) {
+    txn.tables.push_back("ut" + std::to_string(t));
+  }
+  for (int64_t i = 0; i < options_.updates_per_txn; ++i) {
+    const std::string& table =
+        txn.tables[static_cast<size_t>(i) % txn.tables.size()];
+    const int64_t k = static_cast<int64_t>(
+        prng.Uniform(static_cast<uint64_t>(options_.rows_per_table)));
+    txn.statements.push_back(
+        {"UPDATE " + table + " SET v = v + 1 WHERE k = ?", {Value::Int(k)}});
+  }
+  return txn;
+}
+
+}  // namespace sirep::workload

@@ -1,0 +1,69 @@
+#ifndef SIREP_WORKLOAD_SIMPLE_WORKLOADS_H_
+#define SIREP_WORKLOAD_SIMPLE_WORKLOADS_H_
+
+#include <cstdint>
+
+#include "workload/workload.h"
+
+namespace sirep::workload {
+
+/// The "large database" workload of the paper's §6.2 (Fig. 6): 10 tables,
+/// read-intensive (20 % update transactions of 10 single-row updates,
+/// 80 % medium-weight queries), highly I/O bound — the regime where
+/// adding replicas buys throughput because the read load distributes.
+/// The 1.1 GB database is scaled down; the cost model carries the I/O
+/// weight (set a large select_service for the query class).
+class LargeDbWorkload : public WorkloadGenerator {
+ public:
+  struct Options {
+    int64_t num_tables = 10;
+    int64_t rows_per_table = 2000;
+    int64_t updates_per_txn = 10;
+    /// Percent of update transactions (paper: 20).
+    int64_t update_percent = 20;
+  };
+
+  LargeDbWorkload() : LargeDbWorkload(Options()) {}
+  explicit LargeDbWorkload(Options options) : options_(options) {}
+
+  std::string name() const override { return "large-db"; }
+  Status Load(engine::Database* db) override;
+  TxnInstance Next(Prng& prng) override;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+/// The update-intensive stress workload of §6.3 (Fig. 7): a small 10-table
+/// database, 100 % update transactions performing 10 simple updates each,
+/// touching 3 distinct tables ("a bit less than the number of tables
+/// accessed by a typical transaction in TPC-W") — the configuration where
+/// replica-control overhead, hole synchronization, and table- vs
+/// tuple-granularity locking all become visible.
+class UpdateIntensiveWorkload : public WorkloadGenerator {
+ public:
+  struct Options {
+    int64_t num_tables = 10;
+    int64_t rows_per_table = 100;
+    int64_t updates_per_txn = 10;
+    int64_t tables_per_txn = 3;
+  };
+
+  UpdateIntensiveWorkload() : UpdateIntensiveWorkload(Options()) {}
+  explicit UpdateIntensiveWorkload(Options options) : options_(options) {}
+
+  std::string name() const override { return "update-intensive"; }
+  Status Load(engine::Database* db) override;
+  TxnInstance Next(Prng& prng) override;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace sirep::workload
+
+#endif  // SIREP_WORKLOAD_SIMPLE_WORKLOADS_H_

@@ -1,0 +1,253 @@
+#include "workload/tpcw.h"
+
+namespace sirep::workload {
+
+using sql::Value;
+
+TpcwWorkload::TpcwWorkload(TpcwOptions options)
+    : options_(options),
+      item_zipf_(static_cast<uint64_t>(options.num_items),
+                 options.item_theta),
+      next_order_id_(1'000'000),
+      next_order_line_id_(1'000'000) {}
+
+Status TpcwWorkload::Load(engine::Database* db) {
+  const char* ddl[] = {
+      "CREATE TABLE item (i_id INT, i_title VARCHAR(60), i_stock INT,"
+      " i_cost DOUBLE, i_pub_date INT, i_subject VARCHAR(20),"
+      " PRIMARY KEY (i_id))",
+      "CREATE TABLE customer (c_id INT, c_uname VARCHAR(20),"
+      " c_balance DOUBLE, c_ltd DOUBLE, c_visits INT, PRIMARY KEY (c_id))",
+      "CREATE TABLE address (addr_id INT, addr_c_id INT,"
+      " addr_street VARCHAR(40), addr_city VARCHAR(30),"
+      " PRIMARY KEY (addr_id))",
+      "CREATE TABLE country (co_id INT, co_name VARCHAR(50),"
+      " PRIMARY KEY (co_id))",
+      "CREATE TABLE orders (o_id INT, o_c_id INT, o_total DOUBLE,"
+      " o_status VARCHAR(10), o_date INT, PRIMARY KEY (o_id))",
+      "CREATE TABLE order_line (ol_id INT, ol_o_id INT, ol_i_id INT,"
+      " ol_qty INT, PRIMARY KEY (ol_id))",
+      "CREATE TABLE cc_xacts (cx_o_id INT, cx_amount DOUBLE, cx_auth INT,"
+      " PRIMARY KEY (cx_o_id))",
+      "CREATE TABLE shopping_cart (sc_id INT, sc_c_id INT, sc_total DOUBLE,"
+      " sc_items INT, PRIMARY KEY (sc_id))",
+  };
+  for (const char* stmt : ddl) {
+    auto r = db->ExecuteAutoCommit(stmt);
+    if (!r.ok()) return r.status();
+  }
+  // Secondary indexes for the non-key access paths of the mix.
+  for (const char* idx :
+       {"CREATE INDEX orders_cust ON orders (o_c_id)",
+        "CREATE INDEX ol_item ON order_line (ol_i_id)"}) {
+    auto r = db->ExecuteAutoCommit(idx);
+    if (!r.ok()) return r.status();
+  }
+
+  Prng prng(42);  // deterministic content, identical at every replica
+  auto txn = db->Begin();
+  auto exec = [&](const std::string& sql,
+                  std::vector<Value> params) -> Status {
+    auto r = db->Execute(txn, sql, params);
+    return r.ok() ? Status::OK() : r.status();
+  };
+
+  for (int64_t i = 1; i <= options_.num_items; ++i) {
+    SIREP_RETURN_IF_ERROR(
+        exec("INSERT INTO item VALUES (?, ?, ?, ?, ?, ?)",
+             {Value::Int(i), Value::String("Book #" + std::to_string(i)),
+              Value::Int(1000), Value::Double(5.0 + (i % 90)),
+              Value::Int(1990 + static_cast<int64_t>(prng.Uniform(35))),
+              Value::String("SUBJ" + std::to_string(i % 24))}));
+  }
+  const int64_t num_customers = options_.num_ebs * options_.customers_per_eb;
+  for (int64_t c = 1; c <= num_customers; ++c) {
+    SIREP_RETURN_IF_ERROR(
+        exec("INSERT INTO customer VALUES (?, ?, ?, ?, ?)",
+             {Value::Int(c), Value::String("user" + std::to_string(c)),
+              Value::Double(0.0), Value::Double(0.0), Value::Int(0)}));
+    SIREP_RETURN_IF_ERROR(
+        exec("INSERT INTO address VALUES (?, ?, ?, ?)",
+             {Value::Int(c), Value::Int(c),
+              Value::String(std::to_string(100 + c) + " Main St"),
+              Value::String("City" + std::to_string(c % 50))}));
+  }
+  for (int64_t co = 1; co <= 50; ++co) {
+    SIREP_RETURN_IF_ERROR(
+        exec("INSERT INTO country VALUES (?, ?)",
+             {Value::Int(co), Value::String("Country" + std::to_string(co))}));
+  }
+  // One shopping cart per emulated browser.
+  for (int64_t sc = 1; sc <= options_.num_ebs; ++sc) {
+    SIREP_RETURN_IF_ERROR(exec(
+        "INSERT INTO shopping_cart VALUES (?, ?, ?, ?)",
+        {Value::Int(sc), Value::Int(sc), Value::Double(0.0), Value::Int(0)}));
+  }
+  // Seed order history so best-seller / order-inquiry queries have data.
+  int64_t ol_id = 1;
+  for (int64_t o = 1; o <= num_customers; ++o) {
+    SIREP_RETURN_IF_ERROR(
+        exec("INSERT INTO orders VALUES (?, ?, ?, ?, ?)",
+             {Value::Int(o), Value::Int(1 + (o % num_customers)),
+              Value::Double(30.0), Value::String("SHIPPED"),
+              Value::Int(2004)}));
+    SIREP_RETURN_IF_ERROR(
+        exec("INSERT INTO cc_xacts VALUES (?, ?, ?)",
+             {Value::Int(o), Value::Double(30.0), Value::Int(1)}));
+    for (int l = 0; l < 3; ++l) {
+      SIREP_RETURN_IF_ERROR(exec(
+          "INSERT INTO order_line VALUES (?, ?, ?, ?)",
+          {Value::Int(ol_id++), Value::Int(o),
+           Value::Int(1 + static_cast<int64_t>(
+                              prng.Uniform(options_.num_items))),
+           Value::Int(1 + static_cast<int64_t>(prng.Uniform(5)))}));
+    }
+  }
+  return db->Commit(txn);
+}
+
+TxnInstance TpcwWorkload::Next(Prng& prng) {
+  // Ordering mix: 50 % updates / 50 % read-only (paper §6.1).
+  const uint64_t pick = prng.Uniform(100);
+  if (pick < 20) return AddToCart(prng);
+  if (pick < 35) return BuyRequest(prng);
+  if (pick < 50) return BuyConfirm(prng);
+  if (pick < 70) return ProductDetail(prng);
+  if (pick < 85) return Home(prng);
+  if (pick < 95) return OrderInquiry(prng);
+  return BestSellers(prng);
+}
+
+TxnInstance TpcwWorkload::AddToCart(Prng& prng) {
+  TxnInstance txn;
+  txn.tables = {"item", "shopping_cart"};
+  const int64_t cart = 1 + static_cast<int64_t>(prng.Uniform(
+                               static_cast<uint64_t>(options_.num_ebs)));
+  const int64_t item = 1 + static_cast<int64_t>(item_zipf_.Sample(prng));
+  txn.statements = {
+      {"SELECT i_cost, i_stock FROM item WHERE i_id = ?", {Value::Int(item)}},
+      {"UPDATE shopping_cart SET sc_total = sc_total + ?, sc_items = "
+       "sc_items + 1 WHERE sc_id = ?",
+       {Value::Double(12.5), Value::Int(cart)}},
+  };
+  return txn;
+}
+
+TxnInstance TpcwWorkload::BuyRequest(Prng& prng) {
+  TxnInstance txn;
+  txn.tables = {"customer", "address", "shopping_cart"};
+  const int64_t customer =
+      1 + static_cast<int64_t>(prng.Uniform(static_cast<uint64_t>(
+              options_.num_ebs * options_.customers_per_eb)));
+  const int64_t cart = 1 + (customer % options_.num_ebs);
+  txn.statements = {
+      {"UPDATE customer SET c_visits = c_visits + 1 WHERE c_id = ?",
+       {Value::Int(customer)}},
+      {"SELECT addr_street, addr_city FROM address WHERE addr_id = ?",
+       {Value::Int(customer)}},
+      {"SELECT sc_total, sc_items FROM shopping_cart WHERE sc_id = ?",
+       {Value::Int(cart)}},
+  };
+  return txn;
+}
+
+TxnInstance TpcwWorkload::BuyConfirm(Prng& prng) {
+  TxnInstance txn;
+  txn.tables = {"shopping_cart", "orders", "order_line", "cc_xacts", "item",
+                "customer"};
+  const int64_t cart = 1 + static_cast<int64_t>(prng.Uniform(
+                               static_cast<uint64_t>(options_.num_ebs)));
+  const int64_t customer = cart;  // EB's primary customer
+  const int64_t order = next_order_id_.fetch_add(1);
+  const int64_t lines = 1 + static_cast<int64_t>(prng.Uniform(3));
+  txn.statements.push_back(
+      {"SELECT sc_total, sc_items FROM shopping_cart WHERE sc_id = ?",
+       {Value::Int(cart)}});
+  txn.statements.push_back(
+      {"INSERT INTO orders VALUES (?, ?, ?, ?, ?)",
+       {Value::Int(order), Value::Int(customer), Value::Double(42.0),
+        Value::String("PENDING"), Value::Int(2005)}});
+  for (int64_t l = 0; l < lines; ++l) {
+    const int64_t item = 1 + static_cast<int64_t>(item_zipf_.Sample(prng));
+    const int64_t qty = 1 + static_cast<int64_t>(prng.Uniform(3));
+    txn.statements.push_back(
+        {"INSERT INTO order_line VALUES (?, ?, ?, ?)",
+         {Value::Int(next_order_line_id_.fetch_add(1)), Value::Int(order),
+          Value::Int(item), Value::Int(qty)}});
+    txn.statements.push_back(
+        {"UPDATE item SET i_stock = i_stock - ? WHERE i_id = ?",
+         {Value::Int(qty), Value::Int(item)}});
+  }
+  txn.statements.push_back(
+      {"INSERT INTO cc_xacts VALUES (?, ?, ?)",
+       {Value::Int(order), Value::Double(42.0), Value::Int(1)}});
+  txn.statements.push_back(
+      {"UPDATE shopping_cart SET sc_total = 0.0, sc_items = 0 WHERE sc_id "
+       "= ?",
+       {Value::Int(cart)}});
+  return txn;
+}
+
+TxnInstance TpcwWorkload::ProductDetail(Prng& prng) {
+  TxnInstance txn;
+  txn.read_only = true;
+  txn.tables = {"item", "country"};
+  const int64_t item = 1 + static_cast<int64_t>(item_zipf_.Sample(prng));
+  txn.statements = {
+      {"SELECT i_title, i_cost, i_stock, i_subject FROM item WHERE i_id = ?",
+       {Value::Int(item)}},
+      {"SELECT co_name FROM country WHERE co_id = ?",
+       {Value::Int(1 + static_cast<int64_t>(prng.Uniform(50)))}},
+  };
+  return txn;
+}
+
+TxnInstance TpcwWorkload::Home(Prng& prng) {
+  TxnInstance txn;
+  txn.read_only = true;
+  txn.tables = {"customer", "item"};
+  const int64_t customer =
+      1 + static_cast<int64_t>(prng.Uniform(static_cast<uint64_t>(
+              options_.num_ebs * options_.customers_per_eb)));
+  txn.statements.push_back(
+      {"SELECT c_uname, c_balance FROM customer WHERE c_id = ?",
+       {Value::Int(customer)}});
+  for (int i = 0; i < 3; ++i) {
+    txn.statements.push_back(
+        {"SELECT i_title, i_cost FROM item WHERE i_id = ?",
+         {Value::Int(1 + static_cast<int64_t>(item_zipf_.Sample(prng)))}});
+  }
+  return txn;
+}
+
+TxnInstance TpcwWorkload::OrderInquiry(Prng& prng) {
+  TxnInstance txn;
+  txn.read_only = true;
+  txn.tables = {"orders"};
+  const int64_t customer =
+      1 + static_cast<int64_t>(prng.Uniform(static_cast<uint64_t>(
+              options_.num_ebs * options_.customers_per_eb)));
+  txn.statements = {
+      {"SELECT o_id, o_total, o_status FROM orders WHERE o_c_id = ? "
+       "ORDER BY o_id DESC LIMIT 5",
+       {Value::Int(customer)}},
+  };
+  return txn;
+}
+
+TxnInstance TpcwWorkload::BestSellers(Prng&) {
+  // The real TPC-W best-seller query: total quantity sold per item,
+  // joined with the catalogue for the title, top 50.
+  TxnInstance txn;
+  txn.read_only = true;
+  txn.tables = {"order_line", "item"};
+  txn.statements = {
+      {"SELECT i_title, SUM(ol_qty) FROM order_line JOIN item ON "
+       "ol_i_id = i_id GROUP BY i_title ORDER BY sum(ol_qty) DESC "
+       "LIMIT 50",
+       {}},
+  };
+  return txn;
+}
+
+}  // namespace sirep::workload

@@ -1,0 +1,61 @@
+#ifndef SIREP_WORKLOAD_TPCW_H_
+#define SIREP_WORKLOAD_TPCW_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "workload/workload.h"
+
+namespace sirep::workload {
+
+struct TpcwOptions {
+  /// TPC-W scale knobs; the paper uses 1000 items and 40 emulated
+  /// browsers (a ~200 MB database at full row widths).
+  int64_t num_items = 1000;
+  int64_t num_ebs = 40;
+  int64_t customers_per_eb = 10;
+  /// Zipf skew for item popularity.
+  double item_theta = 0.6;
+};
+
+/// TPC-W-style bookstore workload, **ordering mix** (paper §6.1): 50 %
+/// update transactions, 50 % read-only, over an 8-table schema:
+/// item, customer, address, country, orders, order_line, cc_xacts,
+/// shopping_cart.
+///
+/// Update transactions: AddToCart (cart totals), BuyRequest (customer
+/// visit bump), BuyConfirm (order + order lines + payment + stock
+/// decrements + cart reset). Read-only: ProductDetail, Home, OrderInquiry,
+/// BestSellers. Conflicts concentrate on shopping_cart rows (one per EB)
+/// and popular items' stock — tuple-granularity hot spots that a
+/// table-level scheme would serialize wholesale.
+class TpcwWorkload : public WorkloadGenerator {
+ public:
+  explicit TpcwWorkload(TpcwOptions options = {});
+
+  std::string name() const override { return "tpcw-ordering"; }
+  Status Load(engine::Database* db) override;
+  TxnInstance Next(Prng& prng) override;
+
+  const TpcwOptions& options() const { return options_; }
+
+ private:
+  TxnInstance AddToCart(Prng& prng);
+  TxnInstance BuyRequest(Prng& prng);
+  TxnInstance BuyConfirm(Prng& prng);
+  TxnInstance ProductDetail(Prng& prng);
+  TxnInstance Home(Prng& prng);
+  TxnInstance OrderInquiry(Prng& prng);
+  TxnInstance BestSellers(Prng& prng);
+
+  TpcwOptions options_;
+  ZipfGenerator item_zipf_;
+  /// Globally unique ids for inserted orders/lines (shared across client
+  /// threads).
+  std::atomic<int64_t> next_order_id_;
+  std::atomic<int64_t> next_order_line_id_;
+};
+
+}  // namespace sirep::workload
+
+#endif  // SIREP_WORKLOAD_TPCW_H_

@@ -1,0 +1,48 @@
+#ifndef SIREP_WORKLOAD_WORKLOAD_H_
+#define SIREP_WORKLOAD_WORKLOAD_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/prng.h"
+#include "common/status.h"
+#include "engine/database.h"
+#include "sql/value.h"
+
+namespace sirep::workload {
+
+/// One concrete transaction to run: an ordered list of parameterized SQL
+/// statements. The same instance can be driven through the replicated
+/// JDBC-like connection, a plain single-node session (the centralized
+/// baseline), or wrapped into a pre-declared program for the table-lock
+/// baseline (which additionally needs `tables`).
+struct TxnInstance {
+  std::vector<std::pair<std::string, std::vector<sql::Value>>> statements;
+  bool read_only = false;
+  /// Tables the transaction touches — only consumed by the [20] baseline,
+  /// which requires tables to be declared in advance.
+  std::vector<std::string> tables;
+};
+
+/// A benchmark workload: how to populate a replica and how to draw the
+/// next transaction. Next() must be thread-safe (it is called by many
+/// client threads; per-call randomness comes from the caller's Prng, and
+/// any shared id counters must be atomic).
+class WorkloadGenerator {
+ public:
+  virtual ~WorkloadGenerator() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Creates the schema and loads the initial data at one replica. Called
+  /// once per replica before traffic starts (replicas start identical).
+  virtual Status Load(engine::Database* db) = 0;
+
+  /// Draws the next transaction.
+  virtual TxnInstance Next(Prng& prng) = 0;
+};
+
+}  // namespace sirep::workload
+
+#endif  // SIREP_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,194 @@
+// Tests for the cluster harness: wiring, discovery, loading, the cost
+// model, and capacity-limited charging.
+
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "sql/parser.h"
+
+namespace sirep::cluster {
+namespace {
+
+using sql::Value;
+
+TEST(CostModelTest, DisabledByDefault) {
+  CostModel cost;
+  EXPECT_FALSE(cost.enabled());
+}
+
+TEST(CostModelTest, StatementCosts) {
+  CostModel cost;
+  cost.select_service = std::chrono::microseconds(100);
+  cost.update_service = std::chrono::microseconds(200);
+  cost.insert_service = std::chrono::microseconds(300);
+  cost.delete_service = std::chrono::microseconds(400);
+  EXPECT_TRUE(cost.enabled());
+
+  auto select = sql::Parse("SELECT * FROM t").value();
+  auto update = sql::Parse("UPDATE t SET a = 1").value();
+  auto insert = sql::Parse("INSERT INTO t VALUES (1)").value();
+  auto del = sql::Parse("DELETE FROM t").value();
+  EXPECT_EQ(cost.StatementCost(select).count(), 100);
+  EXPECT_EQ(cost.StatementCost(update).count(), 200);
+  EXPECT_EQ(cost.StatementCost(insert).count(), 300);
+  EXPECT_EQ(cost.StatementCost(del).count(), 400);
+}
+
+TEST(CostModelTest, ApplyCostScalesWithWriteSetSize) {
+  CostModel cost;
+  cost.update_service = std::chrono::microseconds(1000);
+  cost.apply_fraction = 0.2;
+  storage::WriteSet ws;
+  for (int64_t i = 0; i < 10; ++i) {
+    ws.Record({"t", sql::Key{{Value::Int(i)}}}, storage::WriteOp::kUpdate,
+              {Value::Int(i)});
+  }
+  // 10 entries * 20% of 1000us = 2000us: the paper's "applying writesets
+  // takes ~20% of executing the entire transaction".
+  EXPECT_EQ(cost.ApplyCost(ws).count(), 2000);
+}
+
+TEST(ReplicaNodeTest, ChargeIsNoopWhenDisabled) {
+  ReplicaNode node("n", 1, CostModel{});
+  const auto t0 = std::chrono::steady_clock::now();
+  node.Charge(std::chrono::microseconds(100000));
+  EXPECT_LT(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(20));
+}
+
+TEST(ReplicaNodeTest, CapacityLimitsParallelism) {
+  CostModel cost;
+  cost.update_service = std::chrono::microseconds(30000);  // 30 ms
+  ReplicaNode node("n", /*workers=*/1, cost);
+  node.SetEmulationEnabled(true);
+
+  // Two concurrent charges through 1 worker => ~60 ms total.
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread other([&] { node.Charge(cost.update_service); });
+  node.Charge(cost.update_service);
+  other.join();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_GE(elapsed.count(), 55);
+}
+
+TEST(ClusterTest, StartAndDiscover) {
+  ClusterOptions options;
+  options.num_replicas = 4;
+  Cluster cluster(options);
+  ASSERT_TRUE(cluster.Start().ok());
+  EXPECT_EQ(cluster.Discover().size(), 4u);
+  cluster.CrashReplica(2);
+  EXPECT_EQ(cluster.Discover().size(), 3u);
+}
+
+TEST(ClusterTest, ExecuteEverywhereLoadsAllReplicas) {
+  ClusterOptions options;
+  options.num_replicas = 3;
+  Cluster cluster(options);
+  ASSERT_TRUE(cluster.Start().ok());
+  ASSERT_TRUE(cluster
+                  .ExecuteEverywhere(
+                      "CREATE TABLE t (k INT, v INT, PRIMARY KEY (k))")
+                  .ok());
+  ASSERT_TRUE(cluster.ExecuteEverywhere("INSERT INTO t VALUES (1, 5)").ok());
+  for (size_t r = 0; r < 3; ++r) {
+    auto result =
+        cluster.db(r)->ExecuteAutoCommit("SELECT v FROM t WHERE k = 1");
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().rows[0][0].AsInt(), 5);
+  }
+}
+
+TEST(ClusterTest, LoadEverywhereRunsLoader) {
+  ClusterOptions options;
+  options.num_replicas = 2;
+  Cluster cluster(options);
+  ASSERT_TRUE(cluster.Start().ok());
+  int calls = 0;
+  ASSERT_TRUE(cluster
+                  .LoadEverywhere([&](engine::Database* db) -> Status {
+                    ++calls;
+                    auto r = db->ExecuteAutoCommit(
+                        "CREATE TABLE x (k INT, PRIMARY KEY (k))");
+                    return r.ok() ? Status::OK() : r.status();
+                  })
+                  .ok());
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(ClusterTest, EmulationTogglesPerNode) {
+  ClusterOptions options;
+  options.num_replicas = 1;
+  options.cost.select_service = std::chrono::microseconds(30000);
+  options.workers_per_replica = 1;
+  Cluster cluster(options);
+  ASSERT_TRUE(cluster.Start().ok());
+  ASSERT_TRUE(cluster
+                  .ExecuteEverywhere(
+                      "CREATE TABLE t (k INT, PRIMARY KEY (k))")
+                  .ok());
+
+  // Emulation off: fast.
+  auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(cluster.db(0)->ExecuteAutoCommit("SELECT * FROM t").ok());
+  EXPECT_LT(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(20));
+
+  // Emulation on: the select takes >= 30ms.
+  cluster.SetEmulationEnabled(true);
+  t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(cluster.db(0)->ExecuteAutoCommit("SELECT * FROM t").ok());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(28));
+}
+
+TEST(ClusterTest, GcsDelayConfigurable) {
+  ClusterOptions options;
+  options.num_replicas = 2;
+  options.gcs.multicast_delay = std::chrono::microseconds(3000);  // Spread-ish
+  Cluster cluster(options);
+  ASSERT_TRUE(cluster.Start().ok());
+  ASSERT_TRUE(cluster
+                  .ExecuteEverywhere(
+                      "CREATE TABLE t (k INT, v INT, PRIMARY KEY (k))")
+                  .ok());
+  ASSERT_TRUE(cluster.ExecuteEverywhere("INSERT INTO t VALUES (1, 0)").ok());
+
+  auto* mw = cluster.replica(0);
+  auto handle = std::move(mw->BeginTxn()).value();
+  ASSERT_TRUE(mw->Execute(handle, "UPDATE t SET v = 1 WHERE k = 1").ok());
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(mw->CommitTxn(handle).ok());
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  // The commit had to wait for the totally ordered (delayed) delivery.
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            2);
+}
+
+TEST(ClusterTest, AggregateStatsSums) {
+  ClusterOptions options;
+  options.num_replicas = 2;
+  Cluster cluster(options);
+  ASSERT_TRUE(cluster.Start().ok());
+  ASSERT_TRUE(cluster
+                  .ExecuteEverywhere(
+                      "CREATE TABLE t (k INT, v INT, PRIMARY KEY (k))")
+                  .ok());
+  ASSERT_TRUE(cluster.ExecuteEverywhere("INSERT INTO t VALUES (1, 0)").ok());
+  auto* mw = cluster.replica(0);
+  auto handle = std::move(mw->BeginTxn()).value();
+  ASSERT_TRUE(mw->Execute(handle, "UPDATE t SET v = 1 WHERE k = 1").ok());
+  ASSERT_TRUE(mw->CommitTxn(handle).ok());
+  cluster.Quiesce();
+  auto stats = cluster.AggregateStats();
+  EXPECT_EQ(stats.committed, 2u);  // local + remote apply
+}
+
+}  // namespace
+}  // namespace sirep::cluster

@@ -1,0 +1,164 @@
+// Unit tests for expression evaluation and key-lookup extraction.
+
+#include "engine/exec.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace sirep::engine {
+namespace {
+
+using sql::Value;
+
+// Parses `expr` by wrapping it in a SELECT and pulling out the WHERE tree.
+sql::Statement ParseWhere(const std::string& expr) {
+  auto stmt = sql::Parse("SELECT * FROM t WHERE " + expr);
+  EXPECT_TRUE(stmt.ok()) << expr;
+  return std::move(stmt).value();
+}
+
+sql::Schema TestSchema() {
+  return sql::Schema({{"a", sql::ValueType::kInt},
+                      {"b", sql::ValueType::kInt},
+                      {"s", sql::ValueType::kString},
+                      {"d", sql::ValueType::kDouble}},
+                     {0, 1});
+}
+
+Value EvalOn(const std::string& expr, const sql::Row& row,
+             const std::vector<Value>& params = {}) {
+  auto stmt = ParseWhere(expr);
+  auto schema = TestSchema();
+  auto result = Eval(*stmt.select->where, &schema, &row, params);
+  EXPECT_TRUE(result.ok()) << expr << ": " << result.status();
+  return result.ok() ? result.value() : Value::Null();
+}
+
+const sql::Row kRow = {Value::Int(3), Value::Int(7), Value::String("abc"),
+                       Value::Double(1.5)};
+
+TEST(EvalTest, Comparisons) {
+  EXPECT_TRUE(EvalOn("a = 3", kRow).AsBool());
+  EXPECT_FALSE(EvalOn("a = 4", kRow).AsBool());
+  EXPECT_TRUE(EvalOn("a < b", kRow).AsBool());
+  EXPECT_TRUE(EvalOn("b >= 7", kRow).AsBool());
+  EXPECT_TRUE(EvalOn("s = 'abc'", kRow).AsBool());
+  EXPECT_TRUE(EvalOn("a <> b", kRow).AsBool());
+  EXPECT_TRUE(EvalOn("d > 1", kRow).AsBool());  // double vs int
+}
+
+TEST(EvalTest, BooleanLogicShortCircuits) {
+  EXPECT_TRUE(EvalOn("a = 3 AND b = 7", kRow).AsBool());
+  EXPECT_FALSE(EvalOn("a = 3 AND b = 8", kRow).AsBool());
+  EXPECT_TRUE(EvalOn("a = 9 OR b = 7", kRow).AsBool());
+  EXPECT_TRUE(EvalOn("NOT a = 9", kRow).AsBool());
+  // Short circuit: the right side would error (string compare against
+  // arithmetic is fine; use division by zero to prove non-evaluation).
+  EXPECT_FALSE(EvalOn("a = 9 AND a / 0 = 1", kRow).AsBool());
+}
+
+TEST(EvalTest, Arithmetic) {
+  EXPECT_TRUE(EvalOn("a + b = 10", kRow).AsBool());
+  EXPECT_TRUE(EvalOn("b - a = 4", kRow).AsBool());
+  EXPECT_TRUE(EvalOn("a * b = 21", kRow).AsBool());
+  EXPECT_TRUE(EvalOn("b / a = 2", kRow).AsBool());       // int division
+  EXPECT_TRUE(EvalOn("d * 2 = 3.0", kRow).AsBool());     // double promote
+  EXPECT_TRUE(EvalOn("-a = -3", kRow).AsBool());
+  EXPECT_TRUE(EvalOn("1 + 2 * 3 = 7", kRow).AsBool());
+}
+
+TEST(EvalTest, DivisionByZeroIsError) {
+  auto stmt = ParseWhere("a / 0 = 1");
+  auto schema = TestSchema();
+  auto result = Eval(*stmt.select->where, &schema, &kRow, {});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(EvalTest, NullSemantics) {
+  sql::Row row = {Value::Int(1), Value::Null(), Value::Null(),
+                  Value::Double(0)};
+  // Comparison with NULL is false.
+  EXPECT_FALSE(EvalOn("b = 1", row).AsBool());
+  EXPECT_FALSE(EvalOn("b <> 1", row).AsBool());
+  // IS NULL / IS NOT NULL.
+  EXPECT_TRUE(EvalOn("b IS NULL", row).AsBool());
+  EXPECT_FALSE(EvalOn("a IS NULL", row).AsBool());
+  EXPECT_TRUE(EvalOn("a IS NOT NULL", row).AsBool());
+  // Arithmetic with NULL yields NULL, so the comparison is false.
+  EXPECT_FALSE(EvalOn("b + 1 = 2", row).AsBool());
+}
+
+TEST(EvalTest, Parameters) {
+  EXPECT_TRUE(
+      EvalOn("a = ? AND s = ?", kRow, {Value::Int(3), Value::String("abc")})
+          .AsBool());
+  // Missing parameter is an error.
+  auto stmt = ParseWhere("a = ?");
+  auto schema = TestSchema();
+  EXPECT_FALSE(Eval(*stmt.select->where, &schema, &kRow, {}).ok());
+}
+
+TEST(EvalTest, UnknownColumnIsError) {
+  auto stmt = ParseWhere("zz = 1");
+  auto schema = TestSchema();
+  EXPECT_FALSE(Eval(*stmt.select->where, &schema, &kRow, {}).ok());
+}
+
+TEST(EvalTest, MatchesHelper) {
+  auto stmt = ParseWhere("a = 3");
+  auto schema = TestSchema();
+  auto m = Matches(stmt.select->where.get(), schema, kRow, {});
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(m.value());
+  // Null predicate accepts everything.
+  auto all = Matches(nullptr, schema, kRow, {});
+  ASSERT_TRUE(all.ok());
+  EXPECT_TRUE(all.value());
+}
+
+TEST(KeyLookupTest, FullKeyEqualityExtracted) {
+  auto schema = TestSchema();  // composite key (a, b)
+  auto stmt = ParseWhere("a = 3 AND b = 7");
+  auto key = TryExtractKeyLookup(schema, stmt.select->where.get(), {});
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(key->parts[0].AsInt(), 3);
+  EXPECT_EQ(key->parts[1].AsInt(), 7);
+}
+
+TEST(KeyLookupTest, ParamsAndReversedOperandsWork) {
+  auto schema = TestSchema();
+  auto stmt = ParseWhere("3 = a AND b = ?");
+  auto key = TryExtractKeyLookup(schema, stmt.select->where.get(),
+                                 {Value::Int(9)});
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(key->parts[1].AsInt(), 9);
+}
+
+TEST(KeyLookupTest, PartialKeyNotExtracted) {
+  auto schema = TestSchema();
+  auto stmt = ParseWhere("a = 3");  // b unbound
+  EXPECT_FALSE(
+      TryExtractKeyLookup(schema, stmt.select->where.get(), {}).has_value());
+}
+
+TEST(KeyLookupTest, NonEqualityNotExtracted) {
+  auto schema = TestSchema();
+  for (const char* expr : {"a = 3 AND b > 7", "a = 3 OR b = 7",
+                           "a = 3 AND NOT b = 7", "a = 3 AND b = b"}) {
+    auto stmt = ParseWhere(expr);
+    EXPECT_FALSE(
+        TryExtractKeyLookup(schema, stmt.select->where.get(), {}).has_value())
+        << expr;
+  }
+}
+
+TEST(KeyLookupTest, ExtraEqualitiesStillExtract) {
+  auto schema = TestSchema();
+  auto stmt = ParseWhere("a = 3 AND b = 7 AND s = 'x'");
+  EXPECT_TRUE(
+      TryExtractKeyLookup(schema, stmt.select->where.get(), {}).has_value());
+}
+
+}  // namespace
+}  // namespace sirep::engine

@@ -1,0 +1,325 @@
+// Unit tests for the middleware building blocks: WsList, ToCommitQueue,
+// HoleTracker, and TableLockManager.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "middleware/hole_tracker.h"
+#include "middleware/table_locks.h"
+#include "middleware/tocommit_queue.h"
+#include "middleware/ws_list.h"
+#include "sql/value.h"
+#include "storage/write_set.h"
+
+namespace sirep::middleware {
+namespace {
+
+using storage::WriteOp;
+using storage::WriteSet;
+
+std::shared_ptr<const WriteSet> Ws(
+    std::initializer_list<std::pair<const char*, int64_t>> tuples) {
+  auto ws = std::make_shared<WriteSet>();
+  for (const auto& [table, key] : tuples) {
+    ws->Record({table, sql::Key{{sql::Value::Int(key)}}}, WriteOp::kUpdate,
+               {sql::Value::Int(key)});
+  }
+  return ws;
+}
+
+// ---- WsList ----
+
+TEST(WsListTest, ConflictsAfterCert) {
+  WsList list;
+  list.Append(1, Ws({{"t", 1}}));
+  list.Append(2, Ws({{"t", 2}}));
+  list.Append(3, Ws({{"t", 3}}));
+
+  // cert = 0 sees everything.
+  EXPECT_TRUE(list.ConflictsAfter(0, *Ws({{"t", 2}})));
+  // cert = 2: only tid 3 is checked.
+  EXPECT_FALSE(list.ConflictsAfter(2, *Ws({{"t", 2}})));
+  EXPECT_TRUE(list.ConflictsAfter(2, *Ws({{"t", 3}})));
+  // cert = 3: nothing newer.
+  EXPECT_FALSE(list.ConflictsAfter(3, *Ws({{"t", 3}})));
+  // Disjoint writesets never conflict.
+  EXPECT_FALSE(list.ConflictsAfter(0, *Ws({{"u", 1}})));
+}
+
+TEST(WsListTest, WindowPruning) {
+  WsList list(/*max_entries=*/3);
+  for (uint64_t tid = 1; tid <= 5; ++tid) {
+    list.Append(tid, Ws({{"t", static_cast<int64_t>(tid)}}));
+  }
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.MinRetainedTid(), 3u);
+  // Conflicts inside the retained window are still exact.
+  EXPECT_TRUE(list.ConflictsAfter(2, *Ws({{"t", 4}})));
+  EXPECT_FALSE(list.ConflictsAfter(4, *Ws({{"t", 4}})));
+}
+
+// ---- ToCommitQueue ----
+
+TEST(ToCommitQueueTest, ConflictsWithRemoteOnly) {
+  ToCommitQueue q;
+  q.Append({1, {0, 1}, /*local=*/true, Ws({{"t", 1}}), true});
+  q.Append({2, {1, 1}, /*local=*/false, Ws({{"t", 2}}), false});
+
+  // Conflicts with the *local* entry don't count (Adjustment 1: the DB
+  // already checked those).
+  EXPECT_FALSE(q.ConflictsWithRemote(*Ws({{"t", 1}})));
+  EXPECT_TRUE(q.ConflictsWithRemote(*Ws({{"t", 2}})));
+  EXPECT_FALSE(q.ConflictsWithRemote(*Ws({{"u", 9}})));
+}
+
+TEST(ToCommitQueueTest, DispatchRespectsConflictOrder) {
+  ToCommitQueue q;
+  q.Append({1, {1, 1}, false, Ws({{"t", 1}}), false});
+  q.Append({2, {1, 2}, false, Ws({{"t", 1}}), false});  // conflicts with 1
+  q.Append({3, {1, 3}, false, Ws({{"t", 9}}), false});  // independent
+
+  auto ready = q.TakeDispatchableRemotes();
+  ASSERT_EQ(ready.size(), 2u);
+  EXPECT_EQ(ready[0].tid, 1u);
+  EXPECT_EQ(ready[1].tid, 3u);
+
+  // tid 2 stays blocked until tid 1 is removed.
+  EXPECT_TRUE(q.TakeDispatchableRemotes().empty());
+  q.Remove(1);
+  auto next = q.TakeDispatchableRemotes();
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_EQ(next[0].tid, 2u);
+}
+
+TEST(ToCommitQueueTest, LocalEntriesNeverDispatched) {
+  ToCommitQueue q;
+  q.Append({1, {0, 1}, /*local=*/true, Ws({{"t", 1}}), true});
+  EXPECT_TRUE(q.TakeDispatchableRemotes().empty());
+  EXPECT_EQ(q.FrontTid(), 1u);
+  q.Remove(1);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ToCommitQueueTest, RemoveUnknownTidIsNoop) {
+  ToCommitQueue q;
+  q.Append({5, {1, 1}, false, Ws({{"t", 1}}), false});
+  q.Remove(99);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+// ---- HoleTracker ----
+
+TEST(HoleTrackerTest, NoHolesInOrderCommits) {
+  HoleTracker holes(/*enabled=*/true);
+  holes.NoteValidated(1);
+  holes.NoteValidated(2);
+  EXPECT_FALSE(holes.HasHoles());
+  holes.RecordCommit(1, [] { return 0; });
+  EXPECT_FALSE(holes.HasHoles());
+  holes.RecordCommit(2, [] { return 0; });
+  EXPECT_FALSE(holes.HasHoles());
+  EXPECT_EQ(holes.StablePrefix(), 2u);
+}
+
+TEST(HoleTrackerTest, OutOfOrderCommitCreatesHole) {
+  HoleTracker holes(true);
+  holes.NoteValidated(1);
+  holes.NoteValidated(2);
+  // tid 2 commits first (local transactions may do that).
+  holes.RecordCommit(2, [] { return 0; });
+  EXPECT_TRUE(holes.HasHoles());
+  EXPECT_EQ(holes.StablePrefix(), 0u);
+  holes.RecordCommit(1, [] { return 0; });
+  EXPECT_FALSE(holes.HasHoles());
+  EXPECT_EQ(holes.StablePrefix(), 2u);
+}
+
+TEST(HoleTrackerTest, StartWaitsForHoleToClose) {
+  HoleTracker holes(true);
+  holes.NoteValidated(1);
+  holes.NoteValidated(2);
+  holes.RecordCommit(2, [] { return 0; });  // hole over tid 1
+
+  std::atomic<bool> started{false};
+  std::thread starter([&] {
+    holes.RunStart([&] {
+      started.store(true);
+      return 0;
+    });
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(started.load());  // blocked on the hole
+
+  holes.RecordCommit(1, [] { return 0; });  // closes the hole
+  starter.join();
+  EXPECT_TRUE(started.load());
+  auto stats = holes.stats();
+  EXPECT_EQ(stats.starts, 1u);
+  EXPECT_EQ(stats.delayed_starts, 1u);
+}
+
+TEST(HoleTrackerTest, GateClosesForHoleCreatorsWhileStartsWait) {
+  HoleTracker holes(true);
+  holes.NoteValidated(1);
+  holes.NoteValidated(2);
+  holes.NoteValidated(3);
+  holes.RecordCommit(2, [] { return 0; });  // hole over tid 1
+
+  // Nobody waiting to start: gates open for everyone.
+  EXPECT_TRUE(holes.GateOpen(3, false));
+
+  std::atomic<bool> started{false};
+  std::thread starter([&] {
+    holes.RunStart([&] {
+      started.store(true);
+      return 0;
+    });
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_FALSE(started.load());
+
+  // While the start waits: remote tid 3 would create a new hole (tid 1
+  // outstanding) => gate closed; tid 1 itself creates no new hole =>
+  // gate open; local transactions always pass.
+  EXPECT_FALSE(holes.GateOpen(3, /*is_local=*/false));
+  EXPECT_TRUE(holes.GateOpen(1, /*is_local=*/false));
+  EXPECT_TRUE(holes.GateOpen(3, /*is_local=*/true));
+
+  holes.RecordCommit(1, [] { return 0; });  // closes the hole
+  starter.join();
+  EXPECT_TRUE(started.load());
+  // Start proceeded; gate reopens for tid 3.
+  EXPECT_TRUE(holes.GateOpen(3, false));
+}
+
+TEST(HoleTrackerTest, ChangeListenerFires) {
+  HoleTracker holes(true);
+  std::atomic<int> changes{0};
+  holes.SetChangeListener([&] { changes.fetch_add(1); });
+  holes.NoteValidated(1);
+  holes.RecordCommit(1, [] { return 0; });
+  EXPECT_GE(changes.load(), 1);
+  holes.NoteValidated(2);
+  holes.Discard(2);
+  EXPECT_GE(changes.load(), 2);
+}
+
+TEST(HoleTrackerTest, DisabledModeNeverBlocksOrGatesButCounts) {
+  HoleTracker holes(/*enabled=*/false);  // SRCA-Opt
+  holes.NoteValidated(1);
+  holes.NoteValidated(2);
+  holes.RecordCommit(2, [] { return 0; });
+  EXPECT_TRUE(holes.HasHoles());
+  // Gate is always open in SRCA-Opt.
+  EXPECT_TRUE(holes.GateOpen(3, false));
+  // Start proceeds immediately despite the hole, but the statistic
+  // records that a hole was present.
+  std::atomic<bool> started{false};
+  holes.RunStart([&] {
+    started.store(true);
+    return 0;
+  });
+  EXPECT_TRUE(started.load());
+  EXPECT_EQ(holes.stats().delayed_starts, 1u);
+}
+
+TEST(HoleTrackerTest, DiscardUnblocks) {
+  HoleTracker holes(true);
+  holes.NoteValidated(1);
+  holes.NoteValidated(2);
+  holes.RecordCommit(2, [] { return 0; });
+  std::atomic<bool> started{false};
+  std::thread starter([&] {
+    holes.RunStart([&] {
+      started.store(true);
+      return 0;
+    });
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(started.load());
+  holes.Discard(1);  // e.g. replica shutting down
+  starter.join();
+  EXPECT_TRUE(started.load());
+}
+
+TEST(HoleTrackerTest, DeferredCommitStatistic) {
+  HoleTracker holes(true);
+  holes.CountDeferredCommit();
+  holes.CountDeferredCommit();
+  EXPECT_EQ(holes.stats().delayed_commits, 2u);
+}
+
+// ---- TableLockManager ----
+
+TEST(TableLockTest, ExclusiveBlocksExclusive) {
+  TableLockManager locks;
+  auto t1 = locks.Request({"a"}, TableLockMode::kExclusive);
+  auto t2 = locks.Request({"a"}, TableLockMode::kExclusive);
+  EXPECT_TRUE(locks.IsGranted(t1));
+  EXPECT_FALSE(locks.IsGranted(t2));
+  locks.Release(t1);
+  EXPECT_TRUE(locks.IsGranted(t2));
+  EXPECT_EQ(locks.contended_requests(), 1u);
+}
+
+TEST(TableLockTest, SharedLocksCompatible) {
+  TableLockManager locks;
+  auto r1 = locks.Request({"a"}, TableLockMode::kShared);
+  auto r2 = locks.Request({"a"}, TableLockMode::kShared);
+  EXPECT_TRUE(locks.IsGranted(r1));
+  EXPECT_TRUE(locks.IsGranted(r2));
+  auto w = locks.Request({"a"}, TableLockMode::kExclusive);
+  EXPECT_FALSE(locks.IsGranted(w));
+  locks.Release(r1);
+  locks.Release(r2);
+  EXPECT_TRUE(locks.IsGranted(w));
+}
+
+TEST(TableLockTest, MultiTableAtomicRequest) {
+  TableLockManager locks;
+  auto t1 = locks.Request({"a", "b"}, TableLockMode::kExclusive);
+  auto t2 = locks.Request({"b", "c"}, TableLockMode::kExclusive);
+  auto t3 = locks.Request({"c"}, TableLockMode::kExclusive);
+  EXPECT_TRUE(locks.IsGranted(t1));
+  EXPECT_FALSE(locks.IsGranted(t2));  // waits for t1 on b
+  EXPECT_FALSE(locks.IsGranted(t3));  // waits for t2 on c (enqueue order)
+  locks.Release(t1);
+  EXPECT_TRUE(locks.IsGranted(t2));
+  locks.Release(t2);
+  EXPECT_TRUE(locks.IsGranted(t3));
+}
+
+TEST(TableLockTest, NoDeadlockWithOpposingOrders) {
+  // Tickets enqueue atomically at all tables, so "a,b" vs "b,a" cannot
+  // deadlock: the second request waits on both.
+  TableLockManager locks;
+  auto t1 = locks.Request({"a", "b"}, TableLockMode::kExclusive);
+  auto t2 = locks.Request({"b", "a"}, TableLockMode::kExclusive);
+  EXPECT_TRUE(locks.IsGranted(t1));
+  EXPECT_FALSE(locks.IsGranted(t2));
+  std::atomic<bool> granted{false};
+  std::thread waiter([&] {
+    locks.Wait(t2);
+    granted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  locks.Release(t1);
+  waiter.join();
+  EXPECT_TRUE(granted.load());
+}
+
+TEST(TableLockTest, DuplicateTablesDeduplicated) {
+  TableLockManager locks;
+  auto t = locks.Request({"a", "a", "a"}, TableLockMode::kExclusive);
+  EXPECT_TRUE(locks.IsGranted(t));
+  locks.Release(t);
+  auto t2 = locks.Request({"a"}, TableLockMode::kExclusive);
+  EXPECT_TRUE(locks.IsGranted(t2));
+}
+
+}  // namespace
+}  // namespace sirep::middleware

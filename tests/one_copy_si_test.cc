@@ -1,0 +1,275 @@
+// Property-based 1-copy-SI tests (paper §2.2, Definition 3).
+//
+// The key observable: take two keys X and Y with independent writer
+// streams (each update increments one key's version counter). Under
+// 1-copy-SI every reader — at any replica — reads from a snapshot of one
+// global SI schedule, so the set of observed (x_version, y_version) pairs
+// must be totally ordered componentwise: observing (x=5, y=2) at one
+// replica and (x=4, y=3) at another is impossible (paper §4.3.2 shows
+// exactly this anomaly when commit order holes are not synchronized).
+//
+// We assert the staircase property holds for SRCA-Rep, plus randomized
+// convergence (replicas end bit-identical) for both SRCA-Rep and
+// SRCA-Opt.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.h"
+
+namespace sirep {
+namespace {
+
+using cluster::Cluster;
+using cluster::ClusterOptions;
+using middleware::ReplicaMode;
+using sql::Value;
+
+std::unique_ptr<Cluster> MakeCluster(size_t n, ReplicaMode mode) {
+  ClusterOptions options;
+  options.num_replicas = n;
+  options.replica.mode = mode;
+  auto cluster = std::make_unique<Cluster>(options);
+  EXPECT_TRUE(cluster->Start().ok());
+  return cluster;
+}
+
+struct Observation {
+  int64_t x, y;
+};
+
+void RunStaircaseWorkload(Cluster& cluster,
+                          std::vector<Observation>* observations,
+                          int writers_per_key, int txns_per_writer,
+                          int readers, int reads_per_reader) {
+  std::mutex obs_mu;
+  std::vector<std::thread> threads;
+
+  auto writer = [&](const char* key, int seed) {
+    middleware::SrcaRepReplica* mw =
+        cluster.replica(static_cast<size_t>(seed) % cluster.size());
+    const std::string sql =
+        std::string("UPDATE pair SET v = v + 1 WHERE k = '") + key + "'";
+    for (int i = 0; i < txns_per_writer; ++i) {
+      auto txn = mw->BeginTxn();
+      if (!txn.ok()) continue;
+      auto handle = std::move(txn).value();
+      if (!mw->Execute(handle, sql).ok()) {
+        mw->RollbackTxn(handle);
+        continue;
+      }
+      (void)mw->CommitTxn(handle);
+    }
+  };
+  auto reader = [&](int seed) {
+    middleware::SrcaRepReplica* mw =
+        cluster.replica(static_cast<size_t>(seed) % cluster.size());
+    for (int i = 0; i < reads_per_reader; ++i) {
+      auto txn = mw->BeginTxn();
+      if (!txn.ok()) continue;
+      auto handle = std::move(txn).value();
+      auto rx = mw->Execute(handle, "SELECT v FROM pair WHERE k = 'x'");
+      auto ry = mw->Execute(handle, "SELECT v FROM pair WHERE k = 'y'");
+      (void)mw->CommitTxn(handle);
+      if (rx.ok() && ry.ok() && rx.value().NumRows() == 1 &&
+          ry.value().NumRows() == 1) {
+        std::lock_guard<std::mutex> lock(obs_mu);
+        observations->push_back({rx.value().rows[0][0].AsInt(),
+                                 ry.value().rows[0][0].AsInt()});
+      }
+    }
+  };
+
+  for (int w = 0; w < writers_per_key; ++w) {
+    threads.emplace_back(writer, "x", w);
+    threads.emplace_back(writer, "y", w + 1);
+  }
+  for (int r = 0; r < readers; ++r) threads.emplace_back(reader, r);
+  for (auto& t : threads) t.join();
+}
+
+bool IsStaircase(const std::vector<Observation>& obs, std::string* bad) {
+  auto sorted = obs;
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.x != b.x ? a.x < b.x : a.y < b.y;
+  });
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i].y < sorted[i - 1].y && sorted[i].x > sorted[i - 1].x) {
+      *bad = "(" + std::to_string(sorted[i - 1].x) + "," +
+             std::to_string(sorted[i - 1].y) + ") vs (" +
+             std::to_string(sorted[i].x) + "," +
+             std::to_string(sorted[i].y) + ")";
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(OneCopySiTest, SnapshotStaircaseHoldsUnderSrcaRep) {
+  auto cluster = MakeCluster(3, ReplicaMode::kSrcaRep);
+  ASSERT_TRUE(cluster
+                  ->ExecuteEverywhere(
+                      "CREATE TABLE pair (k VARCHAR(4), v INT, "
+                      "PRIMARY KEY (k))")
+                  .ok());
+  ASSERT_TRUE(
+      cluster->ExecuteEverywhere("INSERT INTO pair VALUES ('x', 0)").ok());
+  ASSERT_TRUE(
+      cluster->ExecuteEverywhere("INSERT INTO pair VALUES ('y', 0)").ok());
+
+  std::vector<Observation> observations;
+  RunStaircaseWorkload(*cluster, &observations, /*writers_per_key=*/2,
+                       /*txns_per_writer=*/40, /*readers=*/4,
+                       /*reads_per_reader=*/60);
+  ASSERT_GT(observations.size(), 50u);
+  std::string bad;
+  EXPECT_TRUE(IsStaircase(observations, &bad))
+      << "1-copy-SI violated: incomparable snapshots " << bad;
+  cluster->Quiesce();
+  // Convergence too.
+  auto v0 = cluster->db(0)->ExecuteAutoCommit("SELECT v FROM pair ORDER BY k");
+  for (size_t r = 1; r < 3; ++r) {
+    auto vr =
+        cluster->db(r)->ExecuteAutoCommit("SELECT v FROM pair ORDER BY k");
+    ASSERT_EQ(vr.value().rows.size(), v0.value().rows.size());
+    for (size_t i = 0; i < vr.value().rows.size(); ++i) {
+      EXPECT_EQ(vr.value().rows[i][0].AsInt(),
+                v0.value().rows[i][0].AsInt());
+    }
+  }
+}
+
+// Randomized mixed workload (inserts, updates, deletes over two tables)
+// run at every replica concurrently; afterwards all replicas must hold
+// bit-identical data and the per-key "last writer" must be unique.
+class ConvergenceTest : public ::testing::TestWithParam<ReplicaMode> {};
+
+TEST_P(ConvergenceTest, RandomizedMixedWorkloadConverges) {
+  auto cluster = MakeCluster(3, GetParam());
+  ASSERT_TRUE(cluster
+                  ->ExecuteEverywhere(
+                      "CREATE TABLE a (k INT, v INT, who INT, "
+                      "PRIMARY KEY (k))")
+                  .ok());
+  ASSERT_TRUE(cluster
+                  ->ExecuteEverywhere(
+                      "CREATE TABLE b (k INT, v INT, who INT, "
+                      "PRIMARY KEY (k))")
+                  .ok());
+  for (int k = 0; k < 12; ++k) {
+    ASSERT_TRUE(cluster
+                    ->ExecuteEverywhere("INSERT INTO a VALUES (?, 0, 0)",
+                                        {Value::Int(k)})
+                    .ok());
+    ASSERT_TRUE(cluster
+                    ->ExecuteEverywhere("INSERT INTO b VALUES (?, 0, 0)",
+                                        {Value::Int(k)})
+                    .ok());
+  }
+
+  constexpr int kClients = 6;
+  constexpr int kTxns = 40;
+  std::atomic<int> committed{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Prng prng(static_cast<uint64_t>(c) * 7919 + 13);
+      middleware::SrcaRepReplica* mw =
+          cluster->replica(static_cast<size_t>(c) % 3);
+      for (int i = 0; i < kTxns; ++i) {
+        auto txn = mw->BeginTxn();
+        if (!txn.ok()) continue;
+        auto handle = std::move(txn).value();
+        const int64_t token = c * 100000 + i;
+        bool ok = true;
+        const int ops = 1 + static_cast<int>(prng.Uniform(3));
+        for (int o = 0; o < ops && ok; ++o) {
+          const char* table = prng.Bernoulli(0.5) ? "a" : "b";
+          const int64_t k = static_cast<int64_t>(prng.Uniform(12));
+          const int choice = static_cast<int>(prng.Uniform(10));
+          std::string sql;
+          std::vector<Value> params;
+          if (choice < 6) {
+            sql = std::string("UPDATE ") + table +
+                  " SET v = v + 1, who = ? WHERE k = ?";
+            params = {Value::Int(token), Value::Int(k)};
+          } else if (choice < 8) {
+            sql = std::string("DELETE FROM ") + table + " WHERE k = ?";
+            params = {Value::Int(k)};
+          } else {
+            sql = std::string("INSERT INTO ") + table + " VALUES (?, 1, ?)";
+            params = {Value::Int(k), Value::Int(token)};
+          }
+          ok = mw->Execute(handle, sql, params).ok();
+        }
+        if (!ok) {
+          mw->RollbackTxn(handle);
+          continue;
+        }
+        if (mw->CommitTxn(handle).ok()) committed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  cluster->Quiesce();
+  EXPECT_GT(committed.load(), 0);
+
+  for (const char* table : {"a", "b"}) {
+    auto r0 = cluster->db(0)->ExecuteAutoCommit(
+        std::string("SELECT * FROM ") + table + " ORDER BY k");
+    ASSERT_TRUE(r0.ok());
+    for (size_t r = 1; r < 3; ++r) {
+      auto rr = cluster->db(r)->ExecuteAutoCommit(
+          std::string("SELECT * FROM ") + table + " ORDER BY k");
+      ASSERT_TRUE(rr.ok());
+      ASSERT_EQ(rr.value().NumRows(), r0.value().NumRows())
+          << "table " << table << " replica " << r;
+      for (size_t i = 0; i < rr.value().rows.size(); ++i) {
+        for (size_t col = 0; col < rr.value().rows[i].size(); ++col) {
+          EXPECT_EQ(rr.value().rows[i][col], r0.value().rows[i][col])
+              << "table " << table << " replica " << r << " row " << i;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ConvergenceTest,
+                         ::testing::Values(ReplicaMode::kSrcaRep,
+                                           ReplicaMode::kSrcaOpt),
+                         [](const auto& info) {
+                           return info.param == ReplicaMode::kSrcaRep
+                                      ? "SrcaRep"
+                                      : "SrcaOpt";
+                         });
+
+// Multiple seeds for the staircase under SRCA-Rep (parameterized sweep).
+class StaircaseSeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(StaircaseSeeds, HoldsForSeed) {
+  auto cluster = MakeCluster(2, ReplicaMode::kSrcaRep);
+  ASSERT_TRUE(cluster
+                  ->ExecuteEverywhere(
+                      "CREATE TABLE pair (k VARCHAR(4), v INT, "
+                      "PRIMARY KEY (k))")
+                  .ok());
+  ASSERT_TRUE(
+      cluster->ExecuteEverywhere("INSERT INTO pair VALUES ('x', 0)").ok());
+  ASSERT_TRUE(
+      cluster->ExecuteEverywhere("INSERT INTO pair VALUES ('y', 0)").ok());
+  std::vector<Observation> observations;
+  RunStaircaseWorkload(*cluster, &observations, 1 + GetParam() % 2, 25, 3,
+                       40);
+  std::string bad;
+  EXPECT_TRUE(IsStaircase(observations, &bad)) << bad;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StaircaseSeeds, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace sirep

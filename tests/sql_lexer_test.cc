@@ -1,0 +1,103 @@
+// Unit tests for the SQL tokenizer.
+
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace sirep::sql {
+namespace {
+
+std::vector<Token> MustTokenize(const std::string& sql) {
+  auto result = Tokenize(sql);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return std::move(result).value();
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = MustTokenize("select Select SELECT sEleCt");
+  ASSERT_EQ(tokens.size(), 5u);  // 4 + end
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(tokens[i].type, TokenType::kKeyword);
+    EXPECT_EQ(tokens[i].text, "SELECT");
+  }
+}
+
+TEST(LexerTest, IdentifiersKeepCase) {
+  auto tokens = MustTokenize("my_Table _x a1");
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "my_Table");
+  EXPECT_EQ(tokens[1].text, "_x");
+  EXPECT_EQ(tokens[2].text, "a1");
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  auto tokens = MustTokenize("0 42 123456789012345");
+  EXPECT_EQ(tokens[0].type, TokenType::kIntLiteral);
+  EXPECT_EQ(tokens[0].int_value, 0);
+  EXPECT_EQ(tokens[1].int_value, 42);
+  EXPECT_EQ(tokens[2].int_value, 123456789012345LL);
+}
+
+TEST(LexerTest, DoubleLiterals) {
+  auto tokens = MustTokenize("3.14 .5 1e3 2.5E-2");
+  EXPECT_EQ(tokens[0].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[0].double_value, 3.14);
+  EXPECT_DOUBLE_EQ(tokens[1].double_value, 0.5);
+  EXPECT_DOUBLE_EQ(tokens[2].double_value, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[3].double_value, 0.025);
+}
+
+TEST(LexerTest, StringLiteralsWithEscapedQuote) {
+  auto tokens = MustTokenize("'hello' 'it''s'");
+  EXPECT_EQ(tokens[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  auto result = Tokenize("'oops");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LexerTest, Operators) {
+  auto tokens = MustTokenize("= != <> < <= > >= + - * / ( ) , ; ?");
+  std::vector<TokenType> expected = {
+      TokenType::kEq,    TokenType::kNe,     TokenType::kNe,
+      TokenType::kLt,    TokenType::kLe,     TokenType::kGt,
+      TokenType::kGe,    TokenType::kPlus,   TokenType::kMinus,
+      TokenType::kStar,  TokenType::kSlash,  TokenType::kLParen,
+      TokenType::kRParen, TokenType::kComma, TokenType::kSemicolon,
+      TokenType::kParam, TokenType::kEnd};
+  ASSERT_EQ(tokens.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(tokens[i].type, expected[i]) << "token " << i;
+  }
+}
+
+TEST(LexerTest, UnknownCharacterFails) {
+  EXPECT_FALSE(Tokenize("SELECT @ FROM t").ok());
+  EXPECT_FALSE(Tokenize("a # b").ok());
+}
+
+TEST(LexerTest, PositionsTracked) {
+  auto tokens = MustTokenize("SELECT x");
+  EXPECT_EQ(tokens[0].position, 0u);
+  EXPECT_EQ(tokens[1].position, 7u);
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  auto tokens = MustTokenize("   \t\n ");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, IsKeywordHelper) {
+  EXPECT_TRUE(IsKeyword("SELECT"));
+  EXPECT_TRUE(IsKeyword("COUNT"));
+  EXPECT_FALSE(IsKeyword("select"));  // expects uppercase
+  EXPECT_FALSE(IsKeyword("foo"));
+}
+
+}  // namespace
+}  // namespace sirep::sql

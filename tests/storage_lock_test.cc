@@ -1,0 +1,172 @@
+// Unit tests for the tuple lock manager: blocking, re-entrancy, deadlock
+// detection, and poisoning.
+
+#include "storage/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "sql/value.h"
+
+namespace sirep::storage {
+namespace {
+
+TupleId T(const std::string& table, int64_t key) {
+  return TupleId{table, sql::Key{{sql::Value::Int(key)}}};
+}
+
+TEST(LockManagerTest, AcquireAndRelease) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, T("t", 1)).ok());
+  EXPECT_EQ(lm.HolderOf(T("t", 1)), 1u);
+  EXPECT_EQ(lm.LocksHeld(1), 1u);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.HolderOf(T("t", 1)), kInvalidTxnId);
+  EXPECT_EQ(lm.LocksHeld(1), 0u);
+}
+
+TEST(LockManagerTest, ReentrantAcquire) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, T("t", 1)).ok());
+  ASSERT_TRUE(lm.Acquire(1, T("t", 1)).ok());
+  EXPECT_EQ(lm.LocksHeld(1), 1u);
+}
+
+TEST(LockManagerTest, DistinctTuplesDontConflict) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, T("t", 1)).ok());
+  ASSERT_TRUE(lm.Acquire(2, T("t", 2)).ok());
+  ASSERT_TRUE(lm.Acquire(3, T("u", 1)).ok());  // same key, other table
+}
+
+TEST(LockManagerTest, WaiterBlocksUntilRelease) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, T("t", 1)).ok());
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    EXPECT_TRUE(lm.Acquire(2, T("t", 1)).ok());
+    acquired.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(acquired.load());
+  lm.ReleaseAll(1);
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+  EXPECT_EQ(lm.HolderOf(T("t", 1)), 2u);
+}
+
+TEST(LockManagerTest, DirectDeadlockDetected) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, T("t", 1)).ok());
+  ASSERT_TRUE(lm.Acquire(2, T("t", 2)).ok());
+
+  std::atomic<int> deadlocks{0};
+  // txn 1 wants tuple 2 (blocks), txn 2 wants tuple 1 (closes the cycle).
+  std::thread t1([&] {
+    Status st = lm.Acquire(1, T("t", 2));
+    if (st.code() == StatusCode::kDeadlock) deadlocks.fetch_add(1);
+    if (!st.ok()) lm.ReleaseAll(1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::thread t2([&] {
+    Status st = lm.Acquire(2, T("t", 1));
+    if (st.code() == StatusCode::kDeadlock) deadlocks.fetch_add(1);
+    if (!st.ok()) lm.ReleaseAll(2);
+  });
+  t1.join();
+  t2.join();
+  EXPECT_GE(deadlocks.load(), 1);
+  EXPECT_GE(lm.deadlock_count(), 1u);
+}
+
+TEST(LockManagerTest, ThreeWayDeadlockDetected) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, T("t", 1)).ok());
+  ASSERT_TRUE(lm.Acquire(2, T("t", 2)).ok());
+  ASSERT_TRUE(lm.Acquire(3, T("t", 3)).ok());
+
+  std::atomic<int> deadlocks{0};
+  std::atomic<int> done{0};
+  auto chase = [&](TxnId me, int64_t want) {
+    Status st = lm.Acquire(me, T("t", want));
+    if (st.code() == StatusCode::kDeadlock) deadlocks.fetch_add(1);
+    lm.ReleaseAll(me);  // release so others unblock
+    done.fetch_add(1);
+  };
+  std::thread a(chase, 1, 2);
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  std::thread b(chase, 2, 3);
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  std::thread c(chase, 3, 1);
+  a.join();
+  b.join();
+  c.join();
+  EXPECT_EQ(done.load(), 3);
+  EXPECT_GE(deadlocks.load(), 1);
+}
+
+TEST(LockManagerTest, PoisonWakesWaiter) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, T("t", 1)).ok());
+  std::atomic<bool> aborted{false};
+  std::thread waiter([&] {
+    Status st = lm.Acquire(2, T("t", 1));
+    if (st.code() == StatusCode::kAborted) aborted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  lm.Poison(2);
+  waiter.join();
+  EXPECT_TRUE(aborted.load());
+  lm.ReleaseAll(1);
+  lm.ReleaseAll(2);
+  // After ReleaseAll the poison is cleared; txn id 2 could lock again.
+  EXPECT_TRUE(lm.Acquire(2, T("t", 1)).ok());
+}
+
+TEST(LockManagerTest, ReleaseAllWakesAllWaiters) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, T("t", 1)).ok());
+  std::atomic<int> got{0};
+  std::vector<std::thread> waiters;
+  for (TxnId id = 2; id <= 5; ++id) {
+    waiters.emplace_back([&, id] {
+      if (lm.Acquire(id, T("t", 1)).ok()) {
+        got.fetch_add(1);
+        lm.ReleaseAll(id);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  lm.ReleaseAll(1);
+  for (auto& w : waiters) w.join();
+  EXPECT_EQ(got.load(), 4);
+}
+
+TEST(LockManagerTest, StressManyThreadsNoLostLocks) {
+  LockManager lm;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::atomic<int> in_cs{0};
+  std::atomic<bool> violation{false};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      for (int j = 0; j < kIters; ++j) {
+        const TxnId id = static_cast<TxnId>(i * kIters + j + 1);
+        if (!lm.Acquire(id, T("hot", 0)).ok()) continue;
+        if (in_cs.fetch_add(1) != 0) violation.store(true);
+        in_cs.fetch_sub(1);
+        lm.ReleaseAll(id);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(lm.HolderOf(T("hot", 0)), kInvalidTxnId);
+}
+
+}  // namespace
+}  // namespace sirep::storage

@@ -1,0 +1,219 @@
+// Tests for the workload generators and the load-generator runner.
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "workload/runner.h"
+#include "workload/simple_workloads.h"
+#include "workload/tpcw.h"
+
+namespace sirep::workload {
+namespace {
+
+using cluster::Cluster;
+using cluster::ClusterOptions;
+
+TEST(TpcwTest, LoadCreatesSchemaAndData) {
+  engine::Database db;
+  TpcwOptions options;
+  options.num_items = 100;
+  options.num_ebs = 8;
+  TpcwWorkload tpcw(options);
+  ASSERT_TRUE(tpcw.Load(&db).ok());
+
+  auto items = db.ExecuteAutoCommit("SELECT COUNT(*) FROM item");
+  EXPECT_EQ(items.value().rows[0][0].AsInt(), 100);
+  auto carts = db.ExecuteAutoCommit("SELECT COUNT(*) FROM shopping_cart");
+  EXPECT_EQ(carts.value().rows[0][0].AsInt(), 8);
+  auto customers = db.ExecuteAutoCommit("SELECT COUNT(*) FROM customer");
+  EXPECT_EQ(customers.value().rows[0][0].AsInt(),
+            8 * options.customers_per_eb);
+  // 8 tables exist.
+  EXPECT_EQ(db.engine().TableNames().size(), 8u);
+}
+
+TEST(TpcwTest, LoadIsDeterministicAcrossReplicas) {
+  engine::Database db1, db2;
+  TpcwOptions options;
+  options.num_items = 50;
+  options.num_ebs = 4;
+  TpcwWorkload w1(options), w2(options);
+  ASSERT_TRUE(w1.Load(&db1).ok());
+  ASSERT_TRUE(w2.Load(&db2).ok());
+  auto r1 = db1.ExecuteAutoCommit("SELECT * FROM item ORDER BY i_id");
+  auto r2 = db2.ExecuteAutoCommit("SELECT * FROM item ORDER BY i_id");
+  ASSERT_EQ(r1.value().NumRows(), r2.value().NumRows());
+  for (size_t i = 0; i < r1.value().rows.size(); ++i) {
+    EXPECT_EQ(r1.value().rows[i], r2.value().rows[i]);
+  }
+}
+
+TEST(TpcwTest, MixIsRoughlyHalfUpdates) {
+  TpcwWorkload tpcw;
+  Prng prng(123);
+  int updates = 0;
+  constexpr int kSamples = 2000;
+  for (int i = 0; i < kSamples; ++i) {
+    auto txn = tpcw.Next(prng);
+    EXPECT_FALSE(txn.statements.empty());
+    EXPECT_FALSE(txn.tables.empty());
+    if (!txn.read_only) ++updates;
+  }
+  // Ordering mix: 50% updates (paper).
+  EXPECT_NEAR(static_cast<double>(updates) / kSamples, 0.5, 0.05);
+}
+
+TEST(TpcwTest, TransactionsExecuteAgainstLoadedDb) {
+  engine::Database db;
+  TpcwOptions options;
+  options.num_items = 100;
+  options.num_ebs = 8;
+  TpcwWorkload tpcw(options);
+  ASSERT_TRUE(tpcw.Load(&db).ok());
+
+  Prng prng(7);
+  engine::Session session(&db);
+  session.SetAutoCommit(false);
+  int ok_count = 0;
+  for (int i = 0; i < 50; ++i) {
+    auto txn = tpcw.Next(prng);
+    bool ok = true;
+    for (const auto& [sql, params] : txn.statements) {
+      auto r = session.Execute(sql, params);
+      if (!r.ok()) {
+        ok = false;
+        session.Rollback();
+        break;
+      }
+    }
+    if (ok && session.Commit().ok()) ++ok_count;
+  }
+  // Single session, no concurrency: everything should commit.
+  EXPECT_EQ(ok_count, 50);
+}
+
+TEST(LargeDbTest, LoadAndMix) {
+  engine::Database db;
+  LargeDbWorkload::Options options;
+  options.rows_per_table = 50;
+  LargeDbWorkload workload(options);
+  ASSERT_TRUE(workload.Load(&db).ok());
+  EXPECT_EQ(db.engine().TableNames().size(), 10u);
+
+  Prng prng(5);
+  int updates = 0;
+  for (int i = 0; i < 1000; ++i) {
+    auto txn = workload.Next(prng);
+    if (!txn.read_only) {
+      ++updates;
+      EXPECT_EQ(txn.statements.size(), 10u);
+    } else {
+      EXPECT_EQ(txn.statements.size(), 1u);
+    }
+  }
+  EXPECT_NEAR(updates / 1000.0, 0.2, 0.05);  // 20/80 mix
+}
+
+TEST(UpdateIntensiveTest, AllUpdatesThreeTables) {
+  engine::Database db;
+  UpdateIntensiveWorkload workload;
+  ASSERT_TRUE(workload.Load(&db).ok());
+  Prng prng(11);
+  for (int i = 0; i < 200; ++i) {
+    auto txn = workload.Next(prng);
+    EXPECT_FALSE(txn.read_only);
+    EXPECT_EQ(txn.statements.size(), 10u);
+    EXPECT_EQ(txn.tables.size(), 3u);  // paper: 3 tables per transaction
+    // Declared tables are distinct.
+    EXPECT_NE(txn.tables[0], txn.tables[1]);
+    EXPECT_NE(txn.tables[1], txn.tables[2]);
+    EXPECT_NE(txn.tables[0], txn.tables[2]);
+  }
+}
+
+TEST(RunnerTest, SessionExecutorRunsLoad) {
+  engine::Database db;
+  UpdateIntensiveWorkload::Options wopt;
+  wopt.rows_per_table = 50;
+  UpdateIntensiveWorkload workload(wopt);
+  ASSERT_TRUE(workload.Load(&db).ok());
+
+  LoadOptions options;
+  options.offered_tps = 200;
+  options.clients = 4;
+  options.warmup = std::chrono::milliseconds(100);
+  options.duration = std::chrono::milliseconds(500);
+  auto metrics = RunLoad(
+      workload,
+      [&](size_t) { return std::make_unique<SessionExecutor>(&db); },
+      options);
+  EXPECT_GT(metrics.committed, 10u);
+  EXPECT_GT(metrics.update_ms.count(), 0u);
+  EXPECT_GT(metrics.achieved_tps, 0.0);
+}
+
+TEST(RunnerTest, ConnectionExecutorOnCluster) {
+  ClusterOptions copt;
+  copt.num_replicas = 2;
+  Cluster cluster(copt);
+  ASSERT_TRUE(cluster.Start().ok());
+  UpdateIntensiveWorkload::Options wopt;
+  wopt.rows_per_table = 50;
+  UpdateIntensiveWorkload workload(wopt);
+  ASSERT_TRUE(cluster
+                  .LoadEverywhere([&](engine::Database* db) {
+                    return workload.Load(db);
+                  })
+                  .ok());
+
+  LoadOptions options;
+  options.offered_tps = 100;
+  options.clients = 4;
+  options.warmup = std::chrono::milliseconds(100);
+  options.duration = std::chrono::milliseconds(600);
+  auto metrics = RunLoad(
+      workload,
+      [&](size_t i) -> std::unique_ptr<TxnExecutor> {
+        client::ConnectionOptions copts;
+        copts.seed = i + 1;
+        auto conn = cluster.Connect(copts);
+        if (!conn.ok()) return nullptr;
+        return std::make_unique<ConnectionExecutor>(std::move(conn).value());
+      },
+      options);
+  EXPECT_GT(metrics.committed, 5u);
+  EXPECT_EQ(metrics.lost, 0u);
+  cluster.Quiesce();
+
+  // Replicated run: both replicas converge.
+  for (int t = 0; t < 10; ++t) {
+    const std::string sql =
+        "SELECT SUM(v) FROM ut" + std::to_string(t);
+    auto a = cluster.db(0)->ExecuteAutoCommit(sql);
+    auto b = cluster.db(1)->ExecuteAutoCommit(sql);
+    EXPECT_EQ(a.value().rows[0][0].AsInt(), b.value().rows[0][0].AsInt())
+        << sql;
+  }
+}
+
+TEST(RunnerTest, WarmupExcludedFromSamples) {
+  engine::Database db;
+  UpdateIntensiveWorkload::Options wopt;
+  wopt.rows_per_table = 50;
+  UpdateIntensiveWorkload workload(wopt);
+  ASSERT_TRUE(workload.Load(&db).ok());
+  LoadOptions options;
+  options.offered_tps = 1000;
+  options.clients = 2;
+  options.warmup = std::chrono::milliseconds(400);
+  options.duration = std::chrono::milliseconds(200);
+  auto metrics = RunLoad(
+      workload,
+      [&](size_t) { return std::make_unique<SessionExecutor>(&db); },
+      options);
+  // attempted counts only post-warmup transactions: plausibly ~200tps*0.2s
+  EXPECT_LT(metrics.attempted, 1000u);
+}
+
+}  // namespace
+}  // namespace sirep::workload
