@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adjustments.dir/ablation_adjustments.cc.o"
+  "CMakeFiles/ablation_adjustments.dir/ablation_adjustments.cc.o.d"
+  "ablation_adjustments"
+  "ablation_adjustments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adjustments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gcs_delay.dir/ablation_gcs_delay.cc.o"
+  "CMakeFiles/ablation_gcs_delay.dir/ablation_gcs_delay.cc.o.d"
+  "ablation_gcs_delay"
+  "ablation_gcs_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gcs_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

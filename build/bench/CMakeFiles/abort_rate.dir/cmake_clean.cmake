@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abort_rate.dir/abort_rate.cc.o"
+  "CMakeFiles/abort_rate.dir/abort_rate.cc.o.d"
+  "abort_rate"
+  "abort_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abort_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

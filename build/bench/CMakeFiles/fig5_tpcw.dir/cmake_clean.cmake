@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_tpcw.dir/fig5_tpcw.cc.o"
+  "CMakeFiles/fig5_tpcw.dir/fig5_tpcw.cc.o.d"
+  "fig5_tpcw"
+  "fig5_tpcw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_tpcw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_largedb.dir/fig6_largedb.cc.o"
+  "CMakeFiles/fig6_largedb.dir/fig6_largedb.cc.o.d"
+  "fig6_largedb"
+  "fig6_largedb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_largedb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/gcs_micro.cc" "bench/CMakeFiles/gcs_micro.dir/gcs_micro.cc.o" "gcc" "bench/CMakeFiles/gcs_micro.dir/gcs_micro.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/sirep_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sirep_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sirep_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/sirep_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/middleware/CMakeFiles/sirep_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcs/CMakeFiles/sirep_gcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/sirep_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sirep_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/sirep_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sirep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcs_micro.dir/gcs_micro.cc.o"
+  "CMakeFiles/gcs_micro.dir/gcs_micro.cc.o.d"
+  "gcs_micro"
+  "gcs_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcs_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holes_rate.dir/holes_rate.cc.o"
+  "CMakeFiles/holes_rate.dir/holes_rate.cc.o.d"
+  "holes_rate"
+  "holes_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holes_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirep_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/sirep_bench_common.dir/bench_common.cc.o.d"
+  "libsirep_bench_common.a"
+  "libsirep_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirep_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_micro.dir/validation_micro.cc.o"
+  "CMakeFiles/validation_micro.dir/validation_micro.cc.o.d"
+  "validation_micro"
+  "validation_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

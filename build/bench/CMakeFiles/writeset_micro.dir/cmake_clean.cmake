@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/writeset_micro.dir/writeset_micro.cc.o"
+  "CMakeFiles/writeset_micro.dir/writeset_micro.cc.o.d"
+  "writeset_micro"
+  "writeset_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/writeset_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

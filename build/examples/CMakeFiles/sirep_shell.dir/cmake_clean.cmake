@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirep_shell.dir/sirep_shell.cpp.o"
+  "CMakeFiles/sirep_shell.dir/sirep_shell.cpp.o.d"
+  "sirep_shell"
+  "sirep_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirep_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_isolation_tour.dir/snapshot_isolation_tour.cpp.o"
+  "CMakeFiles/snapshot_isolation_tour.dir/snapshot_isolation_tour.cpp.o.d"
+  "snapshot_isolation_tour"
+  "snapshot_isolation_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_isolation_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirep_client.dir/driver.cc.o"
+  "CMakeFiles/sirep_client.dir/driver.cc.o.d"
+  "libsirep_client.a"
+  "libsirep_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirep_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

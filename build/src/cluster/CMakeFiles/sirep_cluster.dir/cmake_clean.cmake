@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirep_cluster.dir/cluster.cc.o"
+  "CMakeFiles/sirep_cluster.dir/cluster.cc.o.d"
+  "libsirep_cluster.a"
+  "libsirep_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirep_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sirep_cluster.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirep_common.dir/logging.cc.o"
+  "CMakeFiles/sirep_common.dir/logging.cc.o.d"
+  "CMakeFiles/sirep_common.dir/prng.cc.o"
+  "CMakeFiles/sirep_common.dir/prng.cc.o.d"
+  "CMakeFiles/sirep_common.dir/stats.cc.o"
+  "CMakeFiles/sirep_common.dir/stats.cc.o.d"
+  "CMakeFiles/sirep_common.dir/status.cc.o"
+  "CMakeFiles/sirep_common.dir/status.cc.o.d"
+  "libsirep_common.a"
+  "libsirep_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirep_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/database.cc" "src/engine/CMakeFiles/sirep_engine.dir/database.cc.o" "gcc" "src/engine/CMakeFiles/sirep_engine.dir/database.cc.o.d"
+  "/root/repo/src/engine/exec.cc" "src/engine/CMakeFiles/sirep_engine.dir/exec.cc.o" "gcc" "src/engine/CMakeFiles/sirep_engine.dir/exec.cc.o.d"
+  "/root/repo/src/engine/query_result.cc" "src/engine/CMakeFiles/sirep_engine.dir/query_result.cc.o" "gcc" "src/engine/CMakeFiles/sirep_engine.dir/query_result.cc.o.d"
+  "/root/repo/src/engine/session.cc" "src/engine/CMakeFiles/sirep_engine.dir/session.cc.o" "gcc" "src/engine/CMakeFiles/sirep_engine.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/sirep_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/sirep_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sirep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirep_engine.dir/database.cc.o"
+  "CMakeFiles/sirep_engine.dir/database.cc.o.d"
+  "CMakeFiles/sirep_engine.dir/exec.cc.o"
+  "CMakeFiles/sirep_engine.dir/exec.cc.o.d"
+  "CMakeFiles/sirep_engine.dir/query_result.cc.o"
+  "CMakeFiles/sirep_engine.dir/query_result.cc.o.d"
+  "CMakeFiles/sirep_engine.dir/session.cc.o"
+  "CMakeFiles/sirep_engine.dir/session.cc.o.d"
+  "libsirep_engine.a"
+  "libsirep_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirep_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirep_gcs.dir/group.cc.o"
+  "CMakeFiles/sirep_gcs.dir/group.cc.o.d"
+  "libsirep_gcs.a"
+  "libsirep_gcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirep_gcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

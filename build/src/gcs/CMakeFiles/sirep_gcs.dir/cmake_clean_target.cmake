@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsirep_gcs.a"
+)

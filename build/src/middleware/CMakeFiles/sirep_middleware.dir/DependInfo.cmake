@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/middleware/replica_mw.cc" "src/middleware/CMakeFiles/sirep_middleware.dir/replica_mw.cc.o" "gcc" "src/middleware/CMakeFiles/sirep_middleware.dir/replica_mw.cc.o.d"
+  "/root/repo/src/middleware/srca.cc" "src/middleware/CMakeFiles/sirep_middleware.dir/srca.cc.o" "gcc" "src/middleware/CMakeFiles/sirep_middleware.dir/srca.cc.o.d"
+  "/root/repo/src/middleware/table_lock_baseline.cc" "src/middleware/CMakeFiles/sirep_middleware.dir/table_lock_baseline.cc.o" "gcc" "src/middleware/CMakeFiles/sirep_middleware.dir/table_lock_baseline.cc.o.d"
+  "/root/repo/src/middleware/table_locks.cc" "src/middleware/CMakeFiles/sirep_middleware.dir/table_locks.cc.o" "gcc" "src/middleware/CMakeFiles/sirep_middleware.dir/table_locks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/sirep_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcs/CMakeFiles/sirep_gcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sirep_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sirep_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/sirep_sql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirep_middleware.dir/replica_mw.cc.o"
+  "CMakeFiles/sirep_middleware.dir/replica_mw.cc.o.d"
+  "CMakeFiles/sirep_middleware.dir/srca.cc.o"
+  "CMakeFiles/sirep_middleware.dir/srca.cc.o.d"
+  "CMakeFiles/sirep_middleware.dir/table_lock_baseline.cc.o"
+  "CMakeFiles/sirep_middleware.dir/table_lock_baseline.cc.o.d"
+  "CMakeFiles/sirep_middleware.dir/table_locks.cc.o"
+  "CMakeFiles/sirep_middleware.dir/table_locks.cc.o.d"
+  "libsirep_middleware.a"
+  "libsirep_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirep_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

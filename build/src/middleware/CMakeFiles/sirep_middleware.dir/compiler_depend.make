@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sirep_middleware.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirep_sql.dir/ast.cc.o"
+  "CMakeFiles/sirep_sql.dir/ast.cc.o.d"
+  "CMakeFiles/sirep_sql.dir/lexer.cc.o"
+  "CMakeFiles/sirep_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/sirep_sql.dir/parser.cc.o"
+  "CMakeFiles/sirep_sql.dir/parser.cc.o.d"
+  "CMakeFiles/sirep_sql.dir/schema.cc.o"
+  "CMakeFiles/sirep_sql.dir/schema.cc.o.d"
+  "CMakeFiles/sirep_sql.dir/serde.cc.o"
+  "CMakeFiles/sirep_sql.dir/serde.cc.o.d"
+  "CMakeFiles/sirep_sql.dir/value.cc.o"
+  "CMakeFiles/sirep_sql.dir/value.cc.o.d"
+  "libsirep_sql.a"
+  "libsirep_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirep_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/lock_manager.cc" "src/storage/CMakeFiles/sirep_storage.dir/lock_manager.cc.o" "gcc" "src/storage/CMakeFiles/sirep_storage.dir/lock_manager.cc.o.d"
+  "/root/repo/src/storage/mvcc_table.cc" "src/storage/CMakeFiles/sirep_storage.dir/mvcc_table.cc.o" "gcc" "src/storage/CMakeFiles/sirep_storage.dir/mvcc_table.cc.o.d"
+  "/root/repo/src/storage/storage_engine.cc" "src/storage/CMakeFiles/sirep_storage.dir/storage_engine.cc.o" "gcc" "src/storage/CMakeFiles/sirep_storage.dir/storage_engine.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/storage/CMakeFiles/sirep_storage.dir/wal.cc.o" "gcc" "src/storage/CMakeFiles/sirep_storage.dir/wal.cc.o.d"
+  "/root/repo/src/storage/write_set.cc" "src/storage/CMakeFiles/sirep_storage.dir/write_set.cc.o" "gcc" "src/storage/CMakeFiles/sirep_storage.dir/write_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/sirep_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sirep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirep_storage.dir/lock_manager.cc.o"
+  "CMakeFiles/sirep_storage.dir/lock_manager.cc.o.d"
+  "CMakeFiles/sirep_storage.dir/mvcc_table.cc.o"
+  "CMakeFiles/sirep_storage.dir/mvcc_table.cc.o.d"
+  "CMakeFiles/sirep_storage.dir/storage_engine.cc.o"
+  "CMakeFiles/sirep_storage.dir/storage_engine.cc.o.d"
+  "CMakeFiles/sirep_storage.dir/wal.cc.o"
+  "CMakeFiles/sirep_storage.dir/wal.cc.o.d"
+  "CMakeFiles/sirep_storage.dir/write_set.cc.o"
+  "CMakeFiles/sirep_storage.dir/write_set.cc.o.d"
+  "libsirep_storage.a"
+  "libsirep_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirep_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirep_workload.dir/runner.cc.o"
+  "CMakeFiles/sirep_workload.dir/runner.cc.o.d"
+  "CMakeFiles/sirep_workload.dir/simple_workloads.cc.o"
+  "CMakeFiles/sirep_workload.dir/simple_workloads.cc.o.d"
+  "CMakeFiles/sirep_workload.dir/tpcw.cc.o"
+  "CMakeFiles/sirep_workload.dir/tpcw.cc.o.d"
+  "libsirep_workload.a"
+  "libsirep_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirep_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_connection_test.dir/client_connection_test.cc.o"
+  "CMakeFiles/client_connection_test.dir/client_connection_test.cc.o.d"
+  "client_connection_test"
+  "client_connection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_connection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_join_test.dir/engine_join_test.cc.o"
+  "CMakeFiles/engine_join_test.dir/engine_join_test.cc.o.d"
+  "engine_join_test"
+  "engine_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middleware_unit_test.dir/middleware_unit_test.cc.o"
+  "CMakeFiles/middleware_unit_test.dir/middleware_unit_test.cc.o.d"
+  "middleware_unit_test"
+  "middleware_unit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middleware_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

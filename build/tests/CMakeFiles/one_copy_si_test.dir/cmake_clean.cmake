@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/one_copy_si_test.dir/one_copy_si_test.cc.o"
+  "CMakeFiles/one_copy_si_test.dir/one_copy_si_test.cc.o.d"
+  "one_copy_si_test"
+  "one_copy_si_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/one_copy_si_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

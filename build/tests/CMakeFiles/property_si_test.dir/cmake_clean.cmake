@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_si_test.dir/property_si_test.cc.o"
+  "CMakeFiles/property_si_test.dir/property_si_test.cc.o.d"
+  "property_si_test"
+  "property_si_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_si_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

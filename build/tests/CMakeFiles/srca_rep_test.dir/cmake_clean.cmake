@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srca_rep_test.dir/srca_rep_test.cc.o"
+  "CMakeFiles/srca_rep_test.dir/srca_rep_test.cc.o.d"
+  "srca_rep_test"
+  "srca_rep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srca_rep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_lock_test.dir/storage_lock_test.cc.o"
+  "CMakeFiles/storage_lock_test.dir/storage_lock_test.cc.o.d"
+  "storage_lock_test"
+  "storage_lock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_lock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_mvcc_test.dir/storage_mvcc_test.cc.o"
+  "CMakeFiles/storage_mvcc_test.dir/storage_mvcc_test.cc.o.d"
+  "storage_mvcc_test"
+  "storage_mvcc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_mvcc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

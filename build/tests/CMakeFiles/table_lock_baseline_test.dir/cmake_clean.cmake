@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_lock_baseline_test.dir/table_lock_baseline_test.cc.o"
+  "CMakeFiles/table_lock_baseline_test.dir/table_lock_baseline_test.cc.o.d"
+  "table_lock_baseline_test"
+  "table_lock_baseline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_lock_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
