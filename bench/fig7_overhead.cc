@@ -63,6 +63,11 @@ void RunReplicatedSeries(const std::vector<double>& loads,
                           Fmt(100.0 * m.abort_rate(), 2)});
     cluster.Quiesce();
   }
+  // Where the paper estimates middleware overhead (Fig. 7 discussion), we
+  // can measure it: per-stage commit-path latencies from the registry.
+  std::printf("\n[%s] %s\n", label,
+              cluster::Cluster::FormatCommitBreakdown(cluster.DumpMetrics())
+                  .c_str());
 }
 
 void RunBaselineSeries(const std::vector<double>& loads) {

@@ -101,5 +101,19 @@ int main() {
               static_cast<long long>(after.value().rows[0][0].AsInt()),
               watcher->replica()->member_id(),
               static_cast<unsigned long long>(watcher->failover_count()));
+
+  // 9. Observability: every layer records into a unified metrics
+  // registry; one merged snapshot covers the whole deployment.
+  cluster.Quiesce();
+  const auto snap = cluster.DumpMetrics();
+  std::printf("\n%s\n",
+              sirep::cluster::Cluster::FormatCommitBreakdown(snap).c_str());
+  std::printf("committed=%llu global-validation-aborts=%llu "
+              "multicasts-delivered=%llu\n",
+              static_cast<unsigned long long>(snap.counters.at("mw.committed")),
+              static_cast<unsigned long long>(
+                  snap.counters.at("mw.global_val_aborts")),
+              static_cast<unsigned long long>(
+                  snap.counters.at("gcs.messages_delivered")));
   return 0;
 }

@@ -1,7 +1,11 @@
 #include "cluster/cluster.h"
 
 #include <chrono>
+#include <iomanip>
+#include <sstream>
 #include <thread>
+
+#include "obs/trace.h"
 
 namespace sirep::cluster {
 
@@ -54,10 +58,12 @@ void Cluster::SetEmulationEnabled(bool enabled) {
 }
 
 void Cluster::CrashReplica(size_t index) {
+  std::shared_lock<std::shared_mutex> lock(replicas_mu_);
   if (index < replicas_.size()) replicas_[index]->Crash();
 }
 
 std::vector<middleware::SrcaRepReplica*> Cluster::Discover() {
+  std::shared_lock<std::shared_mutex> lock(replicas_mu_);
   std::vector<middleware::SrcaRepReplica*> out;
   for (auto& replica : replicas_) {
     // Paper §5.4: "replicas that are able to handle additional workload
@@ -68,14 +74,19 @@ std::vector<middleware::SrcaRepReplica*> Cluster::Discover() {
 }
 
 Status Cluster::RestartReplica(size_t index) {
-  if (index >= replicas_.size()) {
-    return Status::InvalidArgument("no replica " + std::to_string(index));
+  middleware::SrcaRepReplica* old = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(replicas_mu_);
+    if (index >= replicas_.size()) {
+      return Status::InvalidArgument("no replica " + std::to_string(index));
+    }
+    old = replicas_[index].get();
   }
-  if (replicas_[index]->IsAlive()) {
+  if (old->IsAlive()) {
     return Status::InvalidArgument("replica " + std::to_string(index) +
                                    " has not crashed");
   }
-  const uint64_t from_tid = replicas_[index]->StableCommitPrefix();
+  const uint64_t from_tid = old->StableCommitPrefix();
   // The database "process" restarts: committed data survives, in-flight
   // transactions of the dead incarnation roll back implicitly.
   nodes_[index]->db()->engine().SimulateRestart();
@@ -85,14 +96,20 @@ Status Cluster::RestartReplica(size_t index) {
       nodes_[index]->db(), group_.get(), ropt);
   SIREP_RETURN_IF_ERROR(incarnation->Start());
   SIREP_RETURN_IF_ERROR(incarnation->Recover(from_tid));
-  replicas_[index] = std::move(incarnation);
+  {
+    // Park (don't destroy) the dead incarnation: clients may still hold
+    // raw pointers to it mid-failover.
+    std::unique_lock<std::shared_mutex> lock(replicas_mu_);
+    retired_.push_back(std::move(replicas_[index]));
+    replicas_[index] = std::move(incarnation);
+  }
   return Status::OK();
 }
 
 Result<size_t> Cluster::AddReplica(
     const std::function<Status(engine::Database*)>& schema_loader) {
   auto node = std::make_unique<ReplicaNode>(
-      "replica" + std::to_string(nodes_.size()), options_.workers_per_replica,
+      "replica" + std::to_string(size()), options_.workers_per_replica,
       options_.cost);
   SIREP_RETURN_IF_ERROR(schema_loader(node->db()));
   middleware::ReplicaOptions ropt = options_.replica;
@@ -101,6 +118,7 @@ Result<size_t> Cluster::AddReplica(
       node->db(), group_.get(), ropt);
   SIREP_RETURN_IF_ERROR(replica->Start());
   SIREP_RETURN_IF_ERROR(replica->Recover(/*from_tid=*/0));
+  std::unique_lock<std::shared_mutex> lock(replicas_mu_);
   nodes_.push_back(std::move(node));
   replicas_.push_back(std::move(replica));
   return nodes_.size() - 1;
@@ -112,8 +130,40 @@ size_t Cluster::VacuumAll() {
   return freed;
 }
 
+obs::MetricsSnapshot Cluster::DumpMetrics() const {
+  obs::MetricsSnapshot merged = group_->metrics().Snapshot();
+  std::shared_lock<std::shared_mutex> lock(replicas_mu_);
+  for (const auto& replica : replicas_) {
+    merged.Merge(replica->metrics().Snapshot());
+  }
+  for (const auto& node : nodes_) {
+    merged.Merge(node->db()->engine().metrics().Snapshot());
+  }
+  return merged;
+}
+
+std::string Cluster::FormatCommitBreakdown(const obs::MetricsSnapshot& snap) {
+  std::ostringstream os;
+  os << "commit-path stage breakdown (us)\n";
+  os << "  " << std::left << std::setw(16) << "stage" << std::right
+     << std::setw(10) << "count" << std::setw(12) << "mean"
+     << std::setw(12) << "p95" << "\n";
+  os << std::fixed << std::setprecision(1);
+  for (int i = 0; i < obs::kNumStages; ++i) {
+    const auto stage = static_cast<obs::Stage>(i);
+    const auto it = snap.histograms.find(obs::StageMetricName(stage));
+    if (it == snap.histograms.end()) continue;
+    const obs::HistogramSnapshot& h = it->second;
+    os << "  " << std::left << std::setw(16) << obs::StageName(stage)
+       << std::right << std::setw(10) << h.count << std::setw(12)
+       << h.Mean() << std::setw(12) << h.Quantile(0.95) << "\n";
+  }
+  return os.str();
+}
+
 middleware::SrcaRepReplica::Stats Cluster::AggregateStats() const {
   middleware::SrcaRepReplica::Stats total;
+  std::shared_lock<std::shared_mutex> lock(replicas_mu_);
   for (const auto& replica : replicas_) {
     auto s = replica->stats();
     total.committed += s.committed;
@@ -136,11 +186,14 @@ void Cluster::Quiesce() {
   // applies are asynchronous after delivery).
   while (true) {
     bool busy = false;
-    for (auto& replica : replicas_) {
-      if (!replica->IsAlive()) continue;
-      if (replica->PendingQueueSize() > 0) {
-        busy = true;
-        break;
+    {
+      std::shared_lock<std::shared_mutex> lock(replicas_mu_);
+      for (auto& replica : replicas_) {
+        if (!replica->IsAlive()) continue;
+        if (replica->PendingQueueSize() > 0) {
+          busy = true;
+          break;
+        }
       }
     }
     if (!busy) return;

@@ -3,6 +3,8 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -81,16 +83,38 @@ class Cluster : public client::ReplicaDirectory {
   Result<size_t> AddReplica(
       const std::function<Status(engine::Database*)>& schema_loader);
 
-  size_t size() const { return nodes_.size(); }
-  ReplicaNode* node(size_t index) { return nodes_[index].get(); }
-  engine::Database* db(size_t index) { return nodes_[index]->db(); }
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(replicas_mu_);
+    return nodes_.size();
+  }
+  ReplicaNode* node(size_t index) {
+    std::shared_lock<std::shared_mutex> lock(replicas_mu_);
+    return nodes_[index].get();
+  }
+  engine::Database* db(size_t index) {
+    std::shared_lock<std::shared_mutex> lock(replicas_mu_);
+    return nodes_[index]->db();
+  }
   middleware::SrcaRepReplica* replica(size_t index) {
+    std::shared_lock<std::shared_mutex> lock(replicas_mu_);
     return replicas_[index].get();
   }
   gcs::Group& group() { return *group_; }
 
   /// Sum of per-replica stats (for benches).
   middleware::SrcaRepReplica::Stats AggregateStats() const;
+
+  /// Merged metrics snapshot across the whole deployment: every
+  /// middleware replica's registry ("mw.*"), every storage engine's
+  /// ("storage.*", "engine.*"), and the GCS group's ("gcs.*"). Same-name
+  /// metrics from different replicas add up (histograms bucket-wise).
+  obs::MetricsSnapshot DumpMetrics() const;
+
+  /// Human-readable per-stage commit-latency breakdown (count / mean /
+  /// p95 per commit-path stage) extracted from `snapshot`'s
+  /// "mw.commit.stage.*_us" histograms — the paper's Fig. 7 overhead
+  /// table, measured instead of estimated.
+  static std::string FormatCommitBreakdown(const obs::MetricsSnapshot& snap);
 
   /// Blocks until all multicast traffic has been delivered and all
   /// tocommit queues drained (test helper).
@@ -106,8 +130,16 @@ class Cluster : public client::ReplicaDirectory {
  private:
   ClusterOptions options_;
   std::unique_ptr<gcs::Group> group_;
+  /// Guards nodes_/replicas_ against concurrent structural changes:
+  /// RestartReplica swaps a replica slot and AddReplica appends while
+  /// client threads run Discover() and tests poke accessors. Readers
+  /// take it shared; recording into replica objects needs no lock.
+  mutable std::shared_mutex replicas_mu_;
   std::vector<std::unique_ptr<ReplicaNode>> nodes_;
   std::vector<std::unique_ptr<middleware::SrcaRepReplica>> replicas_;
+  /// Dead middleware incarnations, parked so raw SrcaRepReplica*
+  /// handles held by clients stay valid until the cluster dies.
+  std::vector<std::unique_ptr<middleware::SrcaRepReplica>> retired_;
   client::Driver driver_;
 };
 

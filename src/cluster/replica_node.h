@@ -35,6 +35,7 @@ class ReplicaNode {
   }
 
   engine::Database* db() { return db_.get(); }
+  const engine::Database* db() const { return db_.get(); }
 
   /// Turns the cost emulation on/off (off during bulk data loading).
   void SetEmulationEnabled(bool enabled) {

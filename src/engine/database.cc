@@ -40,6 +40,7 @@ Result<QueryResult> Database::Execute(const TransactionPtr& txn,
                                       const Statement& stmt,
                                       const std::vector<Value>& params) {
   if (statement_cost_hook_) statement_cost_hook_(stmt);
+  obs::ScopedLatency stmt_timer(h_stmt_us_);
   switch (stmt.kind) {
     case StatementKind::kCreateTable:
       return ExecCreateTable(*stmt.create_table);

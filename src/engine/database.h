@@ -27,7 +27,9 @@ namespace sirep::engine {
 /// time. Statement texts are parsed once and cached (prepared statements).
 class Database {
  public:
-  explicit Database(std::string name = "db") : name_(std::move(name)) {}
+  explicit Database(std::string name = "db") : name_(std::move(name)) {
+    h_stmt_us_ = engine_.metrics().GetLatencyHistogram("engine.stmt_us");
+  }
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
@@ -129,6 +131,10 @@ class Database {
 
   StatementCostHook statement_cost_hook_;
   ApplyCostHook apply_cost_hook_;
+
+  /// Per-statement execution latency ("engine.stmt_us"), kept in the
+  /// storage engine's registry so one snapshot covers the whole replica.
+  obs::Histogram* h_stmt_us_ = nullptr;
 };
 
 }  // namespace sirep::engine

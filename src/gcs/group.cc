@@ -10,7 +10,12 @@ bool View::Contains(MemberId m) const {
   return std::find(members.begin(), members.end(), m) != members.end();
 }
 
-Group::Group(GroupOptions options) : options_(options) {}
+Group::Group(GroupOptions options) : options_(options) {
+  h_multicast_us_ = registry_.GetLatencyHistogram("gcs.multicast_us");
+  h_delivery_lag_us_ = registry_.GetLatencyHistogram("gcs.delivery_lag_us");
+  g_queue_depth_ = registry_.GetGauge("gcs.queue_depth");
+  c_delivered_ = registry_.GetCounter("gcs.messages_delivered");
+}
 
 Group::~Group() { Shutdown(); }
 
@@ -93,6 +98,7 @@ Status Group::Multicast(MemberId sender, std::string type,
   event.message.payload = std::move(payload);
   event.deliver_at = std::chrono::steady_clock::now() +
                      options_.multicast_delay;
+  event.enqueued_ns = obs::MonotonicNanos();
   // Enqueue to every live member under the same lock that assigned the
   // sequence number: this is what makes the order total and the delivery
   // uniform.
@@ -134,13 +140,24 @@ void Group::DeliveryLoop(MemberId id) {
       // preserved.
       std::this_thread::sleep_until(event->deliver_at);
       if (event->kind == Event::Kind::kMessage) {
+        const auto now_tp = std::chrono::steady_clock::now();
+        // Lag past the emulated network delay = scheduling + backlog.
+        h_delivery_lag_us_->Observe(
+            std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+                now_tp - event->deliver_at)
+                .count());
+        h_multicast_us_->Observe(
+            obs::NanosToUs(obs::MonotonicNanos() - event->enqueued_ns));
         self->listener->OnDeliver(event->message);
         delivered_count_.fetch_add(1, std::memory_order_relaxed);
+        c_delivered_->Increment();
       } else {
         self->listener->OnViewChange(event->view);
       }
     }
-    if (pending_count_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    const int64_t left = pending_count_.fetch_sub(1, std::memory_order_acq_rel);
+    g_queue_depth_->Set(left - 1);
+    if (left == 1) {
       std::lock_guard<std::mutex> lock(quiesce_mu_);
       quiesce_cv_.notify_all();
     }

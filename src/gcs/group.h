@@ -14,6 +14,7 @@
 
 #include "common/status.h"
 #include "common/sync.h"
+#include "obs/metrics.h"
 
 namespace sirep::gcs {
 
@@ -113,12 +114,20 @@ class Group {
     return delivered_count_.load(std::memory_order_relaxed);
   }
 
+  /// This group's metrics registry: multicast latency (enqueue to
+  /// delivery, "gcs.multicast_us"), scheduler lag past the emulated
+  /// network delay ("gcs.delivery_lag_us"), and the undelivered-event
+  /// backlog gauge ("gcs.queue_depth").
+  obs::MetricsRegistry& metrics() { return registry_; }
+  const obs::MetricsRegistry& metrics() const { return registry_; }
+
  private:
   struct Event {
     enum class Kind { kMessage, kView } kind = Kind::kMessage;
     Message message;
     View view;
     std::chrono::steady_clock::time_point deliver_at;
+    uint64_t enqueued_ns = 0;  ///< MonotonicNanos at multicast time
   };
 
   struct Member {
@@ -146,6 +155,12 @@ class Group {
   std::atomic<int64_t> pending_count_{0};
   std::mutex quiesce_mu_;
   std::condition_variable quiesce_cv_;
+
+  obs::MetricsRegistry registry_;
+  obs::Histogram* h_multicast_us_ = nullptr;
+  obs::Histogram* h_delivery_lag_us_ = nullptr;
+  obs::Gauge* g_queue_depth_ = nullptr;
+  obs::Counter* c_delivered_ = nullptr;
 };
 
 }  // namespace sirep::gcs

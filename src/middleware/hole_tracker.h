@@ -7,6 +7,8 @@
 #include <mutex>
 #include <set>
 
+#include "obs/metrics.h"
+
 namespace sirep::middleware {
 
 /// Implements Adjustment 3 of the paper (§4.3.3): synchronizing the start
@@ -66,7 +68,12 @@ class HoleTracker {
       ++stats_.delayed_starts;
       if (enabled_) {
         ++waiting_starts_;
+        const uint64_t wait_start = obs::MonotonicNanos();
         cv_.wait(lock, [&] { return cancelled_ || !HasHolesLocked(); });
+        if (wait_hist_ != nullptr) {
+          wait_hist_->Observe(
+              obs::NanosToUs(obs::MonotonicNanos() - wait_start));
+        }
         --waiting_starts_;
         waited = true;
       }
@@ -119,6 +126,13 @@ class HoleTracker {
   void SetChangeListener(std::function<void()> listener) {
     std::lock_guard<std::mutex> lock(mu_);
     change_listener_ = std::move(listener);
+  }
+
+  /// Observes the duration of every blocked RunStart (microseconds) into
+  /// `hist`. Set once at replica construction, before any transaction.
+  void SetWaitHistogram(obs::Histogram* hist) {
+    std::lock_guard<std::mutex> lock(mu_);
+    wait_hist_ = hist;
   }
 
   /// Permanently releases all waiters and opens all gates: the replica
@@ -189,6 +203,7 @@ class HoleTracker {
 
   const bool enabled_;
   std::function<void()> change_listener_;
+  obs::Histogram* wait_hist_ = nullptr;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::set<uint64_t> outstanding_;

@@ -15,6 +15,16 @@ SrcaRepReplica::SrcaRepReplica(engine::Database* db, gcs::Group* group,
       ws_list_(options.ws_list_window),
       holes_(options.mode == ReplicaMode::kSrcaRep),
       appliers_(options.applier_threads) {
+  stage_hists_ = obs::StageHistograms::FromRegistry(&registry_);
+  c_committed_ = registry_.GetCounter("mw.committed");
+  c_empty_ws_commits_ = registry_.GetCounter("mw.empty_ws_commits");
+  c_local_val_aborts_ = registry_.GetCounter("mw.local_val_aborts");
+  c_global_val_aborts_ = registry_.GetCounter("mw.global_val_aborts");
+  c_remote_discards_ = registry_.GetCounter("mw.remote_discards");
+  c_apply_retries_ = registry_.GetCounter("mw.apply_retries");
+  g_tocommit_depth_ = registry_.GetGauge("mw.tocommit.queue_depth");
+  holes_.SetWaitHistogram(
+      registry_.GetLatencyHistogram("mw.begin.hole_wait_us"));
   if (options_.start_recovering) {
     delivery_mode_ = DeliveryMode::kBuffering;
     accepting_.store(false, std::memory_order_release);
@@ -42,6 +52,10 @@ Result<SrcaRepReplica::TxnHandle> SrcaRepReplica::BeginTxn() {
   TxnHandle handle;
   handle.gid.replica = member_id_;
   handle.gid.seq = next_local_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  handle.trace = std::make_shared<obs::TxnTrace>();
+  if (SIREP_LOG_ENABLED(LogLevel::kDebug)) {
+    handle.trace->SetId(handle.gid.ToString());
+  }
   // Adjustment 3: a local transaction only starts when the commit order
   // has no holes; the begin is atomic with that check.
   handle.db_txn = holes_.RunStart([&] { return db_->Begin(); });
@@ -69,7 +83,10 @@ Result<engine::QueryResult> SrcaRepReplica::Execute(
     SIREP_RETURN_IF_ERROR(ReplicateDdl(sql));
     return engine::QueryResult{};
   }
-  return db_->Execute(txn.db_txn, sql, params);
+  if (txn.trace != nullptr) txn.trace->Begin(obs::Stage::kExecute);
+  auto result = db_->Execute(txn.db_txn, sql, params);
+  if (txn.trace != nullptr) txn.trace->End(obs::Stage::kExecute);
+  return result;
 }
 
 Status SrcaRepReplica::ReplicateDdl(const std::string& sql) {
@@ -156,27 +173,35 @@ Status SrcaRepReplica::CommitTxn(const TxnHandle& txn, bool* had_writes) {
     active_txns_.erase(txn.gid);
   }
 
+  obs::TxnTrace* const trace = txn.trace.get();
+
   // Fig. 4, I.2.a: retrieve the writeset before committing.
+  if (trace != nullptr) trace->Begin(obs::Stage::kExtract);
   auto ws = db_->ExtractWriteSet(txn.db_txn);
+  if (trace != nullptr) trace->End(obs::Stage::kExtract);
   if (had_writes != nullptr) *had_writes = !ws->empty();
 
   // I.2.c: read-only (or write-free) transactions commit right away —
   // under SI they never conflict and other replicas need not hear of them.
   if (ws->empty()) {
+    if (trace != nullptr) trace->Begin(obs::Stage::kCommit);
     Status st = db_->Commit(txn.db_txn);
+    if (trace != nullptr) trace->End(obs::Stage::kCommit);
     if (st.ok()) {
       RecordOutcome(txn.gid, /*committed=*/true);
       MarkLocallyCommitted(txn.gid);
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.committed;
-      ++stats_.empty_ws_commits;
+      c_committed_->Increment();
+      c_empty_ws_commits_->Increment();
+      if (trace != nullptr) trace->Flush(stage_hists_);
     }
     return st;
   }
 
   auto pending = std::make_shared<PendingLocal>();
   pending->db_txn = txn.db_txn;
+  pending->trace = txn.trace;
   uint64_t cert = 0;
+  if (trace != nullptr) trace->Begin(obs::Stage::kLocalValidate);
   {
     // I.2.d: local validation — against *remote* transactions still in
     // this replica's tocommit queue (Adjustment 1: conflicts with
@@ -185,10 +210,7 @@ Status SrcaRepReplica::CommitTxn(const TxnHandle& txn, bool* had_writes) {
     if (tocommit_queue_.ConflictsWithRemote(*ws)) {
       db_->Abort(txn.db_txn);
       RecordOutcome(txn.gid, /*committed=*/false);
-      {
-        std::lock_guard<std::mutex> slock(stats_mu_);
-        ++stats_.local_val_aborts;
-      }
+      c_local_val_aborts_->Increment();
       return Status::Conflict("local validation failed for " +
                               txn.gid.ToString());
     }
@@ -198,8 +220,11 @@ Status SrcaRepReplica::CommitTxn(const TxnHandle& txn, bool* had_writes) {
     std::lock_guard<std::mutex> plock(pending_mu_);
     pending_[txn.gid] = pending;
   }
+  if (trace != nullptr) trace->End(obs::Stage::kLocalValidate);
 
-  // I.2.g: disseminate in total order.
+  // I.2.g: disseminate in total order. The multicast span is closed by
+  // the delivery thread (ProcessWriteSet) at the message's arrival.
+  if (trace != nullptr) trace->Begin(obs::Stage::kMulticast);
   auto payload = std::make_shared<const WriteSetMessage>(
       WriteSetMessage{txn.gid, cert, ws});
   Status mc = group_->Multicast(member_id_, kWriteSetMessageType, payload);
@@ -237,14 +262,16 @@ Status SrcaRepReplica::CommitTxn(const TxnHandle& txn, bool* had_writes) {
   // immediately (Adjustment 2); the hole gate never applies to local
   // transactions, but the commit is recorded atomically with the hole
   // bookkeeping.
+  if (trace != nullptr) trace->Begin(obs::Stage::kCommit);
   Status st = holes_.RecordCommit(result.tid,
                                   [&] { return db_->Commit(txn.db_txn); });
+  if (trace != nullptr) trace->End(obs::Stage::kCommit);
   tocommit_queue_.Remove(result.tid);
   MarkLocallyCommitted(txn.gid);
   ScheduleAppliers();
   if (st.ok()) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.committed;
+    c_committed_->Increment();
+    if (trace != nullptr) trace->Flush(stage_hists_);
   }
   return st;
 }
@@ -282,6 +309,7 @@ void SrcaRepReplica::OnDeliver(const gcs::Message& message) {
 void SrcaRepReplica::ProcessWriteSet(const gcs::Message& message) {
   const auto* msg = message.As<WriteSetMessage>();
   const bool is_local = msg->gid.replica == member_id_;
+  const uint64_t arrival_ns = obs::MonotonicNanos();
 
   bool conflict;
   uint64_t tid = 0;
@@ -321,6 +349,7 @@ void SrcaRepReplica::ProcessWriteSet(const gcs::Message& message) {
       tocommit_queue_.Append(std::move(entry));
     }
   }
+  const uint64_t validate_ns = obs::MonotonicNanos() - arrival_ns;
 
   RecordOutcome(msg->gid, /*committed=*/!conflict);
 
@@ -335,10 +364,18 @@ void SrcaRepReplica::ProcessWriteSet(const gcs::Message& message) {
       }
     }
     if (pending != nullptr) {
+      if (pending->trace != nullptr) {
+        // The sender's multicast span ends when the message reached this
+        // (= its own) replica; validation time is charged separately.
+        // Safe without atomics: the client thread stopped touching the
+        // trace before the group enqueue that delivered this message,
+        // and only resumes after pending->cv signals done.
+        pending->trace->EndAt(obs::Stage::kMulticast, arrival_ns);
+        pending->trace->Add(obs::Stage::kGlobalValidate, validate_ns);
+      }
       if (conflict) {
         db_->Abort(pending->db_txn);
-        std::lock_guard<std::mutex> slock(stats_mu_);
-        ++stats_.global_val_aborts;
+        c_global_val_aborts_->Increment();
       }
       std::lock_guard<std::mutex> lock(pending->mu);
       pending->done = true;
@@ -349,9 +386,12 @@ void SrcaRepReplica::ProcessWriteSet(const gcs::Message& message) {
     }
     // else: the client gave up (crash path) — nothing to do.
   } else {
+    // Remote writesets have no txn trace here; their validation cost
+    // goes straight into the stage histogram.
+    stage_hists_.stage[static_cast<int>(obs::Stage::kGlobalValidate)]
+        ->Observe(obs::NanosToUs(validate_ns));
     if (conflict) {
-      std::lock_guard<std::mutex> slock(stats_mu_);
-      ++stats_.remote_discards;
+      c_remote_discards_->Increment();
     } else {
       ScheduleAppliers();
     }
@@ -366,6 +406,7 @@ void SrcaRepReplica::ScheduleAppliers() {
   auto ready = tocommit_queue_.TakeDispatchableRemotes(
       [this](uint64_t tid) { return holes_.GateOpen(tid, false); },
       &deferred);
+  g_tocommit_depth_->Set(static_cast<int64_t>(tocommit_queue_.size()));
   for (size_t i = 0; i < deferred; ++i) holes_.CountDeferredCommit();
   for (auto& entry : ready) {
     appliers_.Submit([this, entry = std::move(entry)]() mutable {
@@ -382,16 +423,19 @@ void SrcaRepReplica::ApplyRemote(ToCommitEntry entry) {
   // local transaction is guaranteed to fail validation and abort).
   while (!shutdown_.load(std::memory_order_acquire) && IsAlive()) {
     auto txn = db_->Begin();
+    obs::ScopedLatency apply_timer(
+        stage_hists_.stage[static_cast<int>(obs::Stage::kApply)]);
     Status st = db_->ApplyWriteSet(txn, *entry.ws);
+    apply_timer.Stop();
     if (st.ok()) {
+      obs::ScopedLatency commit_timer(
+          stage_hists_.stage[static_cast<int>(obs::Stage::kCommit)]);
       st = holes_.RecordCommit(entry.tid, [&] { return db_->Commit(txn); });
+      commit_timer.Stop();
       if (st.ok()) {
         tocommit_queue_.Remove(entry.tid);
         MarkLocallyCommitted(entry.gid);
-        {
-          std::lock_guard<std::mutex> lock(stats_mu_);
-          ++stats_.committed;
-        }
+        c_committed_->Increment();
         ScheduleAppliers();
         return;
       }
@@ -400,10 +444,7 @@ void SrcaRepReplica::ApplyRemote(ToCommitEntry entry) {
     if (st.code() == StatusCode::kDeadlock ||
         st.code() == StatusCode::kConflict ||
         st.code() == StatusCode::kAborted) {
-      {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.apply_retries;
-      }
+      c_apply_retries_->Increment();
       std::this_thread::yield();
       continue;
     }
@@ -775,8 +816,13 @@ void SrcaRepReplica::Shutdown() {
 }
 
 SrcaRepReplica::Stats SrcaRepReplica::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  Stats out = stats_;
+  Stats out;
+  out.committed = c_committed_->Value();
+  out.empty_ws_commits = c_empty_ws_commits_->Value();
+  out.local_val_aborts = c_local_val_aborts_->Value();
+  out.global_val_aborts = c_global_val_aborts_->Value();
+  out.remote_discards = c_remote_discards_->Value();
+  out.apply_retries = c_apply_retries_->Value();
   out.holes = holes_.stats();
   return out;
 }

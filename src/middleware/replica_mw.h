@@ -23,6 +23,8 @@
 #include "middleware/messages.h"
 #include "middleware/tocommit_queue.h"
 #include "middleware/ws_list.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sirep::middleware {
 
@@ -73,9 +75,14 @@ class SrcaRepReplica : public gcs::GroupListener {
   struct TxnHandle {
     GlobalTxnId gid;
     storage::TransactionPtr db_txn;
+    /// Commit-path stage trace, carried from BeginTxn through commit.
+    std::shared_ptr<obs::TxnTrace> trace;
     bool valid() const { return gid.valid() && db_txn != nullptr; }
   };
 
+  /// Legacy aggregate view of the replica's counters; the values now
+  /// live in metrics() under the "mw." prefix and this struct is
+  /// populated from them (kept so existing tests and benches compile).
   struct Stats {
     uint64_t committed = 0;
     uint64_t empty_ws_commits = 0;   ///< read-only fast path
@@ -182,6 +189,11 @@ class SrcaRepReplica : public gcs::GroupListener {
 
   Stats stats() const;
 
+  /// This replica's metrics registry: "mw.*" counters and the
+  /// commit-path stage histograms ("mw.commit.stage.<stage>_us").
+  obs::MetricsRegistry& metrics() { return registry_; }
+  const obs::MetricsRegistry& metrics() const { return registry_; }
+
   /// Validated transactions not yet committed at this replica (test and
   /// quiescence helper).
   size_t PendingQueueSize() const { return tocommit_queue_.size(); }
@@ -207,6 +219,9 @@ class SrcaRepReplica : public gcs::GroupListener {
 
   struct PendingLocal {
     storage::TransactionPtr db_txn;
+    /// Shared with the committing client's TxnHandle so the delivery
+    /// thread can close the multicast span and record validation time.
+    std::shared_ptr<obs::TxnTrace> trace;
     std::mutex mu;
     std::condition_variable cv;
     bool done = false;
@@ -339,8 +354,18 @@ class SrcaRepReplica : public gcs::GroupListener {
   std::unordered_map<GlobalTxnId, OutcomeEntry, GlobalTxnIdHash> outcomes_;
   gcs::View view_;
 
-  mutable std::mutex stats_mu_;
-  Stats stats_;
+  // Observability: counters and stage histograms live in registry_;
+  // the pointers below are resolved once in the constructor and are the
+  // only handles the hot path touches (lock-free recording).
+  obs::MetricsRegistry registry_;
+  obs::StageHistograms stage_hists_;
+  obs::Counter* c_committed_ = nullptr;
+  obs::Counter* c_empty_ws_commits_ = nullptr;
+  obs::Counter* c_local_val_aborts_ = nullptr;
+  obs::Counter* c_global_val_aborts_ = nullptr;
+  obs::Counter* c_remote_discards_ = nullptr;
+  obs::Counter* c_apply_retries_ = nullptr;
+  obs::Gauge* g_tocommit_depth_ = nullptr;
 };
 
 }  // namespace sirep::middleware

@@ -1,11 +1,14 @@
 #ifndef SIREP_MIDDLEWARE_TOCOMMIT_QUEUE_H_
 #define SIREP_MIDDLEWARE_TOCOMMIT_QUEUE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "middleware/global_txn_id.h"
@@ -31,24 +34,43 @@ struct ToCommitEntry {
 ///  * Adjustment 1 validates a finishing local transaction against the
 ///    *remote* entries still queued (ConflictsWithRemote);
 ///  * Adjustment 2 dispatches any entry with no conflicting predecessor
-///    still in the queue (NextDispatchable).
+///    still in the queue (TakeDispatchableRemotes).
+///
+/// Internally the queue is indexed by tuple so every operation is
+/// O(writeset size), not O(queue length): each touched tuple keeps a
+/// FIFO of the entries writing it, an entry is dispatchable exactly when
+/// it is at the front of *all* its tuples' FIFOs, and a per-entry
+/// blocker count tracks how many FIFOs it is not yet front of. The
+/// naive formulation (scan all earlier entries per candidate, re-run on
+/// every delivery) was O(n^2) per delivery and livelocked recovery:
+/// under a hot-key write workload the backlog on the recovering
+/// replica's peers grew faster than the quadratic scans could drain it.
 ///
 /// Thread-safe.
 class ToCommitQueue {
  public:
   void Append(ToCommitEntry entry) {
     std::lock_guard<std::mutex> lock(mu_);
-    entries_.push_back(std::move(entry));
+    const uint64_t seq = next_seq_++;
+    seq_of_tid_[entry.tid] = seq;
+    Node& node = entries_.emplace(seq, Node{std::move(entry), 0}).first->second;
+    if (node.entry.ws != nullptr) {
+      for (const auto& we : node.entry.ws->entries()) {
+        auto& fifo = tuple_queues_[we.tuple];
+        fifo.push_back(seq);
+        if (fifo.size() > 1) ++node.blockers;
+        if (!node.entry.local) ++remote_pending_[we.tuple];
+      }
+    }
+    if (Dispatchable(node)) ready_.push_back(seq);
   }
 
   /// Local validation (Adjustment 1 / Fig. 4 I.2.d): does `ws` intersect
   /// the writeset of any *remote* transaction still queued?
   bool ConflictsWithRemote(const storage::WriteSet& ws) const {
     std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& entry : entries_) {
-      if (!entry.local && entry.ws != nullptr && entry.ws->Intersects(ws)) {
-        return true;
-      }
+    for (const auto& we : ws.entries()) {
+      if (remote_pending_.count(we.tuple) > 0) return true;
     }
     return false;
   }
@@ -64,39 +86,61 @@ class ToCommitQueue {
       const std::function<bool(uint64_t tid)>& gate_open = nullptr,
       size_t* deferred_by_gate = nullptr) {
     std::lock_guard<std::mutex> lock(mu_);
-    std::vector<ToCommitEntry> ready;
-    for (size_t i = 0; i < entries_.size(); ++i) {
-      ToCommitEntry& entry = entries_[i];
-      if (entry.local || entry.dispatched) continue;
-      bool blocked = false;
-      for (size_t j = 0; j < i; ++j) {
-        if (entries_[j].ws != nullptr && entry.ws != nullptr &&
-            entries_[j].ws->Intersects(*entry.ws)) {
-          blocked = true;
-          break;
-        }
-      }
-      if (blocked) continue;
+    std::sort(ready_.begin(), ready_.end());
+    std::vector<ToCommitEntry> taken;
+    std::vector<uint64_t> retained;
+    for (uint64_t seq : ready_) {
+      auto it = entries_.find(seq);
+      if (it == entries_.end()) continue;  // removed while ready
+      ToCommitEntry& entry = it->second.entry;
+      if (entry.dispatched) continue;
       if (gate_open != nullptr && !gate_open(entry.tid)) {
         if (!entry.gate_deferred) {
           entry.gate_deferred = true;
           if (deferred_by_gate != nullptr) ++*deferred_by_gate;
         }
+        retained.push_back(seq);
         continue;
       }
       entry.dispatched = true;
-      ready.push_back(entry);
+      taken.push_back(entry);
     }
-    return ready;
+    ready_ = std::move(retained);
+    return taken;
   }
 
-  /// Removes a committed (or discarded) transaction.
+  /// Removes a committed (or discarded) transaction. Successors that
+  /// reach the front of all their tuple FIFOs become dispatchable.
   void Remove(uint64_t tid) {
     std::lock_guard<std::mutex> lock(mu_);
-    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-      if (it->tid == tid) {
-        entries_.erase(it);
-        return;
+    auto sit = seq_of_tid_.find(tid);
+    if (sit == seq_of_tid_.end()) return;
+    const uint64_t seq = sit->second;
+    seq_of_tid_.erase(sit);
+    auto it = entries_.find(seq);
+    Node node = std::move(it->second);
+    entries_.erase(it);
+    if (node.entry.ws == nullptr) return;
+    for (const auto& we : node.entry.ws->entries()) {
+      auto qit = tuple_queues_.find(we.tuple);
+      auto& fifo = qit->second;
+      if (fifo.front() == seq) {
+        fifo.pop_front();
+        // The new front (if any) loses one blocker; removal from the
+        // middle leaves everyone's frontness unchanged.
+        if (!fifo.empty()) {
+          Node& successor = entries_.at(fifo.front());
+          if (--successor.blockers == 0 && Dispatchable(successor)) {
+            ready_.push_back(fifo.front());
+          }
+        }
+      } else {
+        fifo.erase(std::find(fifo.begin(), fifo.end(), seq));
+      }
+      if (fifo.empty()) tuple_queues_.erase(qit);
+      if (!node.entry.local) {
+        auto rit = remote_pending_.find(we.tuple);
+        if (--rit->second == 0) remote_pending_.erase(rit);
       }
     }
   }
@@ -104,7 +148,7 @@ class ToCommitQueue {
   /// tid of the front entry, or 0 if empty (SRCA's strict in-order apply).
   uint64_t FrontTid() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return entries_.empty() ? 0 : entries_.front().tid;
+    return entries_.empty() ? 0 : entries_.begin()->second.entry.tid;
   }
 
   size_t size() const {
@@ -115,8 +159,30 @@ class ToCommitQueue {
   bool empty() const { return size() == 0; }
 
  private:
+  struct Node {
+    ToCommitEntry entry;
+    /// Number of this entry's tuples whose FIFO it is not yet front of.
+    size_t blockers = 0;
+  };
+
+  static bool Dispatchable(const Node& node) {
+    return node.blockers == 0 && !node.entry.local && !node.entry.dispatched;
+  }
+
   mutable std::mutex mu_;
-  std::deque<ToCommitEntry> entries_;
+  uint64_t next_seq_ = 0;
+  /// Entries in arrival (= validation) order, keyed by insertion seq.
+  std::map<uint64_t, Node> entries_;
+  std::unordered_map<uint64_t, uint64_t> seq_of_tid_;
+  /// Per-tuple FIFO of the seqs of queued entries writing that tuple.
+  std::unordered_map<storage::TupleId, std::deque<uint64_t>,
+                     storage::TupleIdHash>
+      tuple_queues_;
+  /// Per-tuple count of queued *remote* entries writing it.
+  std::unordered_map<storage::TupleId, size_t, storage::TupleIdHash>
+      remote_pending_;
+  /// Seqs of entries with blockers == 0, remote, not yet dispatched.
+  std::vector<uint64_t> ready_;
 };
 
 }  // namespace sirep::middleware

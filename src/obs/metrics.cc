@@ -1,0 +1,530 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+namespace sirep::obs {
+
+uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+size_t Counter::SlotIndex() {
+  // Hash the thread id once per thread; threads spread across stripes so
+  // concurrent increments mostly touch distinct cache lines.
+  static thread_local const size_t slot =
+      std::hash<std::thread::id>()(std::this_thread::get_id()) % kStripes;
+  return slot;
+}
+
+const std::vector<double>& LatencyBucketsUs() {
+  static const std::vector<double>* const buckets = [] {
+    auto* b = new std::vector<double>;
+    for (int i = 0; i < 24; ++i) b->push_back(static_cast<double>(1u << i));
+    return b;
+  }();
+  return *buckets;
+}
+
+const std::vector<double>& LengthBuckets() {
+  static const std::vector<double>* const buckets = [] {
+    auto* b = new std::vector<double>;
+    for (int i = 1; i <= 16; ++i) b->push_back(i);
+    for (double v : {24, 32, 48, 64, 96, 128, 256, 1024}) b->push_back(v);
+    return b;
+  }();
+  return *buckets;
+}
+
+// ---- Histogram ----
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double value) {
+  const size_t idx =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  // Lock-free running sum; fetch_add on atomic<double> is C++20.
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  // Racy-but-monotone min/max via CAS loops.
+  double seen = min_.load(std::memory_order_relaxed);
+  while ((count_.load(std::memory_order_relaxed) == 0 || value < seen) &&
+         !min_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while ((count_.load(std::memory_order_relaxed) == 0 || value > seen) &&
+         !max_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+  // Count is bumped last with release ordering: a snapshot that reads
+  // count first (acquire) then buckets is guaranteed bucket-sum >= count.
+  count_.fetch_add(1, std::memory_order_release);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_acquire);
+  snap.bounds = bounds_;
+  snap.buckets.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = snap.count == 0 ? 0 : min_.load(std::memory_order_relaxed);
+  snap.max = snap.count == 0 ? 0 : max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = i < bounds.size() ? bounds[i] : max;
+      const double frac =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      double value = lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+      return std::min(max, std::max(min, value));
+    }
+    cumulative += in_bucket;
+  }
+  return max;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  if (bounds == other.bounds) {
+    for (size_t i = 0; i < buckets.size(); ++i) buckets[i] += other.buckets[i];
+  } else {
+    // Shape mismatch (should not happen for same-named metrics): fold the
+    // other side's mass into our overflow bucket so counts stay honest.
+    buckets.back() += other.count;
+  }
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+}
+
+// ---- MetricsSnapshot ----
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) gauges[name] += value;
+  for (const auto& [name, hist] : other.histograms) {
+    auto it = histograms.find(name);
+    if (it == histograms.end()) {
+      histograms[name] = hist;
+    } else {
+      it->second.Merge(hist);
+    }
+  }
+}
+
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[40];
+  // %.17g round-trips every finite double.
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  *out += buf;
+}
+
+/// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string PromName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != ':') {
+      c = '_';
+    }
+  }
+  if (!out.empty() && std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    out.push_back(':');
+    AppendU64(&out, value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    out.push_back(':');
+    AppendI64(&out, value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    out += ":{\"bounds\":[";
+    for (size_t i = 0; i < hist.bounds.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendDouble(&out, hist.bounds[i]);
+    }
+    out += "],\"buckets\":[";
+    for (size_t i = 0; i < hist.buckets.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendU64(&out, hist.buckets[i]);
+    }
+    out += "],\"count\":";
+    AppendU64(&out, hist.count);
+    out += ",\"sum\":";
+    AppendDouble(&out, hist.sum);
+    out += ",\"min\":";
+    AppendDouble(&out, hist.min);
+    out += ",\"max\":";
+    AppendDouble(&out, hist.max);
+    out.push_back('}');
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    const std::string pname = PromName(name);
+    out += "# TYPE " + pname + " counter\n" + pname + " ";
+    AppendU64(&out, value);
+    out.push_back('\n');
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string pname = PromName(name);
+    out += "# TYPE " + pname + " gauge\n" + pname + " ";
+    AppendI64(&out, value);
+    out.push_back('\n');
+  }
+  for (const auto& [name, hist] : histograms) {
+    const std::string pname = PromName(name);
+    out += "# TYPE " + pname + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < hist.bounds.size(); ++i) {
+      cumulative += hist.buckets[i];
+      out += pname + "_bucket{le=\"";
+      AppendDouble(&out, hist.bounds[i]);
+      out += "\"} ";
+      AppendU64(&out, cumulative);
+      out.push_back('\n');
+    }
+    cumulative += hist.buckets.empty() ? 0 : hist.buckets.back();
+    out += pname + "_bucket{le=\"+Inf\"} ";
+    AppendU64(&out, cumulative);
+    out += "\n" + pname + "_sum ";
+    AppendDouble(&out, hist.sum);
+    out += "\n" + pname + "_count ";
+    AppendU64(&out, hist.count);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+// ---- minimal JSON parser (exactly the subset ToJson emits) ----
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool error() const { return error_; }
+  const std::string& message() const { return message_; }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    Fail(std::string("expected '") + c + "'");
+    return false;
+  }
+
+  bool Peek(char c) {
+    SkipWs();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  std::string ParseString() {
+    SkipWs();
+    std::string out;
+    if (!Consume('"')) return out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        char esc = text_[pos_++];
+        if (esc == 'u' && pos_ + 4 <= text_.size()) {
+          // ToJson only emits \u00XX for control chars.
+          out.push_back(static_cast<char>(
+              std::strtol(text_.substr(pos_, 4).c_str(), nullptr, 16)));
+          pos_ += 4;
+        } else {
+          out.push_back(esc);
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    Consume('"');
+    return out;
+  }
+
+  double ParseNumber() {
+    SkipWs();
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    double v = std::strtod(start, &end);
+    if (end == start) {
+      Fail("expected number");
+      return 0;
+    }
+    pos_ += static_cast<size_t>(end - start);
+    return v;
+  }
+
+  void Fail(std::string message) {
+    if (!error_) {
+      error_ = true;
+      message_ = std::move(message) + " at offset " + std::to_string(pos_);
+    }
+    pos_ = text_.size();
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+  bool error_ = false;
+  std::string message_;
+};
+
+/// Parses `{"key": <number>, ...}` with ParseValue applied per entry.
+template <typename Fn>
+void ParseObject(JsonParser& p, const Fn& on_entry) {
+  if (!p.Consume('{')) return;
+  if (p.Peek('}')) {
+    p.Consume('}');
+    return;
+  }
+  while (!p.error()) {
+    std::string key = p.ParseString();
+    p.Consume(':');
+    on_entry(key);
+    if (p.Peek(',')) {
+      p.Consume(',');
+      continue;
+    }
+    p.Consume('}');
+    break;
+  }
+}
+
+template <typename Fn>
+void ParseArray(JsonParser& p, const Fn& on_element) {
+  if (!p.Consume('[')) return;
+  if (p.Peek(']')) {
+    p.Consume(']');
+    return;
+  }
+  while (!p.error()) {
+    on_element(p.ParseNumber());
+    if (p.Peek(',')) {
+      p.Consume(',');
+      continue;
+    }
+    p.Consume(']');
+    break;
+  }
+}
+
+}  // namespace
+
+Result<MetricsSnapshot> MetricsSnapshot::FromJson(const std::string& json) {
+  MetricsSnapshot snap;
+  JsonParser p(json);
+  ParseObject(p, [&](const std::string& section) {
+    if (section == "counters") {
+      ParseObject(p, [&](const std::string& name) {
+        snap.counters[name] = static_cast<uint64_t>(p.ParseNumber());
+      });
+    } else if (section == "gauges") {
+      ParseObject(p, [&](const std::string& name) {
+        snap.gauges[name] = static_cast<int64_t>(p.ParseNumber());
+      });
+    } else if (section == "histograms") {
+      ParseObject(p, [&](const std::string& name) {
+        HistogramSnapshot hist;
+        ParseObject(p, [&](const std::string& field) {
+          if (field == "bounds") {
+            ParseArray(p, [&](double v) { hist.bounds.push_back(v); });
+          } else if (field == "buckets") {
+            ParseArray(p, [&](double v) {
+              hist.buckets.push_back(static_cast<uint64_t>(v));
+            });
+          } else if (field == "count") {
+            hist.count = static_cast<uint64_t>(p.ParseNumber());
+          } else if (field == "sum") {
+            hist.sum = p.ParseNumber();
+          } else if (field == "min") {
+            hist.min = p.ParseNumber();
+          } else if (field == "max") {
+            hist.max = p.ParseNumber();
+          } else {
+            p.Fail("unknown histogram field '" + field + "'");
+          }
+        });
+        snap.histograms[name] = std::move(hist);
+      });
+    } else {
+      p.Fail("unknown section '" + section + "'");
+    }
+  });
+  if (p.error()) {
+    return Status::InvalidArgument("bad metrics JSON: " + p.message());
+  }
+  return snap;
+}
+
+// ---- MetricsRegistry ----
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(bounds))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms[name] = hist->Snapshot();
+  }
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+// ---- ScopedLatency ----
+
+ScopedLatency::ScopedLatency(Histogram* hist)
+    : hist_(hist), start_ns_(hist == nullptr ? 0 : MonotonicNanos()) {}
+
+ScopedLatency::~ScopedLatency() { Stop(); }
+
+void ScopedLatency::Stop() {
+  if (hist_ == nullptr) return;
+  hist_->Observe(NanosToUs(MonotonicNanos() - start_ns_));
+  hist_ = nullptr;
+}
+
+}  // namespace sirep::obs

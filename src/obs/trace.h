@@ -1,0 +1,93 @@
+#ifndef SIREP_OBS_TRACE_H_
+#define SIREP_OBS_TRACE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace sirep::obs {
+
+/// The stages a transaction passes through on the SI-Rep commit path
+/// (paper Fig. 4): statement execution, writeset extraction, local
+/// validation (I.2), total-order multicast, global validation (II), and
+/// apply + commit (III). `kApply` is writeset application to the
+/// database (remote txns; zero for the local replica, which already
+/// holds the changes); `kCommit` is the storage-level commit install.
+enum class Stage : int {
+  kExecute = 0,
+  kExtract,
+  kLocalValidate,
+  kMulticast,
+  kGlobalValidate,
+  kApply,
+  kCommit,
+};
+inline constexpr int kNumStages = 7;
+
+/// Short lowercase name, e.g. "local_validate".
+const char* StageName(Stage stage);
+
+/// Registry metric name for a stage histogram, e.g.
+/// "mw.commit.stage.local_validate_us".
+std::string StageMetricName(Stage stage);
+
+/// The per-stage histograms a tracing component records into; resolved
+/// once from a registry and then shared by every trace.
+struct StageHistograms {
+  std::array<Histogram*, kNumStages> stage{};
+
+  static StageHistograms FromRegistry(MetricsRegistry* registry);
+};
+
+/// Per-transaction trace context carried from BeginTxn to commit.
+///
+/// Threading: a trace is written by one thread at a time — the client
+/// session thread up to multicast, the GCS delivery thread between
+/// delivery and validation outcome, then the client thread again. Those
+/// handoffs are ordered by the middleware's pending-commit mutex and
+/// condition variable, so plain (non-atomic) fields are race-free.
+class TxnTrace {
+ public:
+  /// `id` labels the kDebug span log lines (typically the GlobalTxnId).
+  void SetId(std::string id) { id_ = std::move(id); }
+  const std::string& id() const { return id_; }
+
+  /// Starts the stage clock. Begin/End pairs may repeat (e.g. one
+  /// kExecute span per statement); durations accumulate.
+  void Begin(Stage stage);
+  /// Stops the stage clock and accumulates the elapsed time. No-op if
+  /// the stage is not running.
+  void End(Stage stage);
+  /// Like End, but against a caller-supplied clock reading — for stages
+  /// whose end is observed on a different thread than where the end time
+  /// was taken (e.g. multicast delivery).
+  void EndAt(Stage stage, uint64_t end_ns);
+  /// Records an externally measured duration for `stage`.
+  void Add(Stage stage, uint64_t duration_ns);
+
+  bool Running(Stage stage) const { return start_ns_[Index(stage)] != 0; }
+  uint64_t Count(Stage stage) const { return counts_[Index(stage)]; }
+  uint64_t DurationNs(Stage stage) const {
+    return duration_ns_[Index(stage)];
+  }
+  uint64_t TotalNs() const;
+
+  /// Observes every stage that ran into `hists` and, when kDebug
+  /// logging is on, emits one structured span line per stage plus a
+  /// summary line, all tagged with id(). Call once, at commit.
+  void Flush(const StageHistograms& hists) const;
+
+ private:
+  static int Index(Stage stage) { return static_cast<int>(stage); }
+
+  std::string id_;
+  std::array<uint64_t, kNumStages> start_ns_{};
+  std::array<uint64_t, kNumStages> duration_ns_{};
+  std::array<uint64_t, kNumStages> counts_{};
+};
+
+}  // namespace sirep::obs
+
+#endif  // SIREP_OBS_TRACE_H_

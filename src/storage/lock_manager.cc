@@ -6,11 +6,19 @@ namespace sirep::storage {
 
 Status LockManager::Acquire(TxnId txn, const TupleId& tuple) {
   std::unique_lock<std::mutex> lock(mu_);
+  uint64_t wait_start_ns = 0;
+  auto record_wait = [&] {
+    if (wait_start_ns != 0 && wait_hist_ != nullptr) {
+      wait_hist_->Observe(
+          obs::NanosToUs(obs::MonotonicNanos() - wait_start_ns));
+    }
+  };
   while (true) {
     if (poisoned_.count(txn)) {
       // Consume the poison: the transaction observed its cancellation.
       poisoned_.erase(txn);
       waits_for_.erase(txn);
+      record_wait();
       return Status::Aborted("transaction poisoned while locking " +
                              tuple.ToString());
     }
@@ -19,10 +27,12 @@ Status LockManager::Acquire(TxnId txn, const TupleId& tuple) {
       holders_[tuple] = txn;
       held_[txn].push_back(tuple);
       waits_for_.erase(txn);
+      record_wait();
       return Status::OK();
     }
     if (it->second == txn) {
       waits_for_.erase(txn);
+      record_wait();
       return Status::OK();  // re-entrant
     }
     const TxnId holder = it->second;
@@ -32,15 +42,22 @@ Status LockManager::Acquire(TxnId txn, const TupleId& tuple) {
     if (ReachesLocked(holder, txn)) {
       ++deadlock_count_;
       waits_for_.erase(txn);
+      record_wait();
       return Status::Deadlock("would deadlock on " + tuple.ToString() +
                               " held by txn " + std::to_string(holder));
     }
     waits_for_[txn] = holder;
+    if (wait_start_ns == 0) wait_start_ns = obs::MonotonicNanos();
     cv_.wait(lock);
     waits_for_.erase(txn);
     // Re-check everything: the lock may have been grabbed by a third
     // party, the holder may have changed, or we may have been poisoned.
   }
+}
+
+void LockManager::SetWaitHistogram(obs::Histogram* hist) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wait_hist_ = hist;
 }
 
 bool LockManager::ReachesLocked(TxnId from, TxnId target) const {

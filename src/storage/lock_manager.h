@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/types.h"
 
 namespace sirep::storage {
@@ -60,6 +61,10 @@ class LockManager {
   /// Total deadlock victims so far (statistics).
   uint64_t deadlock_count() const;
 
+  /// Observes the blocked portion of every contended Acquire
+  /// (microseconds) into `hist`. Set once before traffic starts.
+  void SetWaitHistogram(obs::Histogram* hist);
+
   /// Drops every lock and wait edge — the lock table of a restarted
   /// database process (in-flight transactions implicitly roll back:
   /// their buffered writes were never installed). Waiters are woken and
@@ -73,6 +78,7 @@ class LockManager {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  obs::Histogram* wait_hist_ = nullptr;
   // tuple -> holding transaction.
   std::unordered_map<TupleId, TxnId, TupleIdHash> holders_;
   // txn -> tuples it holds (for ReleaseAll).

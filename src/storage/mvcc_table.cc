@@ -23,8 +23,8 @@ std::shared_ptr<const Version> MvccTable::ReadNewest(
   return it->second;
 }
 
-void MvccTable::Install(const sql::Key& key, Timestamp commit_ts,
-                        bool deleted, sql::Row data) {
+size_t MvccTable::Install(const sql::Key& key, Timestamp commit_ts,
+                          bool deleted, sql::Row data) {
   auto version = std::make_shared<Version>();
   version->commit_ts = commit_ts;
   version->deleted = deleted;
@@ -34,6 +34,13 @@ void MvccTable::Install(const sql::Key& key, Timestamp commit_ts,
   auto [it, inserted] = rows_.try_emplace(key, nullptr);
   version->prev = it->second;
   it->second = std::move(version);
+  constexpr size_t kChainCountCap = 1025;  // past the histogram's range
+  size_t len = 0;
+  for (const Version* v = it->second.get();
+       v != nullptr && len < kChainCountCap; v = v->prev.get()) {
+    ++len;
+  }
+  return len;
 }
 
 void MvccTable::IndexInsertLocked(const sql::Key& key, const sql::Row& data) {

@@ -52,9 +52,11 @@ class MvccTable {
 
   /// Installs a new committed version (called at commit time, while the
   /// writer still holds the tuple lock, so no other install races on the
-  /// same key).
-  void Install(const sql::Key& key, Timestamp commit_ts, bool deleted,
-               sql::Row data);
+  /// same key). Returns the key's version-chain length after the install
+  /// (counted up to a small cap — enough for monitoring), which the
+  /// engine feeds into its chain-length histogram to watch vacuum debt.
+  size_t Install(const sql::Key& key, Timestamp commit_ts, bool deleted,
+                 sql::Row data);
 
   /// Invokes `fn` for every key's newest version visible at `snapshot`
   /// that is not a tombstone. Row data is handed out as shared_ptr-backed

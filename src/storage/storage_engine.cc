@@ -7,6 +7,18 @@
 
 namespace sirep::storage {
 
+StorageEngine::StorageEngine() {
+  c_commits_ = registry_.GetCounter("storage.commits");
+  c_aborts_ = registry_.GetCounter("storage.aborts");
+  c_ww_conflicts_ = registry_.GetCounter("storage.ww_conflicts");
+  c_deadlocks_ = registry_.GetCounter("storage.deadlocks");
+  h_wal_append_us_ = registry_.GetLatencyHistogram("storage.wal_append_us");
+  h_version_chain_len_ = registry_.GetHistogram("storage.version_chain_len",
+                                                obs::LengthBuckets());
+  locks_.SetWaitHistogram(
+      registry_.GetLatencyHistogram("storage.lock_wait_us"));
+}
+
 Status StorageEngine::CreateTable(const std::string& name,
                                   sql::Schema schema) {
   if (schema.key_indexes().empty()) {
@@ -77,8 +89,7 @@ Status StorageEngine::Commit(const TransactionPtr& txn) {
     txn->state_.store(TxnState::kCommitted, std::memory_order_release);
     locks_.ReleaseAll(txn->id());  // releases nothing, clears poison flag
     ReleaseSnapshot(txn->snapshot());
-    std::lock_guard<std::mutex> s(stats_mu_);
-    ++stats_.commits;
+    c_commits_->Increment();
     return Status::OK();
   }
   {
@@ -88,6 +99,7 @@ Status StorageEngine::Commit(const TransactionPtr& txn) {
     // becomes visible (both under commit_mu_, so readers never see a
     // commit the log does not have).
     if (wal_ != nullptr) {
+      obs::ScopedLatency wal_timer(h_wal_append_us_);
       SIREP_RETURN_IF_ERROR(wal_->AppendCommit(commit_ts, txn->writes_));
     }
     for (const auto& entry : txn->writes_.entries()) {
@@ -97,15 +109,16 @@ Status StorageEngine::Commit(const TransactionPtr& txn) {
         return Status::Internal("commit references missing table " +
                                 entry.tuple.table);
       }
-      table->Install(entry.tuple.key, commit_ts,
-                     entry.op == WriteOp::kDelete, entry.after);
+      const size_t chain_len =
+          table->Install(entry.tuple.key, commit_ts,
+                         entry.op == WriteOp::kDelete, entry.after);
+      h_version_chain_len_->Observe(static_cast<double>(chain_len));
     }
   }
   txn->state_.store(TxnState::kCommitted, std::memory_order_release);
   locks_.ReleaseAll(txn->id());
   ReleaseSnapshot(txn->snapshot());
-  std::lock_guard<std::mutex> s(stats_mu_);
-  ++stats_.commits;
+  c_commits_->Increment();
   return Status::OK();
 }
 
@@ -123,8 +136,7 @@ void StorageEngine::Abort(const TransactionPtr& txn) {
   locks_.Poison(txn->id());
   locks_.ReleaseAll(txn->id());
   ReleaseSnapshot(txn->snapshot());
-  std::lock_guard<std::mutex> s(stats_mu_);
-  ++stats_.aborts;
+  c_aborts_->Increment();
 }
 
 Result<std::optional<sql::Row>> StorageEngine::Read(
@@ -184,8 +196,7 @@ Status StorageEngine::LockAndCheck(const TransactionPtr& txn,
   Status lock_status = locks_.Acquire(txn->id(), tuple);
   if (!lock_status.ok()) {
     if (lock_status.code() == StatusCode::kDeadlock) {
-      std::lock_guard<std::mutex> s(stats_mu_);
-      ++stats_.deadlocks;
+      c_deadlocks_->Increment();
     }
     return lock_status;
   }
@@ -195,10 +206,7 @@ Status StorageEngine::LockAndCheck(const TransactionPtr& txn,
   MvccTable* t = GetTable(tuple.table);
   auto newest = t->ReadNewest(tuple.key);
   if (newest != nullptr && newest->commit_ts > txn->snapshot()) {
-    {
-      std::lock_guard<std::mutex> s(stats_mu_);
-      ++stats_.ww_conflicts;
-    }
+    c_ww_conflicts_->Increment();
     return Status::Conflict("concurrent committed write to " +
                             tuple.ToString());
   }
@@ -395,8 +403,10 @@ Status StorageEngine::RecoverFromWal(const std::string& path) {
                                 entry.tuple.table +
                                 "' (create the schema before recovery)");
       }
-      table->Install(entry.tuple.key, commit_ts,
-                     entry.op == WriteOp::kDelete, entry.after);
+      const size_t chain_len =
+          table->Install(entry.tuple.key, commit_ts,
+                         entry.op == WriteOp::kDelete, entry.after);
+      h_version_chain_len_->Observe(static_cast<double>(chain_len));
     }
     if (commit_ts > max_ts) max_ts = commit_ts;
     return Status::OK();
@@ -420,8 +430,12 @@ Timestamp StorageEngine::OldestActiveSnapshot() const {
 }
 
 EngineStats StorageEngine::stats() const {
-  std::lock_guard<std::mutex> s(stats_mu_);
-  return stats_;
+  EngineStats out;
+  out.commits = c_commits_->Value();
+  out.aborts = c_aborts_->Value();
+  out.ww_conflicts = c_ww_conflicts_->Value();
+  out.deadlocks = c_deadlocks_->Value();
+  return out;
 }
 
 }  // namespace sirep::storage

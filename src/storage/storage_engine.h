@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "sql/schema.h"
 #include "sql/value.h"
 #include "storage/lock_manager.h"
@@ -45,7 +46,9 @@ class Transaction {
 
 using TransactionPtr = std::shared_ptr<Transaction>;
 
-/// Counters exposed for benches and tests.
+/// Legacy aggregate view of the engine's counters; the values now live
+/// in metrics() under the "storage." prefix and this struct is populated
+/// from them (kept so existing tests and benches compile).
 struct EngineStats {
   uint64_t commits = 0;
   uint64_t aborts = 0;
@@ -71,7 +74,7 @@ struct EngineStats {
 /// thread at a time.
 class StorageEngine {
  public:
-  StorageEngine() = default;
+  StorageEngine();
   StorageEngine(const StorageEngine&) = delete;
   StorageEngine& operator=(const StorageEngine&) = delete;
 
@@ -149,6 +152,11 @@ class StorageEngine {
   EngineStats stats() const;
   LockManager& lock_manager() { return locks_; }
 
+  /// This engine's metrics registry: "storage.*" counters plus the WAL
+  /// append, lock wait, and version-chain-length histograms.
+  obs::MetricsRegistry& metrics() { return registry_; }
+  const obs::MetricsRegistry& metrics() const { return registry_; }
+
   /// Simulates a database process restart after a crash: committed state
   /// (the version chains) survives, every lock is dropped, stale
   /// snapshots stop pinning the vacuum horizon, and any transaction of
@@ -222,8 +230,15 @@ class StorageEngine {
   // same mutex that makes Begin atomic with commits).
   std::multiset<Timestamp> active_snapshots_;
 
-  mutable std::mutex stats_mu_;
-  EngineStats stats_;
+  // Observability handles (resolved once in the constructor; recording
+  // through them is lock-free).
+  obs::MetricsRegistry registry_;
+  obs::Counter* c_commits_ = nullptr;
+  obs::Counter* c_aborts_ = nullptr;
+  obs::Counter* c_ww_conflicts_ = nullptr;
+  obs::Counter* c_deadlocks_ = nullptr;
+  obs::Histogram* h_wal_append_us_ = nullptr;
+  obs::Histogram* h_version_chain_len_ = nullptr;
 };
 
 }  // namespace sirep::storage

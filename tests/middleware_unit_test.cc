@@ -1,5 +1,5 @@
 // Unit tests for the middleware building blocks: WsList, ToCommitQueue,
-// HoleTracker, and TableLockManager.
+// HoleTracker, TableLockManager, and commit-path stage tracing.
 
 #include <gtest/gtest.h>
 
@@ -8,10 +8,12 @@
 #include <memory>
 #include <thread>
 
+#include "cluster/cluster.h"
 #include "middleware/hole_tracker.h"
 #include "middleware/table_locks.h"
 #include "middleware/tocommit_queue.h"
 #include "middleware/ws_list.h"
+#include "obs/trace.h"
 #include "sql/value.h"
 #include "storage/write_set.h"
 
@@ -319,6 +321,61 @@ TEST(TableLockTest, DuplicateTablesDeduplicated) {
   locks.Release(t);
   auto t2 = locks.Request({"a"}, TableLockMode::kExclusive);
   EXPECT_TRUE(locks.IsGranted(t2));
+}
+
+// ---- commit-path stage tracing ----
+
+TEST(CommitTraceTest, CommittedTxnRecordsEveryStageExactlyOnce) {
+  cluster::ClusterOptions options;
+  options.num_replicas = 2;
+  cluster::Cluster cluster(options);
+  ASSERT_TRUE(cluster.Start().ok());
+  ASSERT_TRUE(
+      cluster
+          .ExecuteEverywhere("CREATE TABLE kv (k INT, v INT, PRIMARY KEY (k))")
+          .ok());
+  ASSERT_TRUE(cluster.ExecuteEverywhere("INSERT INTO kv VALUES (1, 0)").ok());
+
+  SrcaRepReplica* mw = cluster.replica(0);
+  auto txn = mw->BeginTxn();
+  ASSERT_TRUE(txn.ok());
+  auto handle = std::move(txn).value();
+  ASSERT_TRUE(mw->Execute(handle, "UPDATE kv SET v = 7 WHERE k = 1").ok());
+  ASSERT_TRUE(mw->CommitTxn(handle).ok());
+
+  // A committed local update passes through each commit-path stage
+  // exactly once (one statement, one validation round). kApply is the
+  // remote-replica writeset application and stays zero here.
+  ASSERT_NE(handle.trace, nullptr);
+  const obs::TxnTrace& trace = *handle.trace;
+  for (const obs::Stage stage :
+       {obs::Stage::kExecute, obs::Stage::kExtract, obs::Stage::kLocalValidate,
+        obs::Stage::kMulticast, obs::Stage::kGlobalValidate,
+        obs::Stage::kCommit}) {
+    EXPECT_EQ(trace.Count(stage), 1u) << obs::StageName(stage);
+    EXPECT_FALSE(trace.Running(stage)) << obs::StageName(stage);
+  }
+  EXPECT_EQ(trace.Count(obs::Stage::kApply), 0u);
+
+  // The trace was flushed into the replica's registry at commit: each
+  // local-path stage histogram saw this transaction.
+  cluster.Quiesce();
+  const auto snap = mw->metrics().Snapshot();
+  for (const obs::Stage stage :
+       {obs::Stage::kExecute, obs::Stage::kExtract, obs::Stage::kLocalValidate,
+        obs::Stage::kMulticast, obs::Stage::kGlobalValidate,
+        obs::Stage::kCommit}) {
+    const auto it = snap.histograms.find(obs::StageMetricName(stage));
+    ASSERT_NE(it, snap.histograms.end()) << obs::StageName(stage);
+    EXPECT_GE(it->second.count, 1u) << obs::StageName(stage);
+  }
+  // And the remote replica applied the writeset, feeding the apply/commit
+  // histograms there.
+  const auto remote = cluster.replica(1)->metrics().Snapshot();
+  const auto apply =
+      remote.histograms.find(obs::StageMetricName(obs::Stage::kApply));
+  ASSERT_NE(apply, remote.histograms.end());
+  EXPECT_GE(apply->second.count, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,241 @@
+// Unit tests for the observability substrate (src/obs): lock-free
+// counters/histograms under concurrency, bucket-boundary semantics,
+// snapshot consistency guarantees, merge, and JSON round-tripping.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sirep::obs {
+namespace {
+
+TEST(CounterTest, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.counter");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50000;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c->Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(c->Value(), kThreads * kPerThread);
+  EXPECT_EQ(registry.Snapshot().counters.at("test.counter"),
+            kThreads * kPerThread);
+}
+
+TEST(CounterTest, AddAccumulates) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.add");
+  c->Add(3);
+  c->Add(39);
+  EXPECT_EQ(c->Value(), 42u);
+}
+
+TEST(GaugeTest, SetAddSub) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("test.gauge");
+  g->Set(10);
+  g->Add(5);
+  g->Sub(7);
+  EXPECT_EQ(g->Value(), 8);
+  g->Set(-3);
+  EXPECT_EQ(registry.Snapshot().gauges.at("test.gauge"), -3);
+}
+
+TEST(RegistryTest, SameNameReturnsSameHandle) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.GetCounter("x"), registry.GetCounter("x"));
+  EXPECT_EQ(registry.GetGauge("y"), registry.GetGauge("y"));
+  EXPECT_EQ(registry.GetLatencyHistogram("z"),
+            registry.GetLatencyHistogram("z"));
+  EXPECT_NE(registry.GetCounter("x"), registry.GetCounter("x2"));
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bounds are inclusive upper bounds: a value lands in the first bucket
+  // whose bound is >= value; above all bounds -> overflow bucket.
+  Histogram hist({1.0, 10.0, 100.0});
+  hist.Observe(0.5);    // bucket 0
+  hist.Observe(1.0);    // bucket 0 (inclusive)
+  hist.Observe(1.001);  // bucket 1
+  hist.Observe(10.0);   // bucket 1
+  hist.Observe(99.9);   // bucket 2
+  hist.Observe(100.0);  // bucket 2
+  hist.Observe(100.1);  // overflow
+  hist.Observe(1e9);    // overflow
+
+  HistogramSnapshot snap = hist.Snapshot();
+  ASSERT_EQ(snap.buckets.size(), 4u);
+  EXPECT_EQ(snap.buckets[0], 2u);
+  EXPECT_EQ(snap.buckets[1], 2u);
+  EXPECT_EQ(snap.buckets[2], 2u);
+  EXPECT_EQ(snap.buckets[3], 2u);
+  EXPECT_EQ(snap.count, 8u);
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 1e9);
+}
+
+TEST(HistogramTest, MeanAndQuantile) {
+  Histogram hist(LatencyBucketsUs());
+  for (int i = 0; i < 100; ++i) hist.Observe(100.0);
+  HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.Mean(), 100.0);
+  // All mass in one bucket; the quantile is clamped to [min, max].
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 100.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.95), 100.0);
+
+  HistogramSnapshot empty;
+  EXPECT_DOUBLE_EQ(empty.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.95), 0.0);
+}
+
+TEST(HistogramTest, SnapshotConsistentUnderConcurrentObserves) {
+  // Invariant: in any snapshot taken mid-flight, the bucket sum is >= the
+  // count (count is bumped last with release ordering), and both only
+  // grow.
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetLatencyHistogram("test.lat");
+  std::atomic<bool> stop{false};
+  constexpr int kWriters = 4;
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([hist, &stop, t] {
+      double v = 1.0 + t;
+      // do-while: at least one observation even if the snapshot loop
+      // below finishes before this thread gets scheduled.
+      do {
+        hist->Observe(v);
+        v = v > 1e6 ? 1.0 : v * 1.7;
+      } while (!stop.load(std::memory_order_relaxed));
+    });
+  }
+
+  uint64_t last_count = 0;
+  for (int i = 0; i < 200; ++i) {
+    HistogramSnapshot snap = hist->Snapshot();
+    uint64_t bucket_sum = 0;
+    for (uint64_t b : snap.buckets) bucket_sum += b;
+    EXPECT_GE(bucket_sum, snap.count);
+    EXPECT_GE(snap.count, last_count);
+    last_count = snap.count;
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+
+  HistogramSnapshot final_snap = hist->Snapshot();
+  uint64_t bucket_sum = 0;
+  for (uint64_t b : final_snap.buckets) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, final_snap.count);  // quiescent: exact agreement
+  EXPECT_GT(final_snap.count, 0u);
+}
+
+TEST(SnapshotTest, MergeAddsCountersGaugesAndBuckets) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.GetCounter("shared")->Add(10);
+  b.GetCounter("shared")->Add(32);
+  b.GetCounter("only_b")->Add(7);
+  a.GetGauge("depth")->Set(3);
+  b.GetGauge("depth")->Set(4);
+  a.GetLatencyHistogram("lat")->Observe(5.0);
+  b.GetLatencyHistogram("lat")->Observe(500.0);
+
+  MetricsSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  EXPECT_EQ(merged.counters.at("shared"), 42u);
+  EXPECT_EQ(merged.counters.at("only_b"), 7u);
+  EXPECT_EQ(merged.gauges.at("depth"), 7);
+  const HistogramSnapshot& lat = merged.histograms.at("lat");
+  EXPECT_EQ(lat.count, 2u);
+  EXPECT_DOUBLE_EQ(lat.sum, 505.0);
+  EXPECT_DOUBLE_EQ(lat.min, 5.0);
+  EXPECT_DOUBLE_EQ(lat.max, 500.0);
+}
+
+TEST(SnapshotTest, JsonRoundTrip) {
+  MetricsRegistry registry;
+  registry.GetCounter("mw.committed")->Add(1234);
+  registry.GetCounter("mw.aborts")->Increment();
+  registry.GetGauge("mw.queue_depth")->Set(-5);
+  Histogram* lat = registry.GetLatencyHistogram("mw.commit.stage.apply_us");
+  lat->Observe(0.75);
+  lat->Observe(33.3);
+  lat->Observe(1e7);  // overflow bucket
+  registry.GetHistogram("storage.version_chain_len", LengthBuckets())
+      ->Observe(12.0);
+
+  MetricsSnapshot original = registry.Snapshot();
+  const std::string json = original.ToJson();
+
+  auto parsed = MetricsSnapshot::FromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value(), original);
+
+  // Round-tripping the re-serialization too (fixed point).
+  EXPECT_EQ(parsed.value().ToJson(), json);
+}
+
+TEST(SnapshotTest, EmptyJsonRoundTrip) {
+  MetricsSnapshot empty;
+  auto parsed = MetricsSnapshot::FromJson(empty.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), empty);
+}
+
+TEST(SnapshotTest, FromJsonRejectsGarbage) {
+  EXPECT_FALSE(MetricsSnapshot::FromJson("not json").ok());
+  EXPECT_FALSE(MetricsSnapshot::FromJson("{\"counters\":").ok());
+  EXPECT_FALSE(MetricsSnapshot::FromJson("").ok());
+}
+
+TEST(SnapshotTest, PrometheusTextContainsSeries) {
+  MetricsRegistry registry;
+  registry.GetCounter("mw.committed")->Add(5);
+  registry.GetLatencyHistogram("gcs.multicast_us")->Observe(10.0);
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("mw_committed 5"), std::string::npos);
+  EXPECT_NE(text.find("gcs_multicast_us_count 1"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+}
+
+TEST(TraceTest, RecordsEveryStageOnce) {
+  TxnTrace trace;
+  trace.SetId("t1/42");
+  for (int i = 0; i < kNumStages; ++i) {
+    const auto stage = static_cast<Stage>(i);
+    trace.Begin(stage);
+    trace.End(stage);
+    EXPECT_EQ(trace.Count(stage), 1u) << StageName(stage);
+    EXPECT_FALSE(trace.Running(stage));
+  }
+
+  MetricsRegistry registry;
+  StageHistograms hists = StageHistograms::FromRegistry(&registry);
+  trace.Flush(hists);
+  for (int i = 0; i < kNumStages; ++i) {
+    EXPECT_EQ(hists.stage[i]->Count(), 1u)
+        << StageName(static_cast<Stage>(i));
+  }
+}
+
+TEST(TraceTest, EndWithoutBeginIsIgnored) {
+  TxnTrace trace;
+  trace.End(Stage::kApply);
+  EXPECT_EQ(trace.Count(Stage::kApply), 0u);
+  EXPECT_EQ(trace.DurationNs(Stage::kApply), 0u);
+}
+
+}  // namespace
+}  // namespace sirep::obs
