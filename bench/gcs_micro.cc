@@ -16,6 +16,9 @@
 
 #include "common/stats.h"
 #include "gcs/group.h"
+#include "middleware/messages.h"
+#include "sql/value.h"
+#include "storage/write_set.h"
 
 using namespace sirep;
 
@@ -81,6 +84,73 @@ void MeasureRate(double rate_per_s, std::chrono::microseconds delay,
               latency_ms.Max());
 }
 
+/// A representative OLTP writeset message: a handful of small rows.
+std::shared_ptr<const middleware::WriteSetMessage> SampleWriteSetMessage() {
+  auto ws = std::make_shared<storage::WriteSet>();
+  for (int64_t i = 0; i < 4; ++i) {
+    storage::TupleId tuple;
+    tuple.table = "accounts";
+    tuple.key.parts = {sql::Value::Int(i)};
+    ws->Record(tuple, storage::WriteOp::kUpdate,
+               {sql::Value::Int(i), sql::Value::String("holder"),
+                sql::Value::Double(100.25)});
+  }
+  auto msg = std::make_shared<middleware::WriteSetMessage>();
+  msg->gid = middleware::GlobalTxnId{1, 1};
+  msg->cert = 0;
+  msg->ws = ws;
+  return msg;
+}
+
+/// Writeset batching sweep (ISSUE 2): one sender multicasts kWritesets
+/// writeset messages as fast as it can; the group coalesces them into
+/// frames of up to `batch` messages. Reported cost is wall time from
+/// first multicast to full delivery everywhere, divided by the number of
+/// writesets — the per-writeset share of the multicast machinery (frame
+/// headers, sequencer round-trips, acks). It should fall monotonically
+/// as the batch size grows.
+void MeasureBatchSweep(gcs::TransportKind kind, const char* label) {
+  std::printf("Writeset batching sweep, %s transport "
+              "(1 sender, 3 members, 4-row writesets):\n", label);
+  const int kWritesets = 4096;
+  auto payload = SampleWriteSetMessage();
+  for (size_t batch : {1, 8, 32, 128}) {
+    gcs::GroupOptions options;
+    options.transport = kind;
+    options.batch_max_count = batch;
+    options.batch_max_bytes = 1 << 20;  // flush on count, not bytes
+    gcs::Group group(options);
+    middleware::RegisterMessageCodecs(&group);
+    std::atomic<uint64_t> delivered{0};
+    LatencyListener a(&delivered), b(&delivered), c(&delivered);
+    const auto sender = group.Join(&a);
+    group.Join(&b);
+    group.Join(&c);
+    group.WaitForQuiescence();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kWritesets; ++i) {
+      if (!group
+               .Multicast(sender, middleware::kWriteSetMessageType, payload)
+               .ok()) {
+        std::printf("  multicast failed at %d\n", i);
+        return;
+      }
+    }
+    group.WaitForQuiescence();
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    const uint64_t frames = group.frames_sent();
+    std::printf("  batch %3zu: %6.2f us/writeset, %5llu frames "
+                "(%5.1f writesets/frame)\n",
+                batch, us / kWritesets,
+                static_cast<unsigned long long>(frames),
+                static_cast<double>(kWritesets) / frames);
+  }
+  std::printf("\n");
+}
+
 void BM_MulticastOrderingOverhead(benchmark::State& state) {
   // Raw cost of the total-order + enqueue path, no delay, no rate limit.
   gcs::Group group;
@@ -108,6 +178,9 @@ int main(int argc, char** argv) {
     MeasureRate(rate, delay, /*members=*/5);
   }
   std::printf("\n");
+
+  MeasureBatchSweep(gcs::TransportKind::kTcp, "TCP sequencer");
+  MeasureBatchSweep(gcs::TransportKind::kInProcess, "in-process");
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -1,191 +1,352 @@
 #include "gcs/group.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <optional>
 
 #include "common/logging.h"
+#include "gcs/wire.h"
 
 namespace sirep::gcs {
+
+namespace {
+
+/// Stash entries beyond this evict oldest-first. The stash only backs
+/// in-flight frames, so the cap just bounds damage from a leaked type.
+constexpr size_t kStashCapacity = 1024;
+
+TransportKind ResolveTransportKind(TransportKind requested) {
+  if (requested != TransportKind::kDefault) return requested;
+  const char* env = std::getenv("SIREP_GCS_TRANSPORT");
+  if (env != nullptr && std::string(env) == "tcp") return TransportKind::kTcp;
+  return TransportKind::kInProcess;
+}
+
+}  // namespace
 
 bool View::Contains(MemberId m) const {
   return std::find(members.begin(), members.end(), m) != members.end();
 }
 
+/// Per-member frame-to-message adapter: decodes wire frames (codec or
+/// stash), fans entries out to the listener as Messages with their
+/// per-entry seqnos, and records delivery metrics. Runs on the member's
+/// transport delivery thread, so everything here stays in total order.
+class Group::MemberSink : public FrameSink {
+ public:
+  MemberSink(Group* group, GroupListener* listener)
+      : group_(group), listener_(listener) {}
+
+  void OnFrame(uint64_t base_seqno, const Frame& frame) override {
+    if (!frame.entries.empty()) {
+      // Pointer path (in-process transport): payloads pass through.
+      for (size_t i = 0; i < frame.entries.size(); ++i) {
+        const FrameEntry& entry = frame.entries[i];
+        Deliver(frame.sender, base_seqno + i, entry.type, entry.payload,
+                entry.enqueue_ns);
+      }
+      return;
+    }
+    WireFrame wire;
+    const Status status = DecodeWireFrame(frame.encoded, &wire);
+    if (!status.ok()) {
+      SIREP_ELOG << "GCS: dropping undecodable frame at seqno " << base_seqno
+                 << ": " << status;
+      return;
+    }
+    for (size_t i = 0; i < wire.entries.size(); ++i) {
+      WireEntry& entry = wire.entries[i];
+      auto payload =
+          group_->ResolvePayload(entry.type, entry.stash_id, entry.payload);
+      if (payload == nullptr) continue;  // already logged
+      Deliver(frame.sender, base_seqno + i, entry.type, std::move(payload),
+              entry.enqueue_ns);
+    }
+  }
+
+  void OnViewChange(const View& view) override {
+    listener_->OnViewChange(view);
+  }
+
+ private:
+  void Deliver(MemberId sender, uint64_t seqno, const std::string& type,
+               std::shared_ptr<const void> payload, uint64_t enqueue_ns) {
+    Message message;
+    message.sender = sender;
+    message.seqno = seqno;
+    message.type = type;
+    message.payload = std::move(payload);
+    group_->h_multicast_us_->Observe(
+        obs::NanosToUs(obs::MonotonicNanos() - enqueue_ns));
+    listener_->OnDeliver(message);
+    group_->delivered_count_.fetch_add(1, std::memory_order_relaxed);
+    group_->c_delivered_->Increment();
+  }
+
+  Group* group_;
+  GroupListener* listener_;
+};
+
 Group::Group(GroupOptions options) : options_(options) {
   h_multicast_us_ = registry_.GetLatencyHistogram("gcs.multicast_us");
-  h_delivery_lag_us_ = registry_.GetLatencyHistogram("gcs.delivery_lag_us");
-  g_queue_depth_ = registry_.GetGauge("gcs.queue_depth");
   c_delivered_ = registry_.GetCounter("gcs.messages_delivered");
+  c_frames_ = registry_.GetCounter("gcs.frames_sent");
+
+  TransportOptions transport_options;
+  transport_options.multicast_delay = options_.multicast_delay;
+  transport_options.registry = &registry_;
+  switch (ResolveTransportKind(options_.transport)) {
+    case TransportKind::kTcp:
+      transport_ = MakeTcpSequencerTransport(transport_options);
+      break;
+    case TransportKind::kDefault:
+    case TransportKind::kInProcess:
+      transport_ = MakeInProcessTransport(transport_options);
+      break;
+  }
+
+  batching_ = options_.batch_max_count > 1;
+  if (batching_) {
+    flusher_thread_ = std::thread([this] { FlusherLoop(); });
+  }
 }
 
 Group::~Group() { Shutdown(); }
 
 MemberId Group::Join(GroupListener* listener) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (shutdown_) return kInvalidMember;
-  const MemberId id = next_member_++;
-  auto member = std::make_unique<Member>();
-  member->listener = listener;
-  members_[id] = std::move(member);
-  members_[id]->delivery_thread =
-      std::thread([this, id] { DeliveryLoop(id); });
-  EnqueueViewLocked();
-  return id;
+  if (shutdown_.load(std::memory_order_acquire)) return kInvalidMember;
+  auto sink = std::make_unique<MemberSink>(this, listener);
+  MemberSink* raw = sink.get();
+  {
+    std::lock_guard<std::mutex> lock(sinks_mu_);
+    sinks_.push_back(std::move(sink));
+  }
+  return transport_->AddMember(raw);
 }
 
-void Group::EnqueueViewLocked() {
-  View view;
-  view.view_id = ++view_id_;
-  for (const auto& [id, member] : members_) {
-    if (!member->crashed.load(std::memory_order_acquire)) {
-      view.members.push_back(id);
-    }
-  }
-  std::sort(view.members.begin(), view.members.end());
-  Event event;
-  event.kind = Event::Kind::kView;
-  event.view = view;
-  event.deliver_at = std::chrono::steady_clock::now();
-  for (const auto& [id, member] : members_) {
-    if (member->crashed.load(std::memory_order_acquire)) continue;
-    pending_count_.fetch_add(1, std::memory_order_relaxed);
-    if (!member->queue.Push(event)) {
-      pending_count_.fetch_sub(1, std::memory_order_relaxed);
-    }
-  }
+void Group::RegisterCodec(const std::string& type, PayloadCodec codec) {
+  std::lock_guard<std::mutex> lock(codec_mu_);
+  codecs_[type] = std::move(codec);
 }
 
-void Group::Crash(MemberId member_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = members_.find(member_id);
-  if (it == members_.end() ||
-      it->second->crashed.load(std::memory_order_acquire)) {
-    return;
+void Group::Crash(MemberId member) {
+  {
+    // The crashed process' queued-but-unsent batch dies with it.
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    batches_.erase(member);
   }
-  it->second->crashed.store(true, std::memory_order_release);
-  // Stop delivery to the crashed member. Its queue may still hold
-  // messages; they are dropped (the process is gone). Uniformity is about
-  // *surviving* members, whose queues already hold everything multicast
-  // before this point — and the view change below is enqueued after them.
-  it->second->queue.Close();
-  SIREP_ILOG << "GCS: member " << member_id << " crashed";
-  EnqueueViewLocked();
+  transport_->Crash(member);
 }
 
 bool Group::IsAlive(MemberId member) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = members_.find(member);
-  return it != members_.end() &&
-         !it->second->crashed.load(std::memory_order_acquire) && !shutdown_;
+  return !shutdown_.load(std::memory_order_acquire) &&
+         transport_->IsAlive(member);
+}
+
+Group::Staged Group::Stage(MemberId sender, std::string type,
+                           std::shared_ptr<const void> payload) {
+  (void)sender;
+  Staged staged;
+  staged.entry.type = std::move(type);
+  staged.entry.enqueue_ns = obs::MonotonicNanos();
+  if (!transport_->needs_encoding()) {
+    staged.entry.payload = std::move(payload);
+    staged.bytes = staged.entry.type.size() + sizeof(FrameEntry);
+    return staged;
+  }
+  std::optional<PayloadCodec> codec;
+  {
+    std::lock_guard<std::mutex> lock(codec_mu_);
+    auto it = codecs_.find(staged.entry.type);
+    if (it != codecs_.end()) codec = it->second;
+  }
+  if (codec.has_value()) {
+    codec->encode(payload.get(), &staged.wire_payload);
+  } else {
+    // No codec: park the payload in the stash; only the handle crosses
+    // the wire. Works because all members share this Group object.
+    std::lock_guard<std::mutex> lock(stash_mu_);
+    staged.entry.stash_id = ++next_stash_id_;
+    stash_[staged.entry.stash_id] = std::move(payload);
+    stash_order_.push_back(staged.entry.stash_id);
+    while (stash_order_.size() > kStashCapacity) {
+      stash_.erase(stash_order_.front());
+      stash_order_.pop_front();
+    }
+  }
+  staged.bytes = staged.entry.type.size() + staged.wire_payload.size() + 24;
+  return staged;
 }
 
 Status Group::Multicast(MemberId sender, std::string type,
                         std::shared_ptr<const void> payload) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (shutdown_) return Status::Unavailable("group is shut down");
-  auto it = members_.find(sender);
-  if (it == members_.end()) {
-    return Status::InvalidArgument("unknown sender " + std::to_string(sender));
+  if (shutdown_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("group is shut down");
   }
-  if (it->second->crashed.load(std::memory_order_acquire)) {
+  if (!batching_) {
+    Staged staged = Stage(sender, std::move(type), std::move(payload));
+    Frame frame;
+    frame.sender = sender;
+    frame.message_count = 1;
+    if (transport_->needs_encoding()) {
+      WireFrame wire;
+      wire.sender = sender;
+      wire.entries.push_back({std::move(staged.entry.type),
+                              staged.entry.stash_id, staged.entry.enqueue_ns,
+                              std::move(staged.wire_payload)});
+      EncodeWireFrame(wire, &frame.encoded);
+    } else {
+      frame.entries.push_back(std::move(staged.entry));
+    }
+    // Count the frame before the transport sees it: once a recipient
+    // observes a delivery from this frame, frames_sent() must already
+    // include it.
+    frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    const Status status = transport_->Multicast(std::move(frame));
+    if (status.ok()) {
+      c_frames_->Increment();
+    } else {
+      frames_sent_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    return status;
+  }
+  // Batching path: stage into the sender's pending batch; flush when the
+  // count/bytes budget is hit (the window flush runs on FlusherLoop).
+  if (!transport_->IsAlive(sender)) {
     return Status::Unavailable("sender " + std::to_string(sender) +
                                " has crashed");
   }
-  Event event;
-  event.kind = Event::Kind::kMessage;
-  event.message.sender = sender;
-  event.message.seqno = ++next_seqno_;
-  event.message.type = std::move(type);
-  event.message.payload = std::move(payload);
-  event.deliver_at = std::chrono::steady_clock::now() +
-                     options_.multicast_delay;
-  event.enqueued_ns = obs::MonotonicNanos();
-  // Enqueue to every live member under the same lock that assigned the
-  // sequence number: this is what makes the order total and the delivery
-  // uniform.
-  for (const auto& [id, member] : members_) {
-    if (member->crashed.load(std::memory_order_acquire)) continue;
-    pending_count_.fetch_add(1, std::memory_order_relaxed);
-    if (!member->queue.Push(event)) {
-      pending_count_.fetch_sub(1, std::memory_order_relaxed);
-    }
+  Staged staged = Stage(sender, std::move(type), std::move(payload));
+  std::lock_guard<std::mutex> lock(batch_mu_);
+  Batch& batch = batches_[sender];
+  if (batch.staged.empty()) {
+    batch.deadline = std::chrono::steady_clock::now() + options_.batch_window;
+    batch_cv_.notify_all();  // flusher re-arms for the new deadline
+  }
+  batch.bytes += staged.bytes;
+  batch.staged.push_back(std::move(staged));
+  if (batch.staged.size() >= options_.batch_max_count ||
+      batch.bytes >= options_.batch_max_bytes) {
+    FlushBatchLocked(sender, &batch);
   }
   return Status::OK();
 }
 
-View Group::CurrentView() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  View view;
-  view.view_id = view_id_;
-  for (const auto& [id, member] : members_) {
-    if (!member->crashed.load(std::memory_order_acquire)) {
-      view.members.push_back(id);
+void Group::FlushBatchLocked(MemberId sender, Batch* batch) {
+  if (batch->staged.empty()) return;
+  Frame frame;
+  frame.sender = sender;
+  frame.message_count = static_cast<uint32_t>(batch->staged.size());
+  if (transport_->needs_encoding()) {
+    WireFrame wire;
+    wire.sender = sender;
+    wire.entries.reserve(batch->staged.size());
+    for (Staged& staged : batch->staged) {
+      wire.entries.push_back({std::move(staged.entry.type),
+                              staged.entry.stash_id, staged.entry.enqueue_ns,
+                              std::move(staged.wire_payload)});
+    }
+    EncodeWireFrame(wire, &frame.encoded);
+  } else {
+    frame.entries.reserve(batch->staged.size());
+    for (Staged& staged : batch->staged) {
+      frame.entries.push_back(std::move(staged.entry));
     }
   }
-  std::sort(view.members.begin(), view.members.end());
-  return view;
+  batch->staged.clear();
+  batch->bytes = 0;
+  // Pre-count as in the non-batching path (delivery may be observed
+  // before Multicast returns).
+  frames_sent_.fetch_add(1, std::memory_order_relaxed);
+  const Status status = transport_->Multicast(std::move(frame));
+  if (status.ok()) {
+    c_frames_->Increment();
+  } else {
+    frames_sent_.fetch_sub(1, std::memory_order_relaxed);
+    SIREP_WLOG << "GCS: batch flush for sender " << sender
+               << " failed: " << status;
+  }
 }
 
-void Group::DeliveryLoop(MemberId id) {
-  Member* self;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    self = members_[id].get();
+void Group::FlushAll() {
+  std::lock_guard<std::mutex> lock(batch_mu_);
+  for (auto& [sender, batch] : batches_) {
+    FlushBatchLocked(sender, &batch);
   }
-  while (true) {
-    auto event = self->queue.Pop();
-    if (!event.has_value()) break;  // closed and drained
-    if (!self->crashed.load(std::memory_order_acquire)) {
-      // Emulated network latency: sleep until the scheduled delivery
-      // time. The queue is FIFO and the delay constant, so order is
-      // preserved.
-      std::this_thread::sleep_until(event->deliver_at);
-      if (event->kind == Event::Kind::kMessage) {
-        const auto now_tp = std::chrono::steady_clock::now();
-        // Lag past the emulated network delay = scheduling + backlog.
-        h_delivery_lag_us_->Observe(
-            std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
-                now_tp - event->deliver_at)
-                .count());
-        h_multicast_us_->Observe(
-            obs::NanosToUs(obs::MonotonicNanos() - event->enqueued_ns));
-        self->listener->OnDeliver(event->message);
-        delivered_count_.fetch_add(1, std::memory_order_relaxed);
-        c_delivered_->Increment();
-      } else {
-        self->listener->OnViewChange(event->view);
+}
+
+void Group::FlusherLoop() {
+  std::unique_lock<std::mutex> lock(batch_mu_);
+  while (!flusher_stop_) {
+    const auto now = std::chrono::steady_clock::now();
+    std::optional<std::chrono::steady_clock::time_point> next;
+    for (auto& [sender, batch] : batches_) {
+      if (batch.staged.empty()) continue;
+      if (batch.deadline <= now) {
+        FlushBatchLocked(sender, &batch);
+      } else if (!next.has_value() || batch.deadline < *next) {
+        next = batch.deadline;
       }
     }
-    const int64_t left = pending_count_.fetch_sub(1, std::memory_order_acq_rel);
-    g_queue_depth_->Set(left - 1);
-    if (left == 1) {
-      std::lock_guard<std::mutex> lock(quiesce_mu_);
-      quiesce_cv_.notify_all();
+    if (next.has_value()) {
+      batch_cv_.wait_until(lock, *next);
+    } else {
+      batch_cv_.wait(lock);
     }
   }
 }
 
+std::shared_ptr<const void> Group::ResolvePayload(const std::string& type,
+                                                 uint64_t stash_id,
+                                                 const std::string& bytes) {
+  if (stash_id != 0) {
+    std::lock_guard<std::mutex> lock(stash_mu_);
+    auto it = stash_.find(stash_id);
+    if (it == stash_.end()) {
+      SIREP_ELOG << "GCS: stash miss for \"" << type << "\" id " << stash_id
+                 << " (evicted? register a codec for this type)";
+      return nullptr;
+    }
+    return it->second;
+  }
+  std::optional<PayloadCodec> codec;
+  {
+    std::lock_guard<std::mutex> lock(codec_mu_);
+    auto it = codecs_.find(type);
+    if (it != codecs_.end()) codec = it->second;
+  }
+  if (!codec.has_value()) {
+    SIREP_ELOG << "GCS: no codec registered for delivered type \"" << type
+               << "\"";
+    return nullptr;
+  }
+  auto decoded = codec->decode(bytes);
+  if (!decoded.ok()) {
+    SIREP_ELOG << "GCS: failed to decode \"" << type
+               << "\" payload: " << decoded.status();
+    return nullptr;
+  }
+  return decoded.value();
+}
+
+View Group::CurrentView() const { return transport_->CurrentView(); }
+
 void Group::WaitForQuiescence() {
-  std::unique_lock<std::mutex> lock(quiesce_mu_);
-  quiesce_cv_.wait(lock, [&] {
-    return pending_count_.load(std::memory_order_acquire) <= 0;
-  });
+  if (batching_) FlushAll();
+  transport_->WaitForQuiescence();
 }
 
 void Group::Shutdown() {
-  std::vector<std::thread> threads;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_) return;
-    shutdown_ = true;
-    for (auto& [id, member] : members_) {
-      member->crashed.store(true, std::memory_order_release);
-      member->queue.Close();
-      threads.push_back(std::move(member->delivery_thread));
+  if (shutdown_.exchange(true, std::memory_order_acq_rel)) return;
+  if (batching_) {
+    {
+      std::lock_guard<std::mutex> lock(batch_mu_);
+      flusher_stop_ = true;
     }
+    batch_cv_.notify_all();
+    if (flusher_thread_.joinable()) flusher_thread_.join();
   }
-  for (auto& t : threads) {
-    if (t.joinable()) t.join();
-  }
+  transport_->Shutdown();
 }
 
 }  // namespace sirep::gcs

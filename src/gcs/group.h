@@ -5,6 +5,8 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -13,18 +15,15 @@
 #include <vector>
 
 #include "common/status.h"
-#include "common/sync.h"
+#include "gcs/transport.h"
 #include "obs/metrics.h"
 
 namespace sirep::gcs {
 
-/// Identifies a group member (one SI-Rep middleware replica).
-using MemberId = uint32_t;
-constexpr MemberId kInvalidMember = ~0u;
-
-/// A multicast message. The payload is an immutable, type-erased blob
-/// shared between all recipients (we model Spread running in one process;
-/// a wire format would serialize WriteSets instead).
+/// A multicast message as seen by the application. On the in-process
+/// transport the payload is the sender's immutable blob, shared by all
+/// recipients (zero copy); on the TCP transport it is a fresh object
+/// decoded from the wire by the type's registered codec.
 struct Message {
   MemberId sender = kInvalidMember;
   uint64_t seqno = 0;  ///< position in the total order (1-based)
@@ -37,15 +36,6 @@ struct Message {
   }
 };
 
-/// A membership view: delivered to surviving members after every
-/// join/crash, in order with respect to messages (view synchrony).
-struct View {
-  uint64_t view_id = 0;
-  std::vector<MemberId> members;
-
-  bool Contains(MemberId m) const;
-};
-
 /// Callbacks invoked on the member's dedicated delivery thread, in total
 /// order. Implementations must not block indefinitely (they may take
 /// locks, enqueue work, etc.).
@@ -56,27 +46,62 @@ class GroupListener {
   virtual void OnViewChange(const View& view) = 0;
 };
 
+/// Serializes one payload type for transports that ship bytes (see
+/// gcs/wire.h). Types without a codec still work on every transport:
+/// their payloads ride the group's in-process stash and only a stash
+/// handle crosses the wire (sufficient while all replicas share one
+/// process; a true multi-process deployment requires codecs for every
+/// multicast type).
+struct PayloadCodec {
+  std::function<void(const void* payload, std::string* out)> encode;
+  std::function<Result<std::shared_ptr<const void>>(const std::string& in)>
+      decode;
+};
+
 struct GroupOptions {
   /// Emulated one-way multicast latency (ordering + network). The paper
   /// reports Spread's uniform reliable multicast at <= 3 ms in a LAN.
+  /// Applied by the in-process backend only.
   std::chrono::microseconds multicast_delay{0};
+
+  /// Which dissemination backend to run on. kDefault resolves from the
+  /// SIREP_GCS_TRANSPORT environment variable ("tcp" | "inproc"),
+  /// falling back to the in-process backend.
+  TransportKind transport = TransportKind::kDefault;
+
+  /// Writeset batching: messages a sender multicasts within the window
+  /// are coalesced into one transport frame (one sequencer round-trip,
+  /// one wire header) and unpacked in order at delivery. <= 1 disables
+  /// batching and every message is its own frame.
+  size_t batch_max_count = 1;
+  /// Flush the pending batch once its payload bytes exceed this.
+  size_t batch_max_bytes = 1 << 16;
+  /// Flush the pending batch this long after its first message.
+  std::chrono::microseconds batch_window{200};
 };
 
-/// In-process group communication system providing the guarantees SI-Rep
-/// needs from Spread (paper §5.2):
+/// Group communication endpoint providing the guarantees SI-Rep needs
+/// from Spread (paper §5.2):
 ///
 ///  * **Total order**: all members deliver all messages in one global
-///    order (sequencer-based: a global sequence number is assigned
-///    atomically with enqueueing to every member's delivery queue).
-///  * **Uniform reliable delivery**: once Multicast() returns, the message
-///    is queued for every member; a subsequent crash of the sender (or of
-///    any member) cannot un-deliver it at survivors, and every survivor
-///    delivers it *before* the crash notification (view change).
+///    order (sequencer-based).
+///  * **Uniform reliable delivery**: once a message is multicast, a
+///    subsequent crash of the sender (or of any member) cannot
+///    un-deliver it at survivors, and every survivor delivers it
+///    *before* the crash notification (view change). With batching
+///    enabled the boundary is the frame flush: messages still waiting
+///    in the sender's batch when it crashes die with it, exactly like
+///    messages a real process fails to hand to its GCS daemon.
 ///  * **View synchrony**: membership changes are delivered as views,
 ///    totally ordered with messages.
 ///
-/// Each member gets a dedicated delivery thread; listener callbacks run
-/// there, strictly in order.
+/// How those guarantees are produced is the pluggable Transport's
+/// business (gcs/transport.h): the in-process backend or the TCP
+/// sequencer backend, selected by GroupOptions::transport. Group itself
+/// handles everything above the frame: payload encode/decode (codecs +
+/// stash), batching, metrics, and listener fan-out. Each member gets a
+/// dedicated delivery thread; listener callbacks run there, strictly in
+/// order.
 class Group {
  public:
   explicit Group(GroupOptions options = {});
@@ -90,21 +115,31 @@ class Group {
   MemberId Join(GroupListener* listener);
 
   /// Simulates a crash: the member stops receiving anything, its future
-  /// multicasts are rejected, and survivors get a view change ordered
-  /// after every message multicast before the crash.
+  /// multicasts are rejected, its un-flushed batch (if any) is dropped,
+  /// and survivors get a view change ordered after every frame multicast
+  /// before the crash.
   void Crash(MemberId member);
 
   /// True if the member has not crashed (and the group is running).
   bool IsAlive(MemberId member) const;
 
   /// Multicasts to all members in total order. Returns kUnavailable if
-  /// the sender has crashed or the group is shut down.
+  /// the sender has crashed or the group is shut down. With batching
+  /// enabled, OK means the message is accepted into the sender's pending
+  /// batch (flushed by count/bytes/window).
   Status Multicast(MemberId sender, std::string type,
                    std::shared_ptr<const void> payload);
 
+  /// Registers the wire codec for a payload type (idempotent; later
+  /// registrations win). Byte-shipping transports use it to serialize
+  /// payloads into frames; types without one fall back to the stash.
+  void RegisterCodec(const std::string& type, PayloadCodec codec);
+
   View CurrentView() const;
 
-  /// Blocks until every queued event has been delivered (test helper).
+  /// Blocks until every multicast message (including pending batches,
+  /// which are flushed first) has been delivered everywhere (test
+  /// helper).
   void WaitForQuiescence();
 
   /// Stops delivery threads. Pending events are dropped.
@@ -114,53 +149,82 @@ class Group {
     return delivered_count_.load(std::memory_order_relaxed);
   }
 
+  /// Transport frames multicast so far (== messages sent when batching
+  /// is off; fewer when batches coalesce).
+  uint64_t frames_sent() const {
+    return frames_sent_.load(std::memory_order_relaxed);
+  }
+
   /// This group's metrics registry: multicast latency (enqueue to
   /// delivery, "gcs.multicast_us"), scheduler lag past the emulated
-  /// network delay ("gcs.delivery_lag_us"), and the undelivered-event
-  /// backlog gauge ("gcs.queue_depth").
+  /// network delay ("gcs.delivery_lag_us"), the undelivered-event
+  /// backlog gauge ("gcs.queue_depth"), delivered-message and sent-frame
+  /// counters ("gcs.messages_delivered", "gcs.frames_sent").
   obs::MetricsRegistry& metrics() { return registry_; }
   const obs::MetricsRegistry& metrics() const { return registry_; }
 
  private:
-  struct Event {
-    enum class Kind { kMessage, kView } kind = Kind::kMessage;
-    Message message;
-    View view;
-    std::chrono::steady_clock::time_point deliver_at;
-    uint64_t enqueued_ns = 0;  ///< MonotonicNanos at multicast time
+  class MemberSink;
+
+  /// One message staged in a sender's pending batch.
+  struct Staged {
+    FrameEntry entry;
+    std::string wire_payload;  ///< codec output (needs_encoding only)
+    size_t bytes = 0;
   };
 
-  struct Member {
-    GroupListener* listener = nullptr;
-    /// Set on crash (and shutdown); the delivery loop discards any events
-    /// still queued instead of delivering them.
-    std::atomic<bool> crashed{false};
-    WorkQueue<Event> queue;
-    std::thread delivery_thread;
+  struct Batch {
+    std::vector<Staged> staged;
+    size_t bytes = 0;
+    std::chrono::steady_clock::time_point deadline;
   };
 
-  void DeliveryLoop(MemberId id);
-  void EnqueueViewLocked();  // caller holds mu_
+  /// Builds and multicasts the frame for `batch`. Caller holds batch_mu_.
+  void FlushBatchLocked(MemberId sender, Batch* batch);
+  void FlushAll();
+  void FlusherLoop();
+
+  /// Encodes `payload` into a Staged entry, stashing it if `type` has no
+  /// codec and the transport needs bytes.
+  Staged Stage(MemberId sender, std::string type,
+               std::shared_ptr<const void> payload);
+
+  /// Delivery-side payload reconstruction (codec decode or stash fetch).
+  std::shared_ptr<const void> ResolvePayload(const std::string& type,
+                                             uint64_t stash_id,
+                                             const std::string& bytes);
 
   GroupOptions options_;
-
-  mutable std::mutex mu_;
-  std::unordered_map<MemberId, std::unique_ptr<Member>> members_;
-  MemberId next_member_ = 0;
-  uint64_t next_seqno_ = 0;
-  uint64_t view_id_ = 0;
-  bool shutdown_ = false;
-
-  std::atomic<uint64_t> delivered_count_{0};
-  std::atomic<int64_t> pending_count_{0};
-  std::mutex quiesce_mu_;
-  std::condition_variable quiesce_cv_;
+  bool batching_ = false;
 
   obs::MetricsRegistry registry_;
+  std::unique_ptr<Transport> transport_;
+  std::vector<std::unique_ptr<MemberSink>> sinks_;
+  std::mutex sinks_mu_;
+
+  mutable std::mutex codec_mu_;
+  std::unordered_map<std::string, PayloadCodec> codecs_;
+
+  /// Payloads of types without a codec, parked so the wire only carries
+  /// a handle. Capped FIFO: entries beyond kStashCapacity evict oldest.
+  mutable std::mutex stash_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<const void>> stash_;
+  std::deque<uint64_t> stash_order_;
+  uint64_t next_stash_id_ = 0;
+
+  std::mutex batch_mu_;
+  std::unordered_map<MemberId, Batch> batches_;
+  std::condition_variable batch_cv_;
+  std::thread flusher_thread_;
+  bool flusher_stop_ = false;
+
+  std::atomic<uint64_t> delivered_count_{0};
+  std::atomic<uint64_t> frames_sent_{0};
+  std::atomic<bool> shutdown_{false};
+
   obs::Histogram* h_multicast_us_ = nullptr;
-  obs::Histogram* h_delivery_lag_us_ = nullptr;
-  obs::Gauge* g_queue_depth_ = nullptr;
   obs::Counter* c_delivered_ = nullptr;
+  obs::Counter* c_frames_ = nullptr;
 };
 
 }  // namespace sirep::gcs

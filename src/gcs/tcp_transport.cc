@@ -1,0 +1,744 @@
+// TCP sequencer transport: the group runs over real loopback sockets
+// with one sequencer role that assigns the global total order, the way
+// a fixed-sequencer GCS (or Spread's token holder for a single segment)
+// does. Every broadcast record — data frame or view change — occupies
+// one slot of a single *stream index* space; members buffer records,
+// ack them immediately, and only deliver up to the stable watermark the
+// sequencer computes from the acks of all live members. That
+// ack-before-deliver discipline is what makes delivery uniform: a
+// record is never delivered anywhere until every live member holds it,
+// so a crash after first delivery cannot lose it at the survivors.
+//
+// Wire records (all little-endian, `u32 length` prefix over the body):
+//
+//   member -> sequencer
+//     kSend   u32 message_count, string frame      multicast request
+//     kAck    u64 stream_index                     "I buffered record i"
+//     kCrash  (empty)                              crash marker; sent
+//                                                  after the member's
+//                                                  final kSend, so the
+//                                                  sequencer orders all
+//                                                  pre-crash messages
+//                                                  before the view change
+//   sequencer -> member
+//     kWelcome u32 member_id
+//     kData    u64 stream_index, u64 base_seqno,
+//              u32 message_count, string frame
+//     kStable  u64 stream_index                    deliver up to here
+//     kView    u64 stream_index, u64 view_id,
+//              u32 n, n x u32 members
+//
+// Everything still lives in one process (the reproduction's replicas
+// are threads), so CurrentView()/IsAlive() read sequencer state through
+// shared memory instead of a membership protocol; the data path,
+// however, moves only serialized bytes through the sockets.
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/sync.h"
+#include "gcs/transport.h"
+#include "sql/serde.h"
+
+namespace sirep::gcs {
+
+namespace {
+
+enum Opcode : uint8_t {
+  kWelcome = 1,
+  kView = 2,
+  kData = 3,
+  kStable = 4,
+  kSend = 5,
+  kAck = 6,
+  kCrash = 7,
+};
+
+constexpr int kSocketBufferBytes = 1 << 20;
+constexpr uint32_t kMaxRecordBytes = 64u << 20;
+
+void ConfigureSocket(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  int buf = kSocketBufferBytes;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &buf, sizeof(buf));
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &buf, sizeof(buf));
+}
+
+/// Blocking write of the whole record (u32 length + body).
+bool WriteRecord(int fd, const std::string& body) {
+  std::string wire;
+  wire.reserve(4 + body.size());
+  sql::EncodeU32(static_cast<uint32_t>(body.size()), &wire);
+  wire += body;
+  size_t off = 0;
+  while (off < wire.size()) {
+    const ssize_t n =
+        ::send(fd, wire.data() + off, wire.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Incremental record parser over a receive buffer. Append() bytes as
+/// they arrive; Next() pops one complete record body at a time.
+class RecordBuffer {
+ public:
+  void Append(const char* data, size_t n) { buf_.append(data, n); }
+
+  bool Next(std::string* body) {
+    if (buf_.size() < 4) return false;
+    uint32_t len = 0;
+    size_t pos = 0;
+    if (!sql::DecodeU32(buf_, &pos, &len).ok() || len > kMaxRecordBytes) {
+      corrupt_ = true;
+      return false;
+    }
+    if (buf_.size() < 4 + static_cast<size_t>(len)) return false;
+    body->assign(buf_, 4, len);
+    buf_.erase(0, 4 + static_cast<size_t>(len));
+    return true;
+  }
+
+  bool corrupt() const { return corrupt_; }
+
+ private:
+  std::string buf_;
+  bool corrupt_ = false;
+};
+
+/// Blocking read of one record body; returns false on EOF/error.
+bool ReadRecord(int fd, RecordBuffer* rb, std::string* body) {
+  char chunk[16384];
+  while (!rb->Next(body)) {
+    if (rb->corrupt()) return false;
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    rb->Append(chunk, static_cast<size_t>(n));
+  }
+  return true;
+}
+
+class TcpSequencerTransport : public Transport {
+ public:
+  explicit TcpSequencerTransport(const TransportOptions& options) {
+    if (options.registry != nullptr) {
+      h_delivery_lag_us_ =
+          options.registry->GetLatencyHistogram("gcs.delivery_lag_us");
+      g_queue_depth_ = options.registry->GetGauge("gcs.queue_depth");
+    }
+    StartSequencer();
+  }
+
+  ~TcpSequencerTransport() override { Shutdown(); }
+
+  bool needs_encoding() const override { return true; }
+
+  MemberId AddMember(FrameSink* sink) override {
+    if (shutdown_.load(std::memory_order_acquire) || listen_fd_ < 0) {
+      return kInvalidMember;
+    }
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return kInvalidMember;
+    ConfigureSocket(fd);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port_);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      return kInvalidMember;
+    }
+    auto endpoint = std::make_unique<Endpoint>();
+    endpoint->fd = fd;
+    endpoint->sink = sink;
+    // The first record on a fresh connection is always kWelcome.
+    std::string body;
+    if (!ReadRecord(fd, &endpoint->rx_buffer, &body) || body.empty() ||
+        static_cast<uint8_t>(body[0]) != kWelcome) {
+      ::close(fd);
+      return kInvalidMember;
+    }
+    size_t pos = 1;
+    uint32_t id = kInvalidMember;
+    if (!sql::DecodeU32(body, &pos, &id).ok()) {
+      ::close(fd);
+      return kInvalidMember;
+    }
+    endpoint->id = id;
+    Endpoint* ep = endpoint.get();
+    {
+      std::lock_guard<std::mutex> lock(endpoints_mu_);
+      endpoints_[id] = std::move(endpoint);
+    }
+    ep->rx_thread = std::thread([this, ep] { ReceiveLoop(ep); });
+    ep->delivery_thread = std::thread([this, ep] { DeliveryLoop(ep); });
+    // Balanced by AcceptMember: reading the welcome only proves the
+    // sequencer accepted us, not that it has broadcast the join view yet,
+    // and WaitForQuiescence() must cover that view.
+    joins_submitted_.fetch_add(1, std::memory_order_acq_rel);
+    return id;
+  }
+
+  void Crash(MemberId member) override {
+    Endpoint* ep = FindEndpoint(member);
+    if (ep == nullptr || ep->crashed.exchange(true)) return;
+    SIREP_ILOG << "GCS/tcp: member " << member << " crashed";
+    // Balanced by RemoveMemberLocked; WaitForQuiescence() holds out until
+    // the sequencer has processed the marker (and thus broadcast the
+    // resulting view change).
+    crashes_submitted_.fetch_add(1, std::memory_order_acq_rel);
+    {
+      // The marker is written after any in-flight Multicast() completes
+      // its kSend (same mutex), so on the sequencer's stream every
+      // pre-crash message precedes the crash — and therefore precedes
+      // the view change the sequencer broadcasts for it.
+      std::lock_guard<std::mutex> lock(ep->send_mu);
+      std::string body(1, static_cast<char>(kCrash));
+      WriteRecord(ep->fd, body);
+      ::shutdown(ep->fd, SHUT_WR);
+    }
+  }
+
+  bool IsAlive(MemberId member) const override {
+    if (shutdown_.load(std::memory_order_acquire)) return false;
+    // The endpoint flag, not sequencer membership: Crash() sets it before
+    // returning, while the sequencer learns of the crash asynchronously —
+    // and the caller expects IsAlive(m) == false as soon as Crash(m)
+    // returns.
+    std::lock_guard<std::mutex> lock(endpoints_mu_);
+    auto it = endpoints_.find(member);
+    return it != endpoints_.end() &&
+           !it->second->crashed.load(std::memory_order_acquire);
+  }
+
+  Status Multicast(Frame frame) override {
+    if (shutdown_.load(std::memory_order_acquire)) {
+      return Status::Unavailable("group is shut down");
+    }
+    Endpoint* ep = FindEndpoint(frame.sender);
+    if (ep == nullptr) {
+      return Status::InvalidArgument("unknown sender " +
+                                     std::to_string(frame.sender));
+    }
+    if (ep->crashed.load(std::memory_order_acquire)) {
+      return Status::Unavailable("sender " + std::to_string(frame.sender) +
+                                 " has crashed");
+    }
+    std::string body(1, static_cast<char>(kSend));
+    sql::EncodeU32(frame.message_count, &body);
+    sql::EncodeString(frame.encoded, &body);
+    sends_submitted_.fetch_add(1, std::memory_order_acq_rel);
+    std::lock_guard<std::mutex> lock(ep->send_mu);
+    if (ep->crashed.load(std::memory_order_acquire) ||
+        !WriteRecord(ep->fd, body)) {
+      sends_submitted_.fetch_sub(1, std::memory_order_acq_rel);
+      return Status::Unavailable("sender " + std::to_string(frame.sender) +
+                                 " disconnected");
+    }
+    return Status::OK();
+  }
+
+  View CurrentView() const override {
+    std::lock_guard<std::mutex> lock(seq_mu_);
+    View view;
+    view.view_id = seq_view_id_;
+    for (const auto& [id, fd] : seq_live_) view.members.push_back(id);
+    return view;
+  }
+
+  void WaitForQuiescence() override {
+    std::unique_lock<std::mutex> lock(quiesce_mu_);
+    quiesce_cv_.wait(lock, [&] { return QuiescentLocked(); });
+  }
+
+  void Shutdown() override {
+    if (shutdown_.exchange(true, std::memory_order_acq_rel)) return;
+    // Wake every blocked recv/accept; threads observe shutdown_ and exit.
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+    {
+      std::lock_guard<std::mutex> lock(endpoints_mu_);
+      for (auto& [id, ep] : endpoints_) {
+        ep->crashed.store(true, std::memory_order_release);
+        ::shutdown(ep->fd, SHUT_RDWR);
+        ep->rx_queue.Close();
+      }
+    }
+    if (sequencer_thread_.joinable()) sequencer_thread_.join();
+    {
+      std::lock_guard<std::mutex> lock(endpoints_mu_);
+      for (auto& [id, ep] : endpoints_) {
+        if (ep->rx_thread.joinable()) ep->rx_thread.join();
+        if (ep->delivery_thread.joinable()) ep->delivery_thread.join();
+        ::close(ep->fd);
+      }
+    }
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    quiesce_cv_.notify_all();
+  }
+
+ private:
+  /// One record of the member-side delivery stream, already acked and
+  /// waiting for the stable watermark to reach its index.
+  struct RxRecord {
+    enum class Kind { kFrame, kView, kStableMark } kind = Kind::kFrame;
+    uint64_t stream_index = 0;
+    uint64_t base_seqno = 0;  // kFrame
+    Frame frame;              // kFrame
+    View view;                // kView
+    uint64_t stable = 0;      // kStableMark
+  };
+
+  struct Endpoint {
+    MemberId id = kInvalidMember;
+    int fd = -1;
+    FrameSink* sink = nullptr;
+    std::atomic<bool> crashed{false};
+    /// Serializes all writes to fd: kSend (Multicast), kAck (rx thread),
+    /// kCrash (Crash).
+    std::mutex send_mu;
+    RecordBuffer rx_buffer;
+    /// rx thread -> delivery thread. Keeping the socket drained on a
+    /// dedicated thread means a slow listener can never back-pressure
+    /// the sequencer's blocking broadcast writes into a deadlock.
+    WorkQueue<RxRecord> rx_queue;
+    std::thread rx_thread;
+    std::thread delivery_thread;
+    /// Highest stream index this member has delivered (quiescence).
+    std::atomic<uint64_t> delivered_index{0};
+  };
+
+  /// Sequencer-side per-broadcast ack bookkeeping.
+  struct PendingRecord {
+    std::vector<MemberId> waiting;  // live members that have not acked
+  };
+
+  // ---------------------------------------------------------------- //
+  // Sequencer role                                                   //
+  // ---------------------------------------------------------------- //
+
+  void StartSequencer() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;  // ephemeral
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 64) != 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return;
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    sequencer_thread_ = std::thread([this] { SequencerLoop(); });
+  }
+
+  void SequencerLoop() {
+    std::unordered_map<int, RecordBuffer> rx;  // fd -> parse buffer
+    std::unordered_map<int, MemberId> who;     // fd -> member
+    while (!shutdown_.load(std::memory_order_acquire)) {
+      std::vector<pollfd> fds;
+      fds.push_back({listen_fd_, POLLIN, 0});
+      {
+        std::lock_guard<std::mutex> lock(seq_mu_);
+        for (const auto& [id, fd] : seq_live_) fds.push_back({fd, POLLIN, 0});
+      }
+      const int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/50);
+      if (ready <= 0) continue;
+      if (fds[0].revents != 0) AcceptMember(&rx, &who);
+      for (size_t i = 1; i < fds.size(); ++i) {
+        if (fds[i].revents == 0) continue;
+        DrainMember(fds[i].fd, &rx, &who);
+      }
+    }
+  }
+
+  void AcceptMember(std::unordered_map<int, RecordBuffer>* rx,
+                    std::unordered_map<int, MemberId>* who) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;
+    ConfigureSocket(fd);
+    std::lock_guard<std::mutex> lock(seq_mu_);
+    const MemberId id = seq_next_member_++;
+    std::string welcome(1, static_cast<char>(kWelcome));
+    sql::EncodeU32(id, &welcome);
+    if (!WriteRecord(fd, welcome)) {
+      ::close(fd);
+      return;
+    }
+    seq_live_[id] = fd;
+    (*rx)[fd];
+    (*who)[fd] = id;
+    BroadcastViewLocked();
+    joins_processed_.fetch_add(1, std::memory_order_acq_rel);
+    NotifyQuiescence();
+  }
+
+  void DrainMember(int fd, std::unordered_map<int, RecordBuffer>* rx,
+                   std::unordered_map<int, MemberId>* who) {
+    auto it = who->find(fd);
+    if (it == who->end()) return;
+    const MemberId id = it->second;
+    RecordBuffer& buf = (*rx)[fd];
+    bool eof = false;
+    char chunk[16384];
+    while (true) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), MSG_DONTWAIT);
+      if (n > 0) {
+        buf.Append(chunk, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      eof = true;  // EOF or hard error
+      break;
+    }
+    // Process every complete record read so far — crucially *before*
+    // acting on EOF, so kSends and kAcks that preceded a crash marker
+    // (or the connection teardown) still take effect first. Only a
+    // crash marker (or corruption) cuts the record stream short.
+    bool crashed = false;
+    std::string body;
+    std::lock_guard<std::mutex> lock(seq_mu_);
+    while (!crashed && buf.Next(&body)) {
+      if (seq_live_.count(id) == 0) return;  // already removed
+      HandleRecordLocked(id, body, &crashed);
+    }
+    if (buf.corrupt()) crashed = true;
+    if ((eof || crashed) && seq_live_.count(id) != 0) RemoveMemberLocked(id);
+  }
+
+  void HandleRecordLocked(MemberId id, const std::string& body, bool* gone) {
+    if (body.empty()) return;
+    const uint8_t op = static_cast<uint8_t>(body[0]);
+    size_t pos = 1;
+    switch (op) {
+      case kSend: {
+        uint32_t count = 0;
+        std::string frame;
+        if (!sql::DecodeU32(body, &pos, &count).ok() ||
+            !sql::DecodeString(body, &pos, &frame).ok() || count == 0) {
+          SIREP_ELOG << "GCS/tcp: malformed kSend from member " << id;
+          *gone = true;
+          return;
+        }
+        const uint64_t idx = ++seq_next_index_;
+        last_index_.store(idx, std::memory_order_release);
+        const uint64_t base = seq_next_seqno_ + 1;
+        seq_next_seqno_ += count;
+        std::string data(1, static_cast<char>(kData));
+        sql::EncodeU64(idx, &data);
+        sql::EncodeU64(base, &data);
+        sql::EncodeU32(count, &data);
+        sql::EncodeString(frame, &data);
+        BroadcastLocked(idx, data);
+        sends_sequenced_.fetch_add(1, std::memory_order_acq_rel);
+        NotifyQuiescence();
+        break;
+      }
+      case kAck: {
+        uint64_t idx = 0;
+        if (!sql::DecodeU64(body, &pos, &idx).ok()) return;
+        auto it = seq_pending_.find(idx);
+        if (it == seq_pending_.end()) return;
+        auto& waiting = it->second.waiting;
+        waiting.erase(std::remove(waiting.begin(), waiting.end(), id),
+                      waiting.end());
+        AdvanceStableLocked();
+        break;
+      }
+      case kCrash:
+        *gone = true;
+        break;
+      default:
+        SIREP_ELOG << "GCS/tcp: unexpected opcode " << int{op}
+                   << " from member " << id;
+        *gone = true;
+        break;
+    }
+  }
+
+  /// Broadcasts one stream record to all live members and registers it
+  /// for ack tracking. Caller holds seq_mu_.
+  void BroadcastLocked(uint64_t idx, const std::string& body) {
+    PendingRecord pending;
+    for (const auto& [mid, mfd] : seq_live_) pending.waiting.push_back(mid);
+    seq_pending_[idx] = std::move(pending);
+    for (const auto& [mid, mfd] : seq_live_) WriteRecord(mfd, body);
+    if (seq_live_.empty()) AdvanceStableLocked();
+  }
+
+  /// Advances the stable watermark over fully-acked records and tells
+  /// everyone. Caller holds seq_mu_.
+  void AdvanceStableLocked() {
+    uint64_t advanced = seq_stable_;
+    while (true) {
+      auto it = seq_pending_.find(advanced + 1);
+      if (it == seq_pending_.end() || !it->second.waiting.empty()) break;
+      seq_pending_.erase(it);
+      ++advanced;
+    }
+    if (advanced == seq_stable_) return;
+    seq_stable_ = advanced;
+    std::string body(1, static_cast<char>(kStable));
+    sql::EncodeU64(seq_stable_, &body);
+    for (const auto& [mid, mfd] : seq_live_) WriteRecord(mfd, body);
+  }
+
+  /// Removes a crashed/disconnected member: waive its outstanding acks,
+  /// advance stability, then broadcast the new view — which, being a
+  /// later stream record, is delivered after everything the member sent
+  /// before it crashed (view synchrony). Caller holds seq_mu_.
+  void RemoveMemberLocked(MemberId id) {
+    auto it = seq_live_.find(id);
+    if (it == seq_live_.end()) return;
+    const int fd = it->second;
+    seq_live_.erase(it);
+    ::close(fd);
+    // Mark the endpoint dead so the quiescence predicate stops waiting
+    // on its delivery progress (covers EOF paths that bypass Crash()).
+    if (Endpoint* ep = FindEndpoint(id)) {
+      ep->crashed.store(true, std::memory_order_release);
+    }
+    for (auto& [idx, pending] : seq_pending_) {
+      auto& waiting = pending.waiting;
+      waiting.erase(std::remove(waiting.begin(), waiting.end(), id),
+                    waiting.end());
+    }
+    BroadcastViewLocked();
+    AdvanceStableLocked();
+    // Counts every removal (crash marker or EOF), so it can run ahead of
+    // crashes_submitted_ — the quiescence predicate uses >=.
+    crashes_processed_.fetch_add(1, std::memory_order_acq_rel);
+    NotifyQuiescence();
+  }
+
+  /// Broadcasts the current membership as a stream record. Caller holds
+  /// seq_mu_.
+  void BroadcastViewLocked() {
+    ++seq_view_id_;
+    const uint64_t idx = ++seq_next_index_;
+    last_index_.store(idx, std::memory_order_release);
+    std::string body(1, static_cast<char>(kView));
+    sql::EncodeU64(idx, &body);
+    sql::EncodeU64(seq_view_id_, &body);
+    sql::EncodeU32(static_cast<uint32_t>(seq_live_.size()), &body);
+    for (const auto& [mid, mfd] : seq_live_) sql::EncodeU32(mid, &body);
+    BroadcastLocked(idx, body);
+  }
+
+  // ---------------------------------------------------------------- //
+  // Member role                                                      //
+  // ---------------------------------------------------------------- //
+
+  /// Reads records off the socket, acks them, and hands them to the
+  /// delivery thread. Never does application work: its only job is to
+  /// keep the socket drained and the ack latency low.
+  void ReceiveLoop(Endpoint* ep) {
+    std::string body;
+    while (ReadRecord(ep->fd, &ep->rx_buffer, &body)) {
+      if (shutdown_.load(std::memory_order_acquire)) break;
+      if (body.empty()) continue;
+      const uint8_t op = static_cast<uint8_t>(body[0]);
+      size_t pos = 1;
+      RxRecord record;
+      switch (op) {
+        case kData: {
+          record.kind = RxRecord::Kind::kFrame;
+          uint32_t count = 0;
+          if (!sql::DecodeU64(body, &pos, &record.stream_index).ok() ||
+              !sql::DecodeU64(body, &pos, &record.base_seqno).ok() ||
+              !sql::DecodeU32(body, &pos, &count).ok() ||
+              !sql::DecodeString(body, &pos, &record.frame.encoded).ok()) {
+            SIREP_ELOG << "GCS/tcp: malformed kData at member " << ep->id;
+            continue;
+          }
+          record.frame.message_count = count;
+          SendAck(ep, record.stream_index);
+          break;
+        }
+        case kView: {
+          record.kind = RxRecord::Kind::kView;
+          uint32_t n = 0;
+          if (!sql::DecodeU64(body, &pos, &record.stream_index).ok() ||
+              !sql::DecodeU64(body, &pos, &record.view.view_id).ok() ||
+              !sql::DecodeU32(body, &pos, &n).ok()) {
+            continue;
+          }
+          record.view.members.resize(n);
+          bool ok = true;
+          for (uint32_t i = 0; i < n; ++i) {
+            ok = ok && sql::DecodeU32(body, &pos, &record.view.members[i]).ok();
+          }
+          if (!ok) continue;
+          std::sort(record.view.members.begin(), record.view.members.end());
+          SendAck(ep, record.stream_index);
+          break;
+        }
+        case kStable: {
+          record.kind = RxRecord::Kind::kStableMark;
+          if (!sql::DecodeU64(body, &pos, &record.stable).ok()) continue;
+          break;
+        }
+        default:
+          continue;
+      }
+      ep->rx_queue.Push(std::move(record));
+    }
+    ep->rx_queue.Close();
+  }
+
+  void SendAck(Endpoint* ep, uint64_t idx) {
+    std::string body(1, static_cast<char>(kAck));
+    sql::EncodeU64(idx, &body);
+    std::lock_guard<std::mutex> lock(ep->send_mu);
+    if (!ep->crashed.load(std::memory_order_acquire)) {
+      WriteRecord(ep->fd, body);
+    }
+  }
+
+  /// Delivers buffered records in stream order up to the stable
+  /// watermark. TCP preserves the sequencer's write order, so the
+  /// buffer is a plain FIFO.
+  void DeliveryLoop(Endpoint* ep) {
+    std::deque<RxRecord> buffered;
+    uint64_t stable = 0;
+    while (true) {
+      auto record = ep->rx_queue.Pop();
+      if (!record.has_value()) break;
+      if (record->kind == RxRecord::Kind::kStableMark) {
+        stable = std::max(stable, record->stable);
+      } else {
+        buffered.push_back(std::move(*record));
+      }
+      if (g_queue_depth_ != nullptr) {
+        g_queue_depth_->Set(static_cast<int64_t>(buffered.size()));
+      }
+      while (!buffered.empty() && buffered.front().stream_index <= stable) {
+        RxRecord front = std::move(buffered.front());
+        buffered.pop_front();
+        if (!ep->crashed.load(std::memory_order_acquire)) {
+          if (front.kind == RxRecord::Kind::kFrame) {
+            if (h_delivery_lag_us_ != nullptr) {
+              h_delivery_lag_us_->Observe(0.0);  // no emulated delay here
+            }
+            ep->sink->OnFrame(front.base_seqno, front.frame);
+          } else {
+            ep->sink->OnViewChange(front.view);
+          }
+        }
+        ep->delivered_index.store(front.stream_index,
+                                  std::memory_order_release);
+        NotifyQuiescence();
+      }
+    }
+  }
+
+  // ---------------------------------------------------------------- //
+  // Shared state / quiescence                                        //
+  // ---------------------------------------------------------------- //
+
+  Endpoint* FindEndpoint(MemberId id) {
+    std::lock_guard<std::mutex> lock(endpoints_mu_);
+    auto it = endpoints_.find(id);
+    return it == endpoints_.end() ? nullptr : it->second.get();
+  }
+
+  /// Quiescent = every submitted send has been sequenced and every live
+  /// member has delivered up to the last broadcast stream record. Reads
+  /// only atomics + endpoints_mu_ — deliberately NOT seq_mu_, because
+  /// the sequencer thread notifies the quiescence cv while holding
+  /// seq_mu_ and taking it here would invert the lock order.
+  bool QuiescentLocked() {
+    if (shutdown_.load(std::memory_order_acquire)) return true;
+    if (sends_submitted_.load(std::memory_order_acquire) !=
+        sends_sequenced_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    if (crashes_processed_.load(std::memory_order_acquire) <
+        crashes_submitted_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    if (joins_processed_.load(std::memory_order_acquire) <
+        joins_submitted_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    const uint64_t last = last_index_.load(std::memory_order_acquire);
+    std::lock_guard<std::mutex> ep_lock(endpoints_mu_);
+    for (const auto& [id, ep] : endpoints_) {
+      if (ep->crashed.load(std::memory_order_acquire)) continue;
+      if (ep->delivered_index.load(std::memory_order_acquire) < last) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void NotifyQuiescence() {
+    std::lock_guard<std::mutex> lock(quiesce_mu_);
+    quiesce_cv_.notify_all();
+  }
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread sequencer_thread_;
+  std::atomic<bool> shutdown_{false};
+
+  /// Sequencer state. std::map keeps view member lists sorted for free.
+  mutable std::mutex seq_mu_;
+  std::map<MemberId, int> seq_live_;  // member -> fd
+  MemberId seq_next_member_ = 0;
+  uint64_t seq_next_index_ = 0;
+  uint64_t seq_next_seqno_ = 0;
+  uint64_t seq_stable_ = 0;
+  uint64_t seq_view_id_ = 0;
+  std::unordered_map<uint64_t, PendingRecord> seq_pending_;
+  /// Mirror of seq_next_index_ readable without seq_mu_ (quiescence).
+  std::atomic<uint64_t> last_index_{0};
+
+  mutable std::mutex endpoints_mu_;
+  std::unordered_map<MemberId, std::unique_ptr<Endpoint>> endpoints_;
+
+  std::atomic<uint64_t> sends_submitted_{0};
+  std::atomic<uint64_t> sends_sequenced_{0};
+  std::atomic<uint64_t> crashes_submitted_{0};
+  std::atomic<uint64_t> crashes_processed_{0};
+  std::atomic<uint64_t> joins_submitted_{0};
+  std::atomic<uint64_t> joins_processed_{0};
+  std::mutex quiesce_mu_;
+  std::condition_variable quiesce_cv_;
+
+  obs::Histogram* h_delivery_lag_us_ = nullptr;
+  obs::Gauge* g_queue_depth_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> MakeTcpSequencerTransport(
+    const TransportOptions& options) {
+  return std::make_unique<TcpSequencerTransport>(options);
+}
+
+}  // namespace sirep::gcs

@@ -1,0 +1,131 @@
+#ifndef SIREP_GCS_TRANSPORT_H_
+#define SIREP_GCS_TRANSPORT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace sirep::gcs {
+
+/// Identifies a group member (one SI-Rep middleware replica).
+using MemberId = uint32_t;
+constexpr MemberId kInvalidMember = ~0u;
+
+/// A membership view: delivered to surviving members after every
+/// join/crash, in order with respect to messages (view synchrony).
+struct View {
+  uint64_t view_id = 0;
+  std::vector<MemberId> members;
+
+  bool Contains(MemberId m) const;
+};
+
+/// Which dissemination backend a Group runs on.
+enum class TransportKind {
+  /// Resolve from the SIREP_GCS_TRANSPORT environment variable
+  /// ("inproc" | "tcp"); falls back to kInProcess when unset.
+  kDefault,
+  /// Zero-copy in-process queues (the original single-process model).
+  kInProcess,
+  /// Loopback TCP with a sequencer process-role: real sockets, real
+  /// serialized frames, ack-before-deliver uniform delivery.
+  kTcp,
+};
+
+/// One application message inside a multicast frame, in the pointer
+/// representation used by transports that do not serialize.
+struct FrameEntry {
+  std::string type;
+  std::shared_ptr<const void> payload;
+  /// Non-zero when the payload has no wire codec and rides the Group's
+  /// in-process stash instead of the encoded frame (see group.h).
+  uint64_t stash_id = 0;
+  /// MonotonicNanos at Multicast() time, for end-to-end latency metrics.
+  uint64_t enqueue_ns = 0;
+};
+
+/// A multicast unit occupying `message_count` consecutive slots of the
+/// total order (writeset batching packs several messages per frame).
+/// Exactly one representation is populated: `entries` for transports
+/// with needs_encoding() == false, `encoded` (a gcs/wire.h frame) for
+/// transports that ship bytes.
+struct Frame {
+  MemberId sender = kInvalidMember;
+  uint32_t message_count = 0;
+  std::vector<FrameEntry> entries;
+  std::string encoded;
+};
+
+/// Receives one member's totally ordered event stream. Callbacks run on
+/// that member's dedicated delivery thread, strictly in order.
+class FrameSink {
+ public:
+  virtual ~FrameSink() = default;
+  /// `base_seqno` is the first total-order slot of the frame; entry i
+  /// has seqno base_seqno + i.
+  virtual void OnFrame(uint64_t base_seqno, const Frame& frame) = 0;
+  virtual void OnViewChange(const View& view) = 0;
+};
+
+struct TransportOptions {
+  /// Emulated one-way multicast latency. Applied by the in-process
+  /// backend; the TCP backend has real (loopback) network latency and
+  /// ignores it.
+  std::chrono::microseconds multicast_delay{0};
+  /// Optional registry for transport-internal metrics
+  /// ("gcs.delivery_lag_us", "gcs.queue_depth"). May be null.
+  obs::MetricsRegistry* registry = nullptr;
+};
+
+/// The dissemination seam behind gcs::Group: assigns the global sequence
+/// numbers and delivers frames + views to every member's sink with the
+/// paper's §5.2 guarantees (total order, uniform reliable delivery,
+/// view synchrony). Group handles everything above the frame: payload
+/// encode/decode, batching, metrics, listener fan-out.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// True if Multicast() requires Frame::encoded (wire bytes); false if
+  /// the transport passes Frame::entries pointers through unserialized.
+  virtual bool needs_encoding() const = 0;
+
+  /// Adds a member; its first delivered event is the view containing it.
+  /// Returns kInvalidMember after Shutdown().
+  virtual MemberId AddMember(FrameSink* sink) = 0;
+
+  /// Simulates the member's crash: no further deliveries to it, its
+  /// future multicasts fail, survivors get an ordered view change after
+  /// every frame multicast before the crash.
+  virtual void Crash(MemberId member) = 0;
+
+  virtual bool IsAlive(MemberId member) const = 0;
+
+  /// Multicasts `frame` (frame.sender set) to all members in total
+  /// order. kUnavailable if the sender crashed or the transport is shut
+  /// down.
+  virtual Status Multicast(Frame frame) = 0;
+
+  virtual View CurrentView() const = 0;
+
+  /// Blocks until every frame handed to Multicast() has been delivered
+  /// at every live member (test helper).
+  virtual void WaitForQuiescence() = 0;
+
+  /// Stops delivery. Pending events are dropped.
+  virtual void Shutdown() = 0;
+};
+
+std::unique_ptr<Transport> MakeInProcessTransport(
+    const TransportOptions& options);
+std::unique_ptr<Transport> MakeTcpSequencerTransport(
+    const TransportOptions& options);
+
+}  // namespace sirep::gcs
+
+#endif  // SIREP_GCS_TRANSPORT_H_

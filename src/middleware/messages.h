@@ -5,6 +5,8 @@
 #include <memory>
 #include <string>
 
+#include "common/status.h"
+#include "gcs/group.h"
 #include "middleware/global_txn_id.h"
 #include "storage/write_set.h"
 
@@ -36,6 +38,31 @@ struct DdlMessage {
   GlobalTxnId gid;
   std::string sql;
 };
+
+/// Wire encodings for the middleware's multicast payloads, layered on the
+/// sql/serde.h primitives (little-endian, length-prefixed, versioned;
+/// kInvalidArgument on truncation — see DESIGN.md "Wire format &
+/// transport"). WriteSetMessage:
+///
+///   u8   version   kMessageWireVersion
+///   u32  gid.replica
+///   u64  gid.seq
+///   u64  cert
+///   ...  writeset  (storage::EncodeWriteSet)
+///
+/// DdlMessage: u8 version, u32 gid.replica, u64 gid.seq, string sql.
+inline constexpr uint8_t kMessageWireVersion = 1;
+
+void EncodeWriteSetMessage(const WriteSetMessage& msg, std::string* out);
+Status DecodeWriteSetMessage(const std::string& in, WriteSetMessage* out);
+
+void EncodeDdlMessage(const DdlMessage& msg, std::string* out);
+Status DecodeDdlMessage(const std::string& in, DdlMessage* out);
+
+/// Registers the writeset + DDL codecs on `group` so byte-shipping
+/// transports serialize them instead of falling back to the payload
+/// stash. Idempotent; every replica calls it on Start().
+void RegisterMessageCodecs(gcs::Group* group);
 
 }  // namespace sirep::middleware
 

@@ -34,6 +34,9 @@ SrcaRepReplica::SrcaRepReplica(engine::Database* db, gcs::Group* group,
 SrcaRepReplica::~SrcaRepReplica() { Shutdown(); }
 
 Status SrcaRepReplica::Start() {
+  // Byte-shipping transports (TCP sequencer) need these to serialize our
+  // payloads; on the in-process transport they are simply never invoked.
+  RegisterMessageCodecs(group_);
   member_id_ = group_->Join(this);
   if (member_id_ == gcs::kInvalidMember) {
     return Status::Unavailable("group is shut down");

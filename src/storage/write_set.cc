@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sql/serde.h"
+
 namespace sirep::storage {
 
 const char* WriteOpToString(WriteOp op) {
@@ -77,6 +79,53 @@ std::vector<std::string> WriteSet::Tables() const {
 void WriteSet::Clear() {
   entries_.clear();
   index_.clear();
+}
+
+void EncodeWriteSet(const WriteSet& ws, std::string* out) {
+  out->push_back(static_cast<char>(kWriteSetWireVersion));
+  sql::EncodeU32(static_cast<uint32_t>(ws.size()), out);
+  for (const WriteSetEntry& entry : ws.entries()) {
+    sql::EncodeString(entry.tuple.table, out);
+    sql::EncodeRow(entry.tuple.key.parts, out);
+    out->push_back(static_cast<char>(entry.op));
+    sql::EncodeRow(entry.after, out);
+  }
+}
+
+Status DecodeWriteSet(const std::string& in, size_t* pos, WriteSet* out) {
+  out->Clear();
+  if (*pos >= in.size()) {
+    return Status::InvalidArgument("truncated writeset: missing version");
+  }
+  const uint8_t version = static_cast<uint8_t>(in[(*pos)++]);
+  if (version != kWriteSetWireVersion) {
+    return Status::InvalidArgument("unsupported writeset version " +
+                                   std::to_string(version));
+  }
+  uint32_t count = 0;
+  SIREP_RETURN_IF_ERROR(sql::DecodeU32(in, pos, &count));
+  // Each entry takes at least 13 bytes (empty table, empty key row, op,
+  // empty after row); reject counts the remaining bytes cannot hold.
+  if (static_cast<size_t>(count) * 13 > in.size() - *pos) {
+    return Status::InvalidArgument("writeset entry count exceeds input size");
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    TupleId tuple;
+    SIREP_RETURN_IF_ERROR(sql::DecodeString(in, pos, &tuple.table));
+    SIREP_RETURN_IF_ERROR(sql::DecodeRow(in, pos, &tuple.key.parts));
+    if (*pos >= in.size()) {
+      return Status::InvalidArgument("truncated writeset entry: missing op");
+    }
+    const uint8_t op = static_cast<uint8_t>(in[(*pos)++]);
+    if (op > static_cast<uint8_t>(WriteOp::kDelete)) {
+      return Status::InvalidArgument("invalid writeset op " +
+                                     std::to_string(op));
+    }
+    sql::Row after;
+    SIREP_RETURN_IF_ERROR(sql::DecodeRow(in, pos, &after));
+    out->Record(std::move(tuple), static_cast<WriteOp>(op), std::move(after));
+  }
+  return Status::OK();
 }
 
 std::string WriteSet::ToString() const {

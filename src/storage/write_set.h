@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "sql/value.h"
 #include "storage/types.h"
 
@@ -66,6 +67,25 @@ class WriteSet {
   std::vector<WriteSetEntry> entries_;
   std::unordered_map<TupleId, size_t, TupleIdHash> index_;
 };
+
+/// Binary writeset encoding on the sql/serde.h primitives — what crosses
+/// the wire when the GCS runs on a byte-shipping transport:
+///
+///   u8   version   kWriteSetWireVersion
+///   u32  count     number of entries
+///   entry * count:
+///     string  table
+///     Row     key parts
+///     u8      op     0=insert 1=update 2=delete
+///     Row     after  (empty for deletes)
+void EncodeWriteSet(const WriteSet& ws, std::string* out);
+
+/// Decodes into `out` (cleared first), advancing *pos. Fails with
+/// kInvalidArgument on truncation, a bad version, or an out-of-range op —
+/// never by crashing.
+Status DecodeWriteSet(const std::string& in, size_t* pos, WriteSet* out);
+
+inline constexpr uint8_t kWriteSetWireVersion = 1;
 
 }  // namespace sirep::storage
 
