@@ -1,0 +1,318 @@
+// Chaos harness: a standalone invariant checker (not a perf benchmark).
+// Runs seeded client traffic against a replicated cluster while a
+// deterministic fault schedule fires — failpoint faults (drops, apply
+// deadlocks, validation stalls, socket resets) plus whole-replica
+// crash/restart rounds — then verifies the 1-copy-SI invariants:
+//
+//   * sum(v) over the counter table equals the number of commits the
+//     drivers acknowledged, on EVERY replica (exactly-once apply);
+//   * all replicas are row-for-row identical (convergence).
+//
+// The entire schedule derives from --seed, so a failing run is
+// replayable bit-for-bit from its command line. Exits non-zero on any
+// invariant violation; prints a fault report (failpoint counters +
+// driver/GCS fault metrics) either way.
+//
+// Usage:
+//   chaos_harness [--seed=N] [--rounds=N] [--clients=N]
+//                 [--duration-ms=N] [--transport=inproc|tcp]
+//                 [--failpoints=SPEC_LIST]
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/failpoint.h"
+#include "common/prng.h"
+#include "obs/metrics.h"
+
+namespace sirep {
+namespace {
+
+using cluster::Cluster;
+using cluster::ClusterOptions;
+using sql::Value;
+
+struct HarnessOptions {
+  uint64_t seed = 1;
+  int rounds = 3;          // crash/restart rounds
+  int clients = 4;         // concurrent traffic threads
+  int duration_ms = 250;   // traffic window per round
+  gcs::TransportKind transport = gcs::TransportKind::kDefault;
+  // Default fault schedule: transient multicast drops, transient apply
+  // deadlocks, and validation stalls — all recoverable faults that must
+  // never cost an acknowledged commit.
+  std::string failpoints =
+      "gcs.send=1in(40,error(unavailable));"
+      "mw.apply=1in(60,error(deadlock));"
+      "mw.validate=1in(80,delay(200us))";
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+bool ParseOptions(int argc, char** argv, HarnessOptions* opt) {
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (ParseFlag(argv[i], "--seed", &v)) {
+      opt->seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--rounds", &v)) {
+      opt->rounds = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--clients", &v)) {
+      opt->clients = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--duration-ms", &v)) {
+      opt->duration_ms = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--transport", &v)) {
+      if (v == "tcp") {
+        opt->transport = gcs::TransportKind::kTcp;
+      } else if (v == "inproc") {
+        opt->transport = gcs::TransportKind::kInProcess;
+      } else {
+        std::fprintf(stderr, "unknown transport '%s'\n", v.c_str());
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--failpoints", &v)) {
+      opt->failpoints = v;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return false;
+    }
+  }
+  return opt->rounds >= 0 && opt->clients > 0 && opt->duration_ms > 0;
+}
+
+/// Seeded counter-increment traffic (same shape as tests/chaos_test.cc):
+/// short transactions through the JDBC-like driver with periodic
+/// reconnects, counting only commits the driver acknowledged.
+long long RunTraffic(Cluster& cluster, uint64_t seed, int clients,
+                     std::chrono::milliseconds duration) {
+  std::atomic<bool> stop{false};
+  std::atomic<long long> committed{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Prng prng(seed * 9176 + c);
+      while (!stop.load(std::memory_order_relaxed)) {
+        client::ConnectionOptions copt;
+        copt.seed = prng.Next();
+        auto conn = cluster.Connect(copt);
+        if (!conn.ok()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          continue;
+        }
+        auto& connection = *conn.value();
+        connection.SetAutoCommit(false);
+        for (int t = 0; t < 5 && !stop.load(); ++t) {
+          const int64_t k = static_cast<int64_t>(prng.Uniform(16));
+          auto r = connection.Execute("UPDATE kv SET v = v + 1 WHERE k = ?",
+                                      {Value::Int(k)});
+          if (!r.ok()) {
+            connection.Rollback();
+            continue;
+          }
+          if (connection.Commit().ok()) committed.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(duration);
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  return committed.load();
+}
+
+/// Online restart with bounded retry: the fault schedule stays armed
+/// during recovery, so the recovery protocol's own multicasts can eat a
+/// transient injected drop. That is a scenario to survive, not a
+/// harness failure — retry until the schedule lets the join through.
+bool RestartWithRetry(Cluster& cluster, size_t index) {
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    if (cluster.replica(index)->IsAlive()) return true;
+    if (cluster.RestartReplica(index).ok()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return false;
+}
+
+int CheckInvariants(Cluster& cluster, long long committed) {
+  int violations = 0;
+  for (size_t r = 0; r < cluster.size(); ++r) {
+    auto res = cluster.db(r)->ExecuteAutoCommit("SELECT SUM(v) FROM kv");
+    const long long sum =
+        res.ok() ? res.value().rows[0][0].AsInt() : -1;
+    if (sum != committed) {
+      std::fprintf(stderr,
+                   "VIOLATION: replica %zu sum(v)=%lld, drivers "
+                   "acknowledged %lld commits\n",
+                   r, sum, committed);
+      ++violations;
+    }
+  }
+  auto reference =
+      cluster.db(0)->ExecuteAutoCommit("SELECT * FROM kv ORDER BY k");
+  if (!reference.ok()) {
+    std::fprintf(stderr, "VIOLATION: replica 0 unreadable\n");
+    return violations + 1;
+  }
+  for (size_t r = 1; r < cluster.size(); ++r) {
+    auto other =
+        cluster.db(r)->ExecuteAutoCommit("SELECT * FROM kv ORDER BY k");
+    if (!other.ok() ||
+        other.value().rows != reference.value().rows) {
+      std::fprintf(stderr,
+                   "VIOLATION: replica %zu diverged from replica 0\n", r);
+      ++violations;
+    }
+  }
+  return violations;
+}
+
+void PrintFaultReport(Cluster& cluster,
+                      const std::vector<failpoint::PointStats>& points) {
+  std::printf("--- failpoint report ---\n");
+  for (const auto& p : points) {
+    std::printf("  %-28s spec=%-28s hits=%llu fires=%llu\n",
+                p.name.c_str(), p.spec.c_str(),
+                static_cast<unsigned long long>(p.hits),
+                static_cast<unsigned long long>(p.fires));
+  }
+  std::printf("--- fault counters ---\n");
+  // The driver's retry/failover counters live in the process-default
+  // registry, not in any per-replica registry — merge both.
+  auto snap = cluster.DumpMetrics();
+  snap.Merge(obs::MetricsRegistry::Default().Snapshot());
+  for (const auto& [name, value] : snap.counters) {
+    // Driver retry/failover behaviour and transport-level faults; the
+    // throughput counters are not interesting to a chaos report.
+    if (name.rfind("client.", 0) == 0 || name.rfind("gcs.tcp.", 0) == 0 ||
+        name.rfind("wal.", 0) == 0) {
+      std::printf("  %-36s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+  }
+}
+
+int Run(const HarnessOptions& opt) {
+  ClusterOptions coptions;
+  coptions.num_replicas = 4;
+  coptions.gcs.transport = opt.transport;
+  Cluster cluster(coptions);
+  if (!cluster.Start().ok()) {
+    std::fprintf(stderr, "cluster start failed\n");
+    return 2;
+  }
+  if (!cluster
+           .ExecuteEverywhere(
+               "CREATE TABLE kv (k INT, v INT, PRIMARY KEY (k))")
+           .ok()) {
+    std::fprintf(stderr, "schema setup failed\n");
+    return 2;
+  }
+  for (int k = 0; k < 16; ++k) {
+    if (!cluster
+             .ExecuteEverywhere("INSERT INTO kv VALUES (?, 0)",
+                                {Value::Int(k)})
+             .ok()) {
+      std::fprintf(stderr, "data load failed\n");
+      return 2;
+    }
+  }
+
+  failpoint::Seed(opt.seed);
+  if (!opt.failpoints.empty()) {
+    const Status st = failpoint::ArmFromList(opt.failpoints);
+    if (!st.ok()) {
+      std::fprintf(stderr, "bad --failpoints list: %s\n",
+                   st.ToString().c_str());
+      return 2;
+    }
+  }
+
+  // Each round: traffic under the fault schedule with one seeded
+  // whole-replica crash in the middle, then an online restart. Always
+  // >= 3 replicas stay alive so recovery has donors.
+  Prng chaos(opt.seed * 40503 + 11);
+  long long committed = 0;
+  const auto window = std::chrono::milliseconds(opt.duration_ms);
+  for (int round = 0; round < opt.rounds; ++round) {
+    const size_t victim = chaos.Uniform(cluster.size());
+    std::thread killer([&] {
+      std::this_thread::sleep_for(window / 3);
+      if (!cluster.replica(victim)->IsAlive()) return;
+      cluster.CrashReplica(victim);
+      std::this_thread::sleep_for(window / 3);
+      if (!RestartWithRetry(cluster, victim)) {
+        std::fprintf(stderr, "restart of replica %zu failed\n", victim);
+      }
+    });
+    committed +=
+        RunTraffic(cluster, opt.seed * 131 + round, opt.clients, window);
+    killer.join();
+    if (!cluster.replica(victim)->IsAlive()) {
+      // Crash landed after the killer's liveness check elsewhere (e.g.
+      // self-expulsion from an injected reset): restart it now so the
+      // convergence check sees a full complement.
+      if (!RestartWithRetry(cluster, victim)) {
+        std::fprintf(stderr, "late restart of replica %zu failed\n",
+                     victim);
+        return 2;
+      }
+    }
+    std::printf("round %d: victim=%zu committed(total)=%lld\n", round,
+                victim, committed);
+  }
+
+  // Snapshot counters before disarming — Disarm() drops them.
+  const auto fault_points = failpoint::Snapshot();
+  failpoint::DisarmAll();
+  // Anything self-expelled by socket-level faults must be brought back
+  // before convergence is judged.
+  for (size_t r = 0; r < cluster.size(); ++r) {
+    if (!RestartWithRetry(cluster, r)) {
+      std::fprintf(stderr, "final restart of replica %zu failed\n", r);
+      return 2;
+    }
+  }
+  cluster.Quiesce();
+
+  const int violations = CheckInvariants(cluster, committed);
+  PrintFaultReport(cluster, fault_points);
+  if (committed == 0) {
+    std::fprintf(stderr, "FAIL: no transaction ever committed\n");
+    return 1;
+  }
+  if (violations != 0) {
+    std::fprintf(stderr, "FAIL: %d invariant violation(s), seed=%llu\n",
+                 violations, static_cast<unsigned long long>(opt.seed));
+    return 1;
+  }
+  std::printf("PASS: %lld commits, invariants hold (seed=%llu)\n",
+              committed, static_cast<unsigned long long>(opt.seed));
+  return 0;
+}
+
+}  // namespace
+}  // namespace sirep
+
+int main(int argc, char** argv) {
+  sirep::HarnessOptions opt;
+  if (!sirep::ParseOptions(argc, argv, &opt)) {
+    std::fprintf(stderr,
+                 "usage: %s [--seed=N] [--rounds=N] [--clients=N] "
+                 "[--duration-ms=N] [--transport=inproc|tcp] "
+                 "[--failpoints=LIST]\n",
+                 argv[0]);
+    return 2;
+  }
+  return sirep::Run(opt);
+}

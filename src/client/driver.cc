@@ -1,14 +1,44 @@
 #include "client/driver.h"
 
 #include <algorithm>
+#include <thread>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 #include "sql/parser.h"
 
 namespace sirep::client {
 
 using middleware::SrcaRepReplica;
 using middleware::TxnOutcome;
+
+namespace {
+
+/// Driver-side fault/retry/failover counters, in the process-global
+/// registry (connections are per-client and short-lived; a per-object
+/// registry would fragment the numbers the chaos harness wants).
+struct DriverCounters {
+  obs::Counter* connect_retries;
+  obs::Counter* failovers;
+  obs::Counter* indoubt_resolutions;
+  obs::Counter* indoubt_committed;
+  obs::Counter* txn_lost;
+
+  static DriverCounters& Get() {
+    static DriverCounters* const c = [] {
+      auto* r = &obs::MetricsRegistry::Default();
+      return new DriverCounters{r->GetCounter("client.connect_retries"),
+                                r->GetCounter("client.failovers"),
+                                r->GetCounter("client.indoubt_resolutions"),
+                                r->GetCounter("client.indoubt_committed"),
+                                r->GetCounter("client.txn_lost")};
+    }();
+    return *c;
+  }
+};
+
+}  // namespace
 
 Connection::Connection(ReplicaDirectory* directory, ConnectionOptions options)
     : directory_(directory),
@@ -23,6 +53,31 @@ Connection::~Connection() {
 }
 
 Status Connection::ConnectToReplica(gcs::MemberId exclude) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.connect_deadline;
+  auto backoff = std::max(options_.connect_backoff,
+                          std::chrono::milliseconds(1));
+  while (true) {
+    Status st = Status::Unavailable("injected discovery failure");
+    if (!failpoint::AnyArmed() ||
+        failpoint::EvalStatus("client.connect").ok()) {
+      st = TryConnect(exclude);
+    }
+    if (st.ok() || st.code() != StatusCode::kUnavailable) return st;
+    // No live replica right now (all crashed/recovering, or an injected
+    // discovery failure): retry with backoff until the deadline — in a
+    // restarting cluster "nobody home yet" is usually transient.
+    if (options_.connect_deadline.count() <= 0 ||
+        std::chrono::steady_clock::now() + backoff >= deadline) {
+      return st;
+    }
+    DriverCounters::Get().connect_retries->Increment();
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, std::chrono::milliseconds(100));
+  }
+}
+
+Status Connection::TryConnect(gcs::MemberId exclude) {
   auto replicas = directory_->Discover();
   std::vector<SrcaRepReplica*> candidates;
   for (auto* r : replicas) {
@@ -60,6 +115,7 @@ Status Connection::ConnectToReplica(gcs::MemberId exclude) {
   replica_ = chosen;
   if (is_failover) {
     ++failovers_;
+    DriverCounters::Get().failovers->Increment();
     // Session consistency: make sure our last committed update is already
     // applied at the new replica before running anything there.
     if (last_update_gid_.valid()) {
@@ -169,11 +225,22 @@ Status Connection::CommitInternal() {
   if (st.code() != StatusCode::kUnavailable) {
     return st;  // validation conflict etc.; transaction aborted
   }
+  if (replica_->IsAlive()) {
+    // kUnavailable from a replica that did NOT crash: the multicast was
+    // dropped by a transient transport fault and the middleware aborted
+    // the transaction locally. No in-doubt question to resolve — the
+    // writeset never entered the total order. Report it lost; the
+    // connection (and replica) stay usable.
+    DriverCounters::Get().txn_lost->Increment();
+    return Status::TransactionLost(
+        "transient multicast failure during commit; transaction aborted");
+  }
 
   // Crash during commit (paper §5.4 case 3): resolve the in-doubt
   // transaction at another replica using the global transaction id.
   const gcs::MemberId crashed = replica_->member_id();
   replica_ = nullptr;
+  DriverCounters::Get().indoubt_resolutions->Increment();
   SIREP_RETURN_IF_ERROR(ConnectToReplica(crashed));
   const TxnOutcome outcome = replica_->InquireOutcome(txn.gid, crashed);
   switch (outcome) {
@@ -181,11 +248,13 @@ Status Connection::CommitInternal() {
       // 3b: the writeset survived (uniform reliable delivery) and the
       // transaction committed — fail-over is fully transparent.
       last_update_gid_ = txn.gid;
+      DriverCounters::Get().indoubt_committed->Increment();
       return Status::OK();
     case TxnOutcome::kAborted:
     case TxnOutcome::kUnknown:
       // 3a: the writeset never made it out; same exception as a crash
       // before the commit request.
+      DriverCounters::Get().txn_lost->Increment();
       return Status::TransactionLost(
           "replica crashed during commit; transaction did not commit");
   }

@@ -1,6 +1,7 @@
 #ifndef SIREP_CLIENT_DRIVER_H_
 #define SIREP_CLIENT_DRIVER_H_
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
@@ -38,6 +39,14 @@ struct ConnectionOptions {
   /// If >= 0, prefer this member id while it is alive (tests / sticky
   /// routing); fail-over still moves to a survivor when it crashes.
   int pinned_replica = -1;
+  /// Discovery/fail-over deadline: ConnectToReplica retries discovery
+  /// with bounded exponential backoff until a live replica answers or
+  /// this budget runs out (a restarting cluster costs latency, not an
+  /// immediate kUnavailable). Zero disables retries (single attempt).
+  std::chrono::milliseconds connect_deadline{2000};
+  /// Initial discovery retry backoff; doubles per attempt, capped at
+  /// 100 ms.
+  std::chrono::milliseconds connect_backoff{1};
 };
 
 /// A JDBC-like connection. The replication middleware is completely
@@ -87,10 +96,15 @@ class Connection {
 
  private:
   /// (Re)connects to a live replica, excluding `exclude` (or pass
-  /// kInvalidMember). After fail-over, waits until this client's last
-  /// committed update transaction is visible at the new replica
-  /// (session consistency / read-your-writes).
+  /// kInvalidMember), retrying discovery with bounded exponential
+  /// backoff until options_.connect_deadline. After fail-over, waits
+  /// until this client's last committed update transaction is visible
+  /// at the new replica (session consistency / read-your-writes).
+  /// The "client.connect" failpoint injects failed discovery attempts.
   Status ConnectToReplica(gcs::MemberId exclude);
+
+  /// One discovery + selection attempt (no retries).
+  Status TryConnect(gcs::MemberId exclude);
 
   /// Ensures a transaction is open (JDBC implicit begin).
   Status EnsureTxn();

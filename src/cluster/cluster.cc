@@ -183,22 +183,19 @@ middleware::SrcaRepReplica::Stats Cluster::AggregateStats() const {
 void Cluster::Quiesce() {
   group_->WaitForQuiescence();
   // Then wait for every live replica's tocommit queue to drain (remote
-  // applies are asynchronous after delivery).
-  while (true) {
-    bool busy = false;
-    {
-      std::shared_lock<std::shared_mutex> lock(replicas_mu_);
-      for (auto& replica : replicas_) {
-        if (!replica->IsAlive()) continue;
-        if (replica->PendingQueueSize() > 0) {
-          busy = true;
-          break;
-        }
-      }
-    }
-    if (!busy) return;
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  // applies are asynchronous after delivery). The group is quiescent, so
+  // no new deliveries can refill a queue once it empties — waiting on
+  // each replica in turn is exact, and the condition-variable wait
+  // replaces the old 1 ms poll loop. Pointers are collected under the
+  // lock but waited on outside it: replicas_mu_ must stay available to
+  // discovery while we block.
+  std::vector<middleware::SrcaRepReplica*> replicas;
+  {
+    std::shared_lock<std::shared_mutex> lock(replicas_mu_);
+    replicas.reserve(replicas_.size());
+    for (auto& replica : replicas_) replicas.push_back(replica.get());
   }
+  for (auto* replica : replicas) replica->WaitForQueueDrain();
 }
 
 }  // namespace sirep::cluster

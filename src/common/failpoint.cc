@@ -1,0 +1,395 @@
+#include "common/failpoint.h"
+
+#include <cassert>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/prng.h"
+
+namespace sirep::failpoint {
+
+namespace {
+
+/// One parsed action of a spec.
+struct Action {
+  enum class Kind : uint8_t { kOff, kError, kDelay, kCrash, kArg };
+  Kind kind = Kind::kOff;
+  StatusCode code = StatusCode::kInternal;
+  std::chrono::microseconds delay{0};
+  int64_t arg = 0;
+};
+
+struct Policy {
+  Action action;
+  /// 0 = deterministic (fire on every evaluation); otherwise fire with
+  /// probability 1/one_in_n drawn from the point's PRNG.
+  uint64_t one_in_n = 0;
+  /// Remaining activations before self-disarm; ~0 = unlimited.
+  uint64_t remaining = ~uint64_t{0};
+  std::string spec;  ///< original text, for Snapshot()
+};
+
+struct Point {
+  Policy policy;
+  Prng prng;
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+  bool armed = false;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Point, std::less<>> points;
+  uint64_t seed = 0x5149u;  // arbitrary default; tests set their own
+};
+
+std::atomic<int> g_armed_count{0};
+
+Status ArmFromEnvImpl(Registry& registry);
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  // First use arms from the environment. The arming goes through the
+  // *Impl helpers that take the registry directly — re-entering
+  // GetRegistry() from inside this call_once would self-deadlock on
+  // env_once (the in-flight invocation never returns).
+  static std::once_flag env_once;
+  std::call_once(env_once, [] { ArmFromEnvImpl(*registry); });
+  return *registry;
+}
+
+uint64_t Fnv1a(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string Trimmed(std::string_view s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+Result<StatusCode> ParseCode(std::string_view name) {
+  std::string lower;
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(c)));
+  if (lower == "aborted") return StatusCode::kAborted;
+  if (lower == "conflict") return StatusCode::kConflict;
+  if (lower == "deadlock") return StatusCode::kDeadlock;
+  if (lower == "notfound") return StatusCode::kNotFound;
+  if (lower == "alreadyexists") return StatusCode::kAlreadyExists;
+  if (lower == "invalidargument") return StatusCode::kInvalidArgument;
+  if (lower == "unavailable") return StatusCode::kUnavailable;
+  if (lower == "transactionlost") return StatusCode::kTransactionLost;
+  if (lower == "timedout") return StatusCode::kTimedOut;
+  if (lower == "notsupported") return StatusCode::kNotSupported;
+  if (lower == "internal") return StatusCode::kInternal;
+  return Status::InvalidArgument("unknown status code '" +
+                                 std::string(name) + "'");
+}
+
+/// Parses `head` / `head(args)` into an Action. `1in` is handled by the
+/// caller (it wraps a sub-action).
+Status ParseAction(const std::string& text, Action* out) {
+  std::string head = text;
+  std::string args;
+  const size_t paren = text.find('(');
+  if (paren != std::string::npos) {
+    if (text.back() != ')') {
+      return Status::InvalidArgument("unbalanced parentheses in '" + text +
+                                     "'");
+    }
+    head = Trimmed(text.substr(0, paren));
+    args = Trimmed(text.substr(paren + 1, text.size() - paren - 2));
+  }
+  if (head == "off") {
+    out->kind = Action::Kind::kOff;
+    return Status::OK();
+  }
+  if (head == "error") {
+    out->kind = Action::Kind::kError;
+    out->code = StatusCode::kInternal;
+    if (!args.empty()) {
+      auto code = ParseCode(args);
+      if (!code.ok()) return code.status();
+      out->code = code.value();
+    }
+    return Status::OK();
+  }
+  if (head == "crash") {
+    out->kind = Action::Kind::kCrash;
+    return Status::OK();
+  }
+  if (head == "arg") {
+    out->kind = Action::Kind::kArg;
+    if (args.empty()) {
+      return Status::InvalidArgument("arg() requires an integer");
+    }
+    out->arg = std::strtoll(args.c_str(), nullptr, 10);
+    return Status::OK();
+  }
+  if (head == "delay") {
+    out->kind = Action::Kind::kDelay;
+    char* end = nullptr;
+    const long long n = std::strtoll(args.c_str(), &end, 10);
+    const std::string unit = Trimmed(end == nullptr ? "" : end);
+    if (args.empty() || n < 0 || (unit != "us" && unit != "ms")) {
+      return Status::InvalidArgument(
+          "delay() requires '<N>us' or '<N>ms', got '" + args + "'");
+    }
+    out->delay = unit == "ms" ? std::chrono::microseconds(n * 1000)
+                              : std::chrono::microseconds(n);
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown failpoint action '" + head + "'");
+}
+
+Status ParseSpec(const std::string& raw, Policy* out) {
+  std::string text = Trimmed(raw);
+  out->spec = text;
+  // Optional `*count` suffix.
+  const size_t star = text.rfind('*');
+  if (star != std::string::npos && text.find(')', star) == std::string::npos) {
+    const std::string count = Trimmed(text.substr(star + 1));
+    char* end = nullptr;
+    const long long n = std::strtoll(count.c_str(), &end, 10);
+    if (count.empty() || *end != '\0' || n <= 0) {
+      return Status::InvalidArgument("bad '*count' suffix in '" + raw + "'");
+    }
+    out->remaining = static_cast<uint64_t>(n);
+    text = Trimmed(text.substr(0, star));
+  }
+  if (text.rfind("1in", 0) == 0) {
+    const size_t paren = text.find('(');
+    if (paren == std::string::npos || text.back() != ')') {
+      return Status::InvalidArgument("1in requires '(N[,action])'");
+    }
+    std::string inner = text.substr(paren + 1, text.size() - paren - 2);
+    const size_t comma = inner.find(',');
+    const std::string n_text = Trimmed(inner.substr(0, comma));
+    char* end = nullptr;
+    const long long n = std::strtoll(n_text.c_str(), &end, 10);
+    if (n_text.empty() || *end != '\0' || n <= 0) {
+      return Status::InvalidArgument("bad N in '" + text + "'");
+    }
+    out->one_in_n = static_cast<uint64_t>(n);
+    if (comma == std::string::npos) {
+      out->action.kind = Action::Kind::kError;
+      return Status::OK();
+    }
+    return ParseAction(Trimmed(inner.substr(comma + 1)), &out->action);
+  }
+  return ParseAction(text, &out->action);
+}
+
+Status ArmImpl(Registry& registry, const std::string& name,
+               const std::string& spec) {
+  Policy policy;
+  SIREP_RETURN_IF_ERROR(ParseSpec(spec, &policy));
+  std::lock_guard<std::mutex> lock(registry.mu);
+  Point& point = registry.points[name];
+  const bool was_armed = point.armed;
+  const bool now_armed = policy.action.kind != Action::Kind::kOff;
+  point.policy = std::move(policy);
+  point.armed = now_armed;
+  // Derive the point's PRNG from the global seed and its name: the i-th
+  // evaluation of this point is then a pure function of (seed, name, i).
+  point.prng.Seed(registry.seed ^ Fnv1a(name));
+  if (now_armed != was_armed) {
+    g_armed_count.fetch_add(now_armed ? 1 : -1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status ArmFromListImpl(Registry& registry, const std::string& list) {
+  size_t begin = 0;
+  while (begin <= list.size()) {
+    size_t end = list.find(';', begin);
+    if (end == std::string::npos) end = list.size();
+    const std::string pair = Trimmed(list.substr(begin, end - begin));
+    begin = end + 1;
+    if (pair.empty()) continue;
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("failpoint entry '" + pair +
+                                     "' is not name=spec");
+    }
+    SIREP_RETURN_IF_ERROR(ArmImpl(registry, Trimmed(pair.substr(0, eq)),
+                                  Trimmed(pair.substr(eq + 1))));
+  }
+  return Status::OK();
+}
+
+void SeedImpl(Registry& registry, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.seed = seed;
+  for (auto& [name, point] : registry.points) {
+    point.prng.Seed(seed ^ Fnv1a(name));
+  }
+}
+
+Status ArmFromEnvImpl(Registry& registry) {
+  const char* env = std::getenv("SIREP_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return Status::OK();
+  const char* seed_env = std::getenv("SIREP_FAILPOINT_SEED");
+  if (seed_env != nullptr && *seed_env != '\0') {
+    SeedImpl(registry, std::strtoull(seed_env, nullptr, 10));
+  }
+  return ArmFromListImpl(registry, env);
+}
+
+}  // namespace
+
+Status Hit::ToStatus(std::string_view point) const {
+  if (!fired) return Status::OK();
+  switch (kind) {
+    case Kind::kError:
+      return Status(code, "injected failure at " + std::string(point));
+    case Kind::kCrash:
+      return Status::Unavailable("injected crash at " + std::string(point));
+    case Kind::kArg:
+    case Kind::kNone:
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+bool AnyArmed() {
+  return g_armed_count.load(std::memory_order_relaxed) > 0;
+}
+
+Hit Eval(std::string_view name) {
+  Registry& registry = GetRegistry();
+  std::chrono::microseconds sleep_for{0};
+  Hit hit;
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    auto it = registry.points.find(name);
+    if (it == registry.points.end()) return hit;
+    Point& point = it->second;
+    ++point.hits;
+    if (!point.armed || point.policy.action.kind == Action::Kind::kOff) {
+      return hit;
+    }
+    if (point.policy.one_in_n > 0 &&
+        point.prng.Uniform(point.policy.one_in_n) != 0) {
+      return hit;
+    }
+    ++point.fires;
+    if (point.policy.remaining != ~uint64_t{0} &&
+        --point.policy.remaining == 0) {
+      point.armed = false;
+      point.policy.spec = "off";
+      g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+    const Action& action = point.policy.action;
+    switch (action.kind) {
+      case Action::Kind::kError:
+        hit.fired = true;
+        hit.kind = Hit::Kind::kError;
+        hit.code = action.code;
+        break;
+      case Action::Kind::kCrash:
+        hit.fired = true;
+        hit.kind = Hit::Kind::kCrash;
+        hit.code = StatusCode::kUnavailable;
+        break;
+      case Action::Kind::kArg:
+        hit.fired = true;
+        hit.kind = Hit::Kind::kArg;
+        hit.arg = action.arg;
+        break;
+      case Action::Kind::kDelay:
+        sleep_for = action.delay;
+        break;
+      case Action::Kind::kOff:
+        break;
+    }
+  }
+  // Sleep outside the registry lock so a delay policy on one point never
+  // stalls evaluation (or arming) of others.
+  if (sleep_for.count() > 0) std::this_thread::sleep_for(sleep_for);
+  return hit;
+}
+
+Status EvalStatus(std::string_view name) {
+  return Eval(name).ToStatus(name);
+}
+
+Status Arm(const std::string& name, const std::string& spec) {
+  return ArmImpl(GetRegistry(), name, spec);
+}
+
+Status ArmFromList(const std::string& list) {
+  return ArmFromListImpl(GetRegistry(), list);
+}
+
+Status ArmFromEnv() { return ArmFromEnvImpl(GetRegistry()); }
+
+void Disarm(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(name);
+  if (it == registry.points.end()) return;
+  if (it->second.armed) {
+    g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+  registry.points.erase(it);
+}
+
+void DisarmAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (auto& [name, point] : registry.points) {
+    if (point.armed) g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+  registry.points.clear();
+}
+
+void Seed(uint64_t seed) { SeedImpl(GetRegistry(), seed); }
+
+uint64_t Hits(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(name);
+  return it == registry.points.end() ? 0 : it->second.hits;
+}
+
+uint64_t Fires(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(name);
+  return it == registry.points.end() ? 0 : it->second.fires;
+}
+
+std::vector<PointStats> Snapshot() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<PointStats> out;
+  out.reserve(registry.points.size());
+  for (const auto& [name, point] : registry.points) {
+    out.push_back(PointStats{name, point.armed ? point.policy.spec : "off",
+                             point.hits, point.fires});
+  }
+  return out;
+}
+
+ScopedFailpoint::ScopedFailpoint(std::string name, const std::string& spec)
+    : name_(std::move(name)) {
+  const Status st = Arm(name_, spec);
+  assert(st.ok() && "bad failpoint spec");
+  (void)st;
+}
+
+ScopedFailpoint::~ScopedFailpoint() { Disarm(name_); }
+
+}  // namespace sirep::failpoint

@@ -1,0 +1,148 @@
+#ifndef SIREP_COMMON_FAILPOINT_H_
+#define SIREP_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sirep::failpoint {
+
+/// Deterministic fault injection for the crash/failover paths (paper
+/// §5.4): code threads named failpoints through the places that can
+/// really fail (WAL appends, TCP sends, commit sub-stages, remote
+/// applies), tests and the chaos harness arm them with per-point
+/// policies, and a seeded PRNG makes every probabilistic schedule
+/// reproducible from a single seed.
+///
+/// Disarmed cost is one relaxed atomic load (the SIREP_FAILPOINT macros
+/// check AnyArmed() before touching the registry), so failpoints are
+/// safe to leave on hot paths in release builds.
+///
+/// Policies, written as specs (programmatic Arm() or the
+/// SIREP_FAILPOINTS environment variable):
+///
+///   off                    disarm
+///   error                  fire kInternal on every evaluation
+///   error(<code>)          fire the named status code (unavailable,
+///                          timedout, conflict, aborted, internal, ...)
+///   delay(<N>us|<N>ms)     sleep inline, then continue (no error)
+///   crash                  fire a crash verdict: the call site performs
+///                          its component's crash action (e.g. the
+///                          middleware replica calls Crash())
+///   arg(<N>)               fire with an integer argument the call site
+///                          interprets (e.g. torn-write byte count)
+///   1in(<N>[,<action>])    fire <action> (default error) with
+///                          probability 1/N per evaluation, drawn from
+///                          this point's seeded PRNG
+///
+/// Any spec may carry a `*<count>` suffix: the point disarms itself
+/// after firing <count> times (e.g. "error(unavailable)*1" fails
+/// exactly the next evaluation). Multiple points are armed at once with
+/// a semicolon-separated list: "wal.append=arg(6)*1;gcs.tcp.send=1in(10)".
+///
+/// Determinism contract: each point's PRNG is derived from the global
+/// seed and the point's name, so for a fixed seed the i-th evaluation
+/// of a point always takes the same decision, independent of what other
+/// points do and of thread interleaving between points.
+
+/// What one evaluation decided. `fired` is true for error/crash/arg
+/// verdicts only; delays are applied inside Eval() and report !fired.
+struct Hit {
+  enum class Kind : uint8_t { kNone, kError, kCrash, kArg };
+  bool fired = false;
+  Kind kind = Kind::kNone;
+  StatusCode code = StatusCode::kInternal;
+  int64_t arg = 0;
+
+  /// The injected error as a Status (kCrash maps to kUnavailable, the
+  /// code a crashed component's callers see). OK when !fired or kArg.
+  Status ToStatus(std::string_view point) const;
+};
+
+/// True when at least one failpoint is armed anywhere in the process.
+/// Single relaxed atomic load; the macros below gate on it.
+bool AnyArmed();
+
+/// Evaluates `name`: counts the hit, applies a delay policy inline,
+/// consults the point's PRNG for 1in(N), and returns the verdict.
+/// Unarmed points return {fired = false}.
+Hit Eval(std::string_view name);
+
+/// Eval() collapsed to a Status (see Hit::ToStatus). kArg verdicts
+/// also map to OK — points whose argument matters must use Eval().
+Status EvalStatus(std::string_view name);
+
+/// Arms `name` with `spec` (grammar above). Re-arming replaces the
+/// policy and re-derives the PRNG from the current global seed; hit and
+/// fire counters persist across re-arms until Disarm().
+Status Arm(const std::string& name, const std::string& spec);
+
+/// Arms every `name=spec` pair in a semicolon-separated list.
+Status ArmFromList(const std::string& list);
+
+/// Arms from the SIREP_FAILPOINTS environment variable (no-op when
+/// unset). Called once at first registry use, so env-armed points work
+/// without any code change in the binary under test.
+Status ArmFromEnv();
+
+void Disarm(const std::string& name);
+void DisarmAll();
+
+/// Sets the global seed from which every point's PRNG is derived (at
+/// arm time). Re-seeding re-derives the PRNG of already-armed points,
+/// so Seed(s) + identical evaluation counts replay identical verdicts.
+void Seed(uint64_t seed);
+
+/// Evaluations / fired verdicts of `name` since it was first armed.
+uint64_t Hits(const std::string& name);
+uint64_t Fires(const std::string& name);
+
+/// Every point ever armed with its counters, for the chaos harness's
+/// end-of-run fault report.
+struct PointStats {
+  std::string name;
+  std::string spec;  ///< currently armed spec, or "off"
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+};
+std::vector<PointStats> Snapshot();
+
+/// RAII arming for tests: arms in the constructor, disarms in the
+/// destructor. Aborts the test via assert if the spec fails to parse.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string name, const std::string& spec);
+  ~ScopedFailpoint();
+
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace sirep::failpoint
+
+/// Evaluate a failpoint and propagate its injected error, if any.
+/// One relaxed load when nothing is armed.
+#define SIREP_FAILPOINT(name)                                     \
+  do {                                                            \
+    if (::sirep::failpoint::AnyArmed()) {                         \
+      ::sirep::Status _fp_st = ::sirep::failpoint::EvalStatus(name); \
+      if (!_fp_st.ok()) return _fp_st;                            \
+    }                                                             \
+  } while (0)
+
+/// Evaluate a failpoint and hand the verdict to the call site (crash
+/// actions, torn-write arguments). Yields a default (unfired) Hit when
+/// nothing is armed.
+#define SIREP_FAILPOINT_HIT(name)              \
+  (::sirep::failpoint::AnyArmed()              \
+       ? ::sirep::failpoint::Eval(name)        \
+       : ::sirep::failpoint::Hit{})
+
+#endif  // SIREP_COMMON_FAILPOINT_H_

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <optional>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "gcs/wire.h"
 
@@ -95,6 +96,8 @@ Group::Group(GroupOptions options) : options_(options) {
   TransportOptions transport_options;
   transport_options.multicast_delay = options_.multicast_delay;
   transport_options.registry = &registry_;
+  transport_options.tcp_send_timeout = options_.tcp_send_timeout;
+  transport_options.tcp_connect_deadline = options_.tcp_connect_deadline;
   switch (ResolveTransportKind(options_.transport)) {
     case TransportKind::kTcp:
       transport_ = MakeTcpSequencerTransport(transport_options);
@@ -183,6 +186,10 @@ Status Group::Multicast(MemberId sender, std::string type,
   if (shutdown_.load(std::memory_order_acquire)) {
     return Status::Unavailable("group is shut down");
   }
+  // Transport-agnostic send-drop injection: the message never enters the
+  // total order, mimicking a transient dissemination failure on any
+  // backend (the TCP transport additionally has socket-level points).
+  SIREP_FAILPOINT("gcs.send");
   if (!batching_) {
     Staged staged = Stage(sender, std::move(type), std::move(payload));
     Frame frame;

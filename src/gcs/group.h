@@ -78,6 +78,10 @@ struct GroupOptions {
   size_t batch_max_bytes = 1 << 16;
   /// Flush the pending batch this long after its first message.
   std::chrono::microseconds batch_window{200};
+
+  /// TCP transport deadlines (see TransportOptions); ignored in-process.
+  std::chrono::milliseconds tcp_send_timeout{2000};
+  std::chrono::milliseconds tcp_connect_deadline{2000};
 };
 
 /// Group communication endpoint providing the guarantees SI-Rep needs

@@ -41,15 +41,18 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/sync.h"
 #include "gcs/transport.h"
@@ -72,12 +75,36 @@ enum Opcode : uint8_t {
 constexpr int kSocketBufferBytes = 1 << 20;
 constexpr uint32_t kMaxRecordBytes = 64u << 20;
 
-void ConfigureSocket(int fd) {
+/// Blocking recvs wake this often so reader loops can re-check their
+/// keep-waiting predicate (shutdown, crash) without a signal.
+constexpr auto kRecvPollPeriod = std::chrono::milliseconds(100);
+
+timeval ToTimeval(std::chrono::milliseconds ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms.count() % 1000) * 1000);
+  return tv;
+}
+
+/// Sets TCP_NODELAY, buffer sizes, and I/O deadlines. `send_timeout` is
+/// the hung-peer bound: a send() that cannot make progress for that long
+/// fails with EAGAIN instead of blocking forever (a full socket buffer
+/// on a stalled peer must degrade into a removal, not wedge the writer).
+/// Receives always time out at kRecvPollPeriod — idle is normal there;
+/// the short period only bounds how stale a reader's exit predicate is.
+void ConfigureSocket(int fd, std::chrono::milliseconds send_timeout) {
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   int buf = kSocketBufferBytes;
   ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &buf, sizeof(buf));
   ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &buf, sizeof(buf));
+  if (send_timeout.count() > 0) {
+    const timeval tv = ToTimeval(send_timeout);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  const timeval rv = ToTimeval(
+      std::chrono::duration_cast<std::chrono::milliseconds>(kRecvPollPeriod));
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &rv, sizeof(rv));
 }
 
 /// Blocking write of the whole record (u32 length + body).
@@ -90,6 +117,11 @@ bool WriteRecord(int fd, const std::string& body) {
   while (off < wire.size()) {
     const ssize_t n =
         ::send(fd, wire.data() + off, wire.size() - off, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    // EAGAIN here is the SO_SNDTIMEO deadline expiring: the peer has not
+    // drained its socket for the whole send timeout. Treat it like a dead
+    // connection — callers expel the peer rather than retrying into the
+    // same full buffer.
     if (n <= 0) return false;
     off += static_cast<size_t>(n);
   }
@@ -123,12 +155,20 @@ class RecordBuffer {
   bool corrupt_ = false;
 };
 
-/// Blocking read of one record body; returns false on EOF/error.
-bool ReadRecord(int fd, RecordBuffer* rb, std::string* body) {
+/// Blocking read of one record body; returns false on EOF/error, or when
+/// a receive deadline expires and `keep_waiting` says to stop. Sockets
+/// carry a short SO_RCVTIMEO (kRecvPollPeriod), so the predicate is
+/// re-evaluated on that cadence while the connection is idle.
+bool ReadRecord(int fd, RecordBuffer* rb, std::string* body,
+                const std::function<bool()>& keep_waiting) {
   char chunk[16384];
   while (!rb->Next(body)) {
     if (rb->corrupt()) return false;
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      if (keep_waiting != nullptr && keep_waiting()) continue;
+      return false;
+    }
     if (n <= 0) return false;
     rb->Append(chunk, static_cast<size_t>(n));
   }
@@ -136,12 +176,20 @@ bool ReadRecord(int fd, RecordBuffer* rb, std::string* body) {
 }
 
 class TcpSequencerTransport : public Transport {
+  struct Endpoint;  // defined in the private section below
+
  public:
-  explicit TcpSequencerTransport(const TransportOptions& options) {
+  explicit TcpSequencerTransport(const TransportOptions& options)
+      : send_timeout_(options.tcp_send_timeout),
+        connect_deadline_(options.tcp_connect_deadline) {
     if (options.registry != nullptr) {
       h_delivery_lag_us_ =
           options.registry->GetLatencyHistogram("gcs.delivery_lag_us");
       g_queue_depth_ = options.registry->GetGauge("gcs.queue_depth");
+      c_reconnects_ = options.registry->GetCounter("gcs.tcp.connect_retries");
+      c_peer_expelled_ = options.registry->GetCounter("gcs.tcp.peers_expelled");
+      c_dup_dropped_ = options.registry->GetCounter("gcs.tcp.dup_frames_dropped");
+      c_self_expelled_ = options.registry->GetCounter("gcs.tcp.self_expulsions");
     }
     StartSequencer();
   }
@@ -154,34 +202,26 @@ class TcpSequencerTransport : public Transport {
     if (shutdown_.load(std::memory_order_acquire) || listen_fd_ < 0) {
       return kInvalidMember;
     }
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) return kInvalidMember;
-    ConfigureSocket(fd);
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(port_);
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-      ::close(fd);
-      return kInvalidMember;
-    }
+    // Connect + welcome handshake, retried with bounded exponential
+    // backoff until connect_deadline_: a sequencer that is briefly
+    // unreachable or drops the connection mid-handshake (e.g. the
+    // "gcs.tcp.accept" failpoint) costs join latency, not the join.
+    const auto deadline = std::chrono::steady_clock::now() + connect_deadline_;
+    auto backoff = std::chrono::milliseconds(1);
     auto endpoint = std::make_unique<Endpoint>();
-    endpoint->fd = fd;
+    while (true) {
+      if (shutdown_.load(std::memory_order_acquire)) return kInvalidMember;
+      if (TryConnect(endpoint.get())) break;
+      if (std::chrono::steady_clock::now() + backoff >= deadline) {
+        SIREP_WLOG << "GCS/tcp: join failed; connect deadline exhausted";
+        return kInvalidMember;
+      }
+      if (c_reconnects_ != nullptr) c_reconnects_->Increment();
+      std::this_thread::sleep_for(backoff);
+      backoff = std::min(backoff * 2, std::chrono::milliseconds(100));
+    }
+    const MemberId id = endpoint->id;
     endpoint->sink = sink;
-    // The first record on a fresh connection is always kWelcome.
-    std::string body;
-    if (!ReadRecord(fd, &endpoint->rx_buffer, &body) || body.empty() ||
-        static_cast<uint8_t>(body[0]) != kWelcome) {
-      ::close(fd);
-      return kInvalidMember;
-    }
-    size_t pos = 1;
-    uint32_t id = kInvalidMember;
-    if (!sql::DecodeU32(body, &pos, &id).ok()) {
-      ::close(fd);
-      return kInvalidMember;
-    }
-    endpoint->id = id;
     Endpoint* ep = endpoint.get();
     {
       std::lock_guard<std::mutex> lock(endpoints_mu_);
@@ -194,6 +234,53 @@ class TcpSequencerTransport : public Transport {
     // and WaitForQuiescence() must cover that view.
     joins_submitted_.fetch_add(1, std::memory_order_acq_rel);
     return id;
+  }
+
+  /// One connect + welcome-handshake attempt. On success fills
+  /// endpoint->fd and endpoint->id and returns true; on any failure
+  /// (including the "gcs.tcp.connect" failpoint simulating a transient
+  /// network error) cleans up and returns false for the caller to retry.
+  bool TryConnect(Endpoint* endpoint) {
+    if (failpoint::AnyArmed() &&
+        !failpoint::EvalStatus("gcs.tcp.connect").ok()) {
+      return false;
+    }
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    ConfigureSocket(fd, send_timeout_);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port_);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      return false;
+    }
+    // The first record on a fresh connection is always kWelcome. Bound
+    // the wait: a sequencer that accepted the TCP connection but never
+    // welcomes us (hung, or injected accept failure) is a failed attempt.
+    const auto welcome_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(1);
+    endpoint->rx_buffer = RecordBuffer();
+    std::string body;
+    const auto keep_waiting = [&] {
+      return !shutdown_.load(std::memory_order_acquire) &&
+             std::chrono::steady_clock::now() < welcome_deadline;
+    };
+    if (!ReadRecord(fd, &endpoint->rx_buffer, &body, keep_waiting) ||
+        body.empty() || static_cast<uint8_t>(body[0]) != kWelcome) {
+      ::close(fd);
+      return false;
+    }
+    size_t pos = 1;
+    uint32_t id = kInvalidMember;
+    if (!sql::DecodeU32(body, &pos, &id).ok()) {
+      ::close(fd);
+      return false;
+    }
+    endpoint->fd = fd;
+    endpoint->id = id;
+    return true;
   }
 
   void Crash(MemberId member) override {
@@ -240,6 +327,26 @@ class TcpSequencerTransport : public Transport {
     if (ep->crashed.load(std::memory_order_acquire)) {
       return Status::Unavailable("sender " + std::to_string(frame.sender) +
                                  " has crashed");
+    }
+    // Fault injection on the member->sequencer link. "gcs.tcp.send"
+    // drops (error) or slows (delay) the frame before it reaches the
+    // wire; "gcs.tcp.send.reset" tears the whole connection down with no
+    // kCrash marker — an unannounced drop both the sequencer (EOF =>
+    // expel + view change) and this member (EOF => self-expulsion) must
+    // discover on their own.
+    if (const auto hit = SIREP_FAILPOINT_HIT("gcs.tcp.send"); hit.fired) {
+      const Status injected = hit.ToStatus("gcs.tcp.send");
+      if (!injected.ok()) return injected;
+    }
+    if (SIREP_FAILPOINT_HIT("gcs.tcp.send.reset").fired) {
+      SIREP_WLOG << "GCS/tcp: injected connection reset at member "
+                 << frame.sender;
+      std::lock_guard<std::mutex> lock(ep->send_mu);
+      // SHUT_RDWR, not a lingering close: queued bytes already accepted
+      // by the kernel still reach the sequencer (TCP flushes before the
+      // FIN), matching a process that died after its last full send.
+      ::shutdown(ep->fd, SHUT_RDWR);
+      return Status::Unavailable("injected connection reset");
     }
     std::string body(1, static_cast<char>(kSend));
     sql::EncodeU32(frame.message_count, &body);
@@ -300,7 +407,14 @@ class TcpSequencerTransport : public Transport {
   /// One record of the member-side delivery stream, already acked and
   /// waiting for the stable watermark to reach its index.
   struct RxRecord {
-    enum class Kind { kFrame, kView, kStableMark } kind = Kind::kFrame;
+    /// kDisconnect: pushed by the rx thread when the connection dies
+    /// without this member having crashed or the transport shutting
+    /// down — the sequencer dropped *us*. The delivery thread turns it
+    /// into a synthetic self-excluding view change so the member's
+    /// listener learns it was expelled (and can crash itself) instead
+    /// of running on as a zombie that clients still get routed to.
+    enum class Kind { kFrame, kView, kStableMark, kDisconnect } kind =
+        Kind::kFrame;
     uint64_t stream_index = 0;
     uint64_t base_seqno = 0;  // kFrame
     Frame frame;              // kFrame
@@ -380,7 +494,15 @@ class TcpSequencerTransport : public Transport {
                     std::unordered_map<int, MemberId>* who) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) return;
-    ConfigureSocket(fd);
+    // Injected accept failure: drop the connection before the welcome.
+    // The joiner sees EOF on its welcome read and retries with backoff.
+    if (failpoint::AnyArmed() &&
+        !failpoint::EvalStatus("gcs.tcp.accept").ok()) {
+      SIREP_WLOG << "GCS/tcp: injected accept failure";
+      ::close(fd);
+      return;
+    }
+    ConfigureSocket(fd, send_timeout_);
     std::lock_guard<std::mutex> lock(seq_mu_);
     const MemberId id = seq_next_member_++;
     std::string welcome(1, static_cast<char>(kWelcome));
@@ -481,13 +603,20 @@ class TcpSequencerTransport : public Transport {
   }
 
   /// Broadcasts one stream record to all live members and registers it
-  /// for ack tracking. Caller holds seq_mu_.
+  /// for ack tracking. A member whose socket cannot take the record
+  /// within the send timeout is hung or gone — it gets expelled (view
+  /// change) instead of wedging every future broadcast behind its full
+  /// buffer. Caller holds seq_mu_.
   void BroadcastLocked(uint64_t idx, const std::string& body) {
     PendingRecord pending;
     for (const auto& [mid, mfd] : seq_live_) pending.waiting.push_back(mid);
     seq_pending_[idx] = std::move(pending);
-    for (const auto& [mid, mfd] : seq_live_) WriteRecord(mfd, body);
+    std::vector<MemberId> dead;
+    for (const auto& [mid, mfd] : seq_live_) {
+      if (!WriteRecord(mfd, body)) dead.push_back(mid);
+    }
     if (seq_live_.empty()) AdvanceStableLocked();
+    ExpelLocked(dead);
   }
 
   /// Advances the stable watermark over fully-acked records and tells
@@ -504,7 +633,27 @@ class TcpSequencerTransport : public Transport {
     seq_stable_ = advanced;
     std::string body(1, static_cast<char>(kStable));
     sql::EncodeU64(seq_stable_, &body);
-    for (const auto& [mid, mfd] : seq_live_) WriteRecord(mfd, body);
+    std::vector<MemberId> dead;
+    for (const auto& [mid, mfd] : seq_live_) {
+      if (!WriteRecord(mfd, body)) dead.push_back(mid);
+    }
+    ExpelLocked(dead);
+  }
+
+  /// Removes members whose broadcast write failed (hung peer hit the
+  /// send timeout, or the connection died). Collected-then-removed so
+  /// the caller's seq_live_ iteration stays valid; the recursion through
+  /// RemoveMemberLocked -> BroadcastViewLocked -> BroadcastLocked is
+  /// bounded by the member count (each removal shrinks seq_live_).
+  /// Caller holds seq_mu_.
+  void ExpelLocked(const std::vector<MemberId>& dead) {
+    for (const MemberId mid : dead) {
+      if (seq_live_.count(mid) == 0) continue;  // already expelled
+      SIREP_WLOG << "GCS/tcp: expelling member " << mid
+                 << " (broadcast write failed or timed out)";
+      if (c_peer_expelled_ != nullptr) c_peer_expelled_->Increment();
+      RemoveMemberLocked(mid);
+    }
   }
 
   /// Removes a crashed/disconnected member: waive its outstanding acks,
@@ -517,11 +666,14 @@ class TcpSequencerTransport : public Transport {
     const int fd = it->second;
     seq_live_.erase(it);
     ::close(fd);
-    // Mark the endpoint dead so the quiescence predicate stops waiting
-    // on its delivery progress (covers EOF paths that bypass Crash()).
-    if (Endpoint* ep = FindEndpoint(id)) {
-      ep->crashed.store(true, std::memory_order_release);
-    }
+    // Deliberately NOT marking the endpoint crashed here. The close()
+    // above sends the member a FIN; its rx loop sees EOF and queues a
+    // disconnect, and SelfExpel then both marks it crashed (which is
+    // what un-blocks the quiescence predicate) and delivers the
+    // self-excluding view change. Pre-marking it crashed from this
+    // (sequencer) thread races ahead of the member's rx loop and
+    // suppresses that notification — leaving the expelled replica
+    // serving snapshot reads as a zombie.
     for (auto& [idx, pending] : seq_pending_) {
       auto& waiting = pending.waiting;
       waiting.erase(std::remove(waiting.begin(), waiting.end(), id),
@@ -558,7 +710,14 @@ class TcpSequencerTransport : public Transport {
   /// keep the socket drained and the ack latency low.
   void ReceiveLoop(Endpoint* ep) {
     std::string body;
-    while (ReadRecord(ep->fd, &ep->rx_buffer, &body)) {
+    const auto keep_waiting = [this, ep] {
+      // Idle is normal here: keep blocking while the member is alive.
+      return !shutdown_.load(std::memory_order_acquire) &&
+             !ep->crashed.load(std::memory_order_acquire);
+    };
+    bool dup_pending = false;
+    RxRecord dup_record;
+    while (ReadRecord(ep->fd, &ep->rx_buffer, &body, keep_waiting)) {
       if (shutdown_.load(std::memory_order_acquire)) break;
       if (body.empty()) continue;
       const uint8_t op = static_cast<uint8_t>(body[0]);
@@ -576,6 +735,14 @@ class TcpSequencerTransport : public Transport {
             continue;
           }
           record.frame.message_count = count;
+          // "gcs.tcp.recv" delays the ack (stalls the stable watermark —
+          // a slow consumer); "gcs.tcp.recv.dup" re-enqueues the frame
+          // (a retransmitting network) to prove delivery dedupes.
+          SIREP_FAILPOINT_HIT("gcs.tcp.recv");
+          if (SIREP_FAILPOINT_HIT("gcs.tcp.recv.dup").fired) {
+            dup_pending = true;
+            dup_record = record;
+          }
           SendAck(ep, record.stream_index);
           break;
         }
@@ -606,6 +773,20 @@ class TcpSequencerTransport : public Transport {
           continue;
       }
       ep->rx_queue.Push(std::move(record));
+      if (dup_pending) {
+        dup_pending = false;
+        ep->rx_queue.Push(dup_record);  // injected duplicate frame
+      }
+    }
+    // Unexpected EOF — the socket died while this member believed itself
+    // alive, i.e. the sequencer expelled us (send timeout, reset, accept
+    // churn). Queue a disconnect event so the delivery thread can raise
+    // the self-excluding view change in stream order.
+    if (!shutdown_.load(std::memory_order_acquire) &&
+        !ep->crashed.load(std::memory_order_acquire)) {
+      RxRecord disconnect;
+      disconnect.kind = RxRecord::Kind::kDisconnect;
+      ep->rx_queue.Push(std::move(disconnect));
     }
     ep->rx_queue.Close();
   }
@@ -621,13 +802,21 @@ class TcpSequencerTransport : public Transport {
 
   /// Delivers buffered records in stream order up to the stable
   /// watermark. TCP preserves the sequencer's write order, so the
-  /// buffer is a plain FIFO.
+  /// buffer is a plain FIFO. Duplicate records (injected retransmits)
+  /// are dropped by the last-delivered index; a kDisconnect from the rx
+  /// thread becomes a synthetic self-excluding view change.
   void DeliveryLoop(Endpoint* ep) {
     std::deque<RxRecord> buffered;
     uint64_t stable = 0;
+    uint64_t last_delivered = 0;
+    View last_view;  // latest membership this member has seen
     while (true) {
       auto record = ep->rx_queue.Pop();
       if (!record.has_value()) break;
+      if (record->kind == RxRecord::Kind::kDisconnect) {
+        SelfExpel(ep, last_view);
+        continue;
+      }
       if (record->kind == RxRecord::Kind::kStableMark) {
         stable = std::max(stable, record->stable);
       } else {
@@ -639,6 +828,14 @@ class TcpSequencerTransport : public Transport {
       while (!buffered.empty() && buffered.front().stream_index <= stable) {
         RxRecord front = std::move(buffered.front());
         buffered.pop_front();
+        if (front.stream_index <= last_delivered) {
+          // Duplicate of an already-delivered record: drop it. The ack
+          // we re-sent is harmless (the sequencer ignores acks for
+          // records past the watermark).
+          if (c_dup_dropped_ != nullptr) c_dup_dropped_->Increment();
+          continue;
+        }
+        last_delivered = front.stream_index;
         if (!ep->crashed.load(std::memory_order_acquire)) {
           if (front.kind == RxRecord::Kind::kFrame) {
             if (h_delivery_lag_us_ != nullptr) {
@@ -646,6 +843,7 @@ class TcpSequencerTransport : public Transport {
             }
             ep->sink->OnFrame(front.base_seqno, front.frame);
           } else {
+            last_view = front.view;
             ep->sink->OnViewChange(front.view);
           }
         }
@@ -654,6 +852,29 @@ class TcpSequencerTransport : public Transport {
         NotifyQuiescence();
       }
     }
+  }
+
+  /// The sequencer dropped this member's connection while the member
+  /// still considered itself alive: deliver a synthetic view change
+  /// that excludes the member itself, so its listener observes the
+  /// expulsion (SI-Rep replicas crash themselves on it — a replica the
+  /// group has moved on from must not keep serving clients as a
+  /// zombie). Runs on the delivery thread, in stream order.
+  void SelfExpel(Endpoint* ep, const View& last_view) {
+    if (ep->crashed.exchange(true)) {
+      NotifyQuiescence();
+      return;  // lost a race with Crash()/Shutdown(): nothing to report
+    }
+    SIREP_WLOG << "GCS/tcp: member " << ep->id
+               << " lost its connection; delivering self-expulsion view";
+    if (c_self_expelled_ != nullptr) c_self_expelled_->Increment();
+    View synthetic;
+    synthetic.view_id = last_view.view_id + 1;
+    for (const MemberId m : last_view.members) {
+      if (m != ep->id) synthetic.members.push_back(m);
+    }
+    ep->sink->OnViewChange(synthetic);
+    NotifyQuiescence();
   }
 
   // ---------------------------------------------------------------- //
@@ -730,8 +951,15 @@ class TcpSequencerTransport : public Transport {
   std::mutex quiesce_mu_;
   std::condition_variable quiesce_cv_;
 
+  const std::chrono::milliseconds send_timeout_;
+  const std::chrono::milliseconds connect_deadline_;
+
   obs::Histogram* h_delivery_lag_us_ = nullptr;
   obs::Gauge* g_queue_depth_ = nullptr;
+  obs::Counter* c_reconnects_ = nullptr;
+  obs::Counter* c_peer_expelled_ = nullptr;
+  obs::Counter* c_dup_dropped_ = nullptr;
+  obs::Counter* c_self_expelled_ = nullptr;
 };
 
 }  // namespace

@@ -80,6 +80,14 @@ struct TransportOptions {
   /// Optional registry for transport-internal metrics
   /// ("gcs.delivery_lag_us", "gcs.queue_depth"). May be null.
   obs::MetricsRegistry* registry = nullptr;
+  /// TCP backend: a blocking socket send that makes no progress for this
+  /// long means the peer is hung — the sequencer expels it (view change)
+  /// instead of wedging every broadcast behind its full buffer.
+  std::chrono::milliseconds tcp_send_timeout{2000};
+  /// TCP backend: total budget for AddMember's connect + welcome
+  /// handshake, retried with bounded exponential backoff (a flapping or
+  /// briefly unreachable sequencer degrades join latency, not liveness).
+  std::chrono::milliseconds tcp_connect_deadline{2000};
 };
 
 /// The dissemination seam behind gcs::Group: assigns the global sequence

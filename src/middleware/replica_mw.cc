@@ -3,6 +3,7 @@
 #include <set>
 #include <thread>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace sirep::middleware {
@@ -37,13 +38,21 @@ Status SrcaRepReplica::Start() {
   // Byte-shipping transports (TCP sequencer) need these to serialize our
   // payloads; on the in-process transport they are simply never invoked.
   RegisterMessageCodecs(group_);
-  member_id_ = group_->Join(this);
-  if (member_id_ == gcs::kInvalidMember) {
-    return Status::Unavailable("group is shut down");
-  }
+  // Install the hole-gate listener BEFORE joining: Join() spawns the
+  // delivery thread, which may start applying frames (and touching the
+  // gate) immediately.
   // Re-run the dispatch scan whenever the hole gate may have opened
   // (a commit, a discard, or a waiting start proceeding).
   holes_.SetChangeListener([this] { ScheduleAppliers(); });
+  const gcs::MemberId id = group_->Join(this);
+  if (id == gcs::kInvalidMember) {
+    return Status::Unavailable("group is shut down");
+  }
+  // Atomic store: the delivery thread is already running and reads the
+  // member id on every frame/view. Until this store lands it sees
+  // kInvalidMember, which is benign — nothing in the stream can carry
+  // our id before we have multicast anything.
+  member_id_.store(id, std::memory_order_release);
   return Status::OK();
 }
 
@@ -53,7 +62,7 @@ Result<SrcaRepReplica::TxnHandle> SrcaRepReplica::BeginTxn() {
     return Status::Unavailable("replica is recovering");
   }
   TxnHandle handle;
-  handle.gid.replica = member_id_;
+  handle.gid.replica = member_id();
   handle.gid.seq = next_local_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   handle.trace = std::make_shared<obs::TxnTrace>();
   if (SIREP_LOG_ENABLED(LogLevel::kDebug)) {
@@ -94,7 +103,7 @@ Result<engine::QueryResult> SrcaRepReplica::Execute(
 
 Status SrcaRepReplica::ReplicateDdl(const std::string& sql) {
   GlobalTxnId gid;
-  gid.replica = member_id_;
+  gid.replica = member_id();
   gid.seq = next_local_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   auto pending = std::make_shared<PendingDdl>();
   {
@@ -103,7 +112,7 @@ Status SrcaRepReplica::ReplicateDdl(const std::string& sql) {
   }
   auto payload =
       std::make_shared<const DdlMessage>(DdlMessage{gid, sql});
-  Status mc = group_->Multicast(member_id_, kDdlMessageType, payload);
+  Status mc = group_->Multicast(member_id(), kDdlMessageType, payload);
   if (!mc.ok()) {
     std::lock_guard<std::mutex> lock(pending_ddl_mu_);
     pending_ddl_.erase(gid);
@@ -140,7 +149,7 @@ void SrcaRepReplica::ProcessDdl(const gcs::Message& message) {
       while (ws_log_.size() > options_.ws_log_capacity) ws_log_.pop_front();
     }
   }
-  if (msg->gid.replica == member_id_) {
+  if (msg->gid.replica == member_id()) {
     std::shared_ptr<PendingDdl> pending;
     {
       std::lock_guard<std::mutex> lock(pending_ddl_mu_);
@@ -174,6 +183,15 @@ Status SrcaRepReplica::CommitTxn(const TxnHandle& txn, bool* had_writes) {
   {
     std::lock_guard<std::mutex> lock(active_mu_);
     active_txns_.erase(txn.gid);
+  }
+
+  // Deterministic crash injection at every commit sub-stage (the
+  // "mw.commit.crash.*" failpoints, paper §5.4 case 3): the replica
+  // performs its crash action and the client sees kUnavailable, which
+  // drives the driver's in-doubt resolution against a survivor.
+  if (SIREP_FAILPOINT_HIT("mw.commit.crash.before_extract").fired) {
+    Crash();
+    return Status::Unavailable("injected crash before writeset extraction");
   }
 
   obs::TxnTrace* const trace = txn.trace.get();
@@ -225,12 +243,22 @@ Status SrcaRepReplica::CommitTxn(const TxnHandle& txn, bool* had_writes) {
   }
   if (trace != nullptr) trace->End(obs::Stage::kLocalValidate);
 
+  // §5.4 case 3a: crash after local validation, before the writeset
+  // reaches the group. No survivor ever sees it, so in-doubt resolution
+  // must report the transaction lost. Crash() marks our own pending
+  // entry kCrashed and removes it from pending_.
+  if (SIREP_FAILPOINT_HIT("mw.commit.crash.before_multicast").fired) {
+    Crash();
+    return Status::Unavailable("injected crash before multicast of " +
+                               txn.gid.ToString());
+  }
+
   // I.2.g: disseminate in total order. The multicast span is closed by
   // the delivery thread (ProcessWriteSet) at the message's arrival.
   if (trace != nullptr) trace->Begin(obs::Stage::kMulticast);
   auto payload = std::make_shared<const WriteSetMessage>(
       WriteSetMessage{txn.gid, cert, ws});
-  Status mc = group_->Multicast(member_id_, kWriteSetMessageType, payload);
+  Status mc = group_->Multicast(member_id(), kWriteSetMessageType, payload);
   if (!mc.ok()) {
     {
       std::lock_guard<std::mutex> plock(pending_mu_);
@@ -238,6 +266,15 @@ Status SrcaRepReplica::CommitTxn(const TxnHandle& txn, bool* had_writes) {
     }
     db_->Abort(txn.db_txn);
     return mc;
+  }
+
+  // §5.4 case 3b: crash after the multicast was accepted into the total
+  // order. Uniform reliable delivery guarantees every survivor delivers
+  // (and commits) the writeset, so in-doubt resolution on a survivor
+  // reports kCommitted even though this replica dies before hearing the
+  // verdict. The normal wait below then observes the kCrashed result.
+  if (SIREP_FAILPOINT_HIT("mw.commit.crash.after_multicast").fired) {
+    Crash();
   }
 
   // Wait for global validation (step II on the delivery thread).
@@ -258,6 +295,15 @@ Status SrcaRepReplica::CommitTxn(const TxnHandle& txn, bool* had_writes) {
                                  txn.gid.ToString());
     case ValidationResult::Kind::kValidated:
       break;
+  }
+
+  // §5.4 case 3b, latest possible instant: globally validated everywhere
+  // but crashed before the local database commit. Survivors committed it;
+  // the client's resolver must still find kCommitted.
+  if (SIREP_FAILPOINT_HIT("mw.commit.crash.before_local_commit").fired) {
+    Crash();
+    return Status::Unavailable("injected crash before local commit of " +
+                               txn.gid.ToString());
   }
 
   // Step III for a local transaction: validation guarantees no
@@ -310,8 +356,13 @@ void SrcaRepReplica::OnDeliver(const gcs::Message& message) {
 }
 
 void SrcaRepReplica::ProcessWriteSet(const gcs::Message& message) {
+  // "mw.validate" is a delay-only hook: stretches the validation stage
+  // on the delivery thread so chaos schedules can pile up the tocommit
+  // queue and widen crash windows (error verdicts are ignored —
+  // validation decisions must stay identical across replicas).
+  SIREP_FAILPOINT_HIT("mw.validate");
   const auto* msg = message.As<WriteSetMessage>();
-  const bool is_local = msg->gid.replica == member_id_;
+  const bool is_local = msg->gid.replica == member_id();
   const uint64_t arrival_ns = obs::MonotonicNanos();
 
   bool conflict;
@@ -426,10 +477,17 @@ void SrcaRepReplica::ApplyRemote(ToCommitEntry entry) {
   // local transaction is guaranteed to fail validation and abort).
   while (!shutdown_.load(std::memory_order_acquire) && IsAlive()) {
     auto txn = db_->Begin();
-    obs::ScopedLatency apply_timer(
-        stage_hists_.stage[static_cast<int>(obs::Stage::kApply)]);
-    Status st = db_->ApplyWriteSet(txn, *entry.ws);
-    apply_timer.Stop();
+    // "mw.apply" injects transient failures (e.g. 1in(4,error(deadlock)))
+    // through the same retry loop a real deadlock with a local
+    // transaction exercises.
+    Status st = failpoint::AnyArmed() ? failpoint::EvalStatus("mw.apply")
+                                      : Status::OK();
+    if (st.ok()) {
+      obs::ScopedLatency apply_timer(
+          stage_hists_.stage[static_cast<int>(obs::Stage::kApply)]);
+      st = db_->ApplyWriteSet(txn, *entry.ws);
+      apply_timer.Stop();
+    }
     if (st.ok()) {
       obs::ScopedLatency commit_timer(
           stage_hists_.stage[static_cast<int>(obs::Stage::kCommit)]);
@@ -463,14 +521,14 @@ void SrcaRepReplica::ApplyRemote(ToCommitEntry entry) {
 
 void SrcaRepReplica::HandleRecoveryRequest(const gcs::Message& message) {
   const auto* req = message.As<RecoveryRequest>();
-  if (req->requester == member_id_) {
+  if (req->requester == member_id()) {
     // Our own marker: everything delivered from here on is ours to
     // replay; everything before is covered by the donor's package.
     std::lock_guard<std::mutex> lock(buffer_mu_);
     fence_seen_ = true;
     return;
   }
-  if (req->donor != member_id_ || req->channel == nullptr) return;
+  if (req->donor != member_id() || req->channel == nullptr) return;
 
   // Donor side: snapshot the validation state exactly at the marker
   // point of the total order (we are on the delivery thread, so every
@@ -563,7 +621,7 @@ Status SrcaRepReplica::Recover(uint64_t from_tid,
   RecoveryPackage package;
   package.status = Status::Unavailable("no donor available for recovery");
   for (gcs::MemberId donor : group_->CurrentView().members) {
-    if (donor == member_id_) continue;
+    if (donor == member_id()) continue;
     {
       std::lock_guard<std::mutex> lock(buffer_mu_);
       fence_seen_ = false;
@@ -571,8 +629,8 @@ Status SrcaRepReplica::Recover(uint64_t from_tid,
     }
     auto channel = std::make_shared<RecoveryChannel>();
     auto payload = std::make_shared<const RecoveryRequest>(
-        RecoveryRequest{member_id_, donor, from_tid, channel});
-    Status mc = group_->Multicast(member_id_, kRecoveryRequestType, payload);
+        RecoveryRequest{member_id(), donor, from_tid, channel});
+    Status mc = group_->Multicast(member_id(), kRecoveryRequestType, payload);
     if (!mc.ok()) return mc;
     {
       std::unique_lock<std::mutex> lock(channel->mu);
@@ -588,7 +646,7 @@ Status SrcaRepReplica::Recover(uint64_t from_tid,
     }
   }
   SIREP_RETURN_IF_ERROR(package.status);
-  SIREP_ILOG << "replica " << member_id_ << " recovering: "
+  SIREP_ILOG << "replica " << member_id() << " recovering: "
              << (package.has_full_copy ? "full copy + " : "")
              << package.log_suffix.size() << " writesets to replay, "
              << "resuming validation at tid " << package.lastvalidated;
@@ -712,7 +770,7 @@ Status SrcaRepReplica::Recover(uint64_t from_tid,
     delivery_mode_ = DeliveryMode::kLive;
   }
   accepting_.store(true, std::memory_order_release);
-  SIREP_ILOG << "replica " << member_id_ << " recovery complete";
+  SIREP_ILOG << "replica " << member_id() << " recovery complete";
   return Status::OK();
 }
 
@@ -757,9 +815,24 @@ TxnOutcome SrcaRepReplica::InquireOutcome(const GlobalTxnId& gid,
 }
 
 void SrcaRepReplica::OnViewChange(const gcs::View& view) {
-  std::lock_guard<std::mutex> lock(outcomes_mu_);
-  view_ = view;
-  outcomes_cv_.notify_all();
+  bool expelled = false;
+  {
+    std::lock_guard<std::mutex> lock(outcomes_mu_);
+    view_ = view;
+    expelled = member_id() != gcs::kInvalidMember && view.view_id != 0 &&
+               !view.Contains(member_id());
+    outcomes_cv_.notify_all();
+  }
+  // A view that excludes *us* means the group expelled this replica (a
+  // TCP transport self-expulsion after losing the sequencer connection):
+  // crash ourselves rather than keep serving clients as a zombie with a
+  // stale total order. Crash() is idempotent and must run outside
+  // outcomes_mu_ (it notifies outcomes_cv_ under the same mutex).
+  if (expelled && IsAlive()) {
+    SIREP_WLOG << "replica " << member_id() << " expelled from view "
+               << view.view_id << "; crashing self";
+    Crash();
+  }
 }
 
 void SrcaRepReplica::Crash() {
@@ -768,10 +841,11 @@ void SrcaRepReplica::Crash() {
                                         std::memory_order_acq_rel)) {
     return;
   }
-  group_->Crash(member_id_);
+  group_->Crash(member_id());
   // Release clients blocked waiting for holes to close — those commits
-  // will never happen now.
+  // will never happen now — and quiescence waiters watching our queue.
   holes_.Cancel();
+  tocommit_queue_.Poke();
   // Fail every in-flight local commit: their clients will run in-doubt
   // resolution against another replica.
   std::unordered_map<GlobalTxnId, std::shared_ptr<PendingLocal>,
@@ -800,7 +874,7 @@ void SrcaRepReplica::Crash() {
     std::lock_guard<std::mutex> lock(outcomes_mu_);
     outcomes_cv_.notify_all();
   }
-  SIREP_ILOG << "middleware replica " << member_id_ << " crashed";
+  SIREP_ILOG << "middleware replica " << member_id() << " crashed";
 }
 
 void SrcaRepReplica::Shutdown() {
@@ -811,6 +885,7 @@ void SrcaRepReplica::Shutdown() {
   }
   holes_.SetChangeListener(nullptr);
   holes_.Cancel();
+  tocommit_queue_.Poke();
   appliers_.Shutdown();
   {
     std::lock_guard<std::mutex> lock(outcomes_mu_);

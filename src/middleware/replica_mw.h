@@ -103,7 +103,9 @@ class SrcaRepReplica : public gcs::GroupListener {
   /// Joins the group. Must be called before any transaction.
   Status Start();
 
-  gcs::MemberId member_id() const { return member_id_; }
+  gcs::MemberId member_id() const {
+    return member_id_.load(std::memory_order_acquire);
+  }
   engine::Database* db() const { return db_; }
 
   // ---- session API ----
@@ -197,6 +199,16 @@ class SrcaRepReplica : public gcs::GroupListener {
   /// Validated transactions not yet committed at this replica (test and
   /// quiescence helper).
   size_t PendingQueueSize() const { return tocommit_queue_.size(); }
+
+  /// Blocks until the tocommit queue drains (every validated writeset
+  /// committed here), returning immediately if this replica crashed or
+  /// shut down — its queue will never drain. Condition-variable based;
+  /// see cluster::Cluster::Quiesce().
+  void WaitForQueueDrain() {
+    tocommit_queue_.WaitUntilEmpty([this] {
+      return shutdown_.load(std::memory_order_acquire) || !IsAlive();
+    });
+  }
 
   /// Load metric for load-balanced discovery (paper conclusion:
   /// "load-balancing issues"): active local transactions plus the
@@ -299,7 +311,10 @@ class SrcaRepReplica : public gcs::GroupListener {
   engine::Database* const db_;
   gcs::Group* const group_;
   const ReplicaOptions options_;
-  gcs::MemberId member_id_ = gcs::kInvalidMember;
+  // Atomic: written once by Start() after Join() returns, but read by
+  // the delivery thread (OnFrame/OnViewChange) from the moment Join()
+  // spawns it.
+  std::atomic<gcs::MemberId> member_id_{gcs::kInvalidMember};
 
   std::atomic<bool> crashed_{false};
   std::atomic<bool> shutdown_{false};

@@ -2,6 +2,7 @@
 #define SIREP_MIDDLEWARE_TOCOMMIT_QUEUE_H_
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -143,6 +144,25 @@ class ToCommitQueue {
         if (--rit->second == 0) remote_pending_.erase(rit);
       }
     }
+    if (entries_.empty()) empty_cv_.notify_all();
+  }
+
+  /// Blocks until the queue is empty or `giveup()` returns true (e.g.
+  /// the replica crashed and the queue will never drain). The predicate
+  /// is re-checked whenever the queue empties or Poke() fires — no
+  /// polling.
+  void WaitUntilEmpty(const std::function<bool()>& giveup) {
+    std::unique_lock<std::mutex> lock(mu_);
+    empty_cv_.wait(lock, [&] {
+      return entries_.empty() || (giveup != nullptr && giveup());
+    });
+  }
+
+  /// Wakes WaitUntilEmpty() waiters to re-evaluate their giveup
+  /// predicate (call on crash/shutdown).
+  void Poke() {
+    std::lock_guard<std::mutex> lock(mu_);
+    empty_cv_.notify_all();
   }
 
   /// tid of the front entry, or 0 if empty (SRCA's strict in-order apply).
@@ -170,6 +190,7 @@ class ToCommitQueue {
   }
 
   mutable std::mutex mu_;
+  std::condition_variable empty_cv_;
   uint64_t next_seq_ = 0;
   /// Entries in arrival (= validation) order, keyed by insertion seq.
   std::map<uint64_t, Node> entries_;

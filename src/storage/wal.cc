@@ -1,7 +1,10 @@
 #include "storage/wal.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "sql/serde.h"
 
@@ -9,6 +12,64 @@ namespace sirep::storage {
 
 namespace {
 constexpr uint32_t kRecordMagic = 0x53495245;  // "SIRE"
+
+/// Parses one record at `*pos`, advancing it past the record. Returns a
+/// non-OK status (without a defined `*pos`) on a truncated or corrupt
+/// record. `ws` may be null to scan without materializing.
+Status ParseRecord(const std::string& contents, size_t* pos,
+                   Timestamp* commit_ts, WriteSet* ws) {
+  uint32_t magic = 0;
+  SIREP_RETURN_IF_ERROR(sql::DecodeU32(contents, pos, &magic));
+  if (magic != kRecordMagic) {
+    return Status::InvalidArgument("bad WAL record magic");
+  }
+  SIREP_RETURN_IF_ERROR(sql::DecodeU64(contents, pos, commit_ts));
+  uint32_t count = 0;
+  SIREP_RETURN_IF_ERROR(sql::DecodeU32(contents, pos, &count));
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string table;
+    SIREP_RETURN_IF_ERROR(sql::DecodeString(contents, pos, &table));
+    if (*pos >= contents.size()) {
+      return Status::InvalidArgument("truncated op byte");
+    }
+    const auto op = static_cast<WriteOp>(contents[(*pos)++]);
+    sql::Row key_parts, after;
+    SIREP_RETURN_IF_ERROR(sql::DecodeRow(contents, pos, &key_parts));
+    SIREP_RETURN_IF_ERROR(sql::DecodeRow(contents, pos, &after));
+    if (ws != nullptr) {
+      ws->Record({std::move(table), sql::Key{std::move(key_parts)}}, op,
+                 std::move(after));
+    }
+  }
+  return Status::OK();
+}
+
+/// Reads the whole file at `path` into `contents`. Missing file => empty.
+Status Slurp(const std::string& path, std::string* contents) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) return Status::OK();
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+    contents->append(buf, n);
+  }
+  std::fclose(in);
+  return Status::OK();
+}
+
+/// Byte length of the longest prefix of `contents` made of complete,
+/// well-formed records.
+size_t ValidPrefix(const std::string& contents) {
+  size_t pos = 0;
+  while (pos < contents.size()) {
+    size_t next = pos;
+    Timestamp ts = 0;
+    if (!ParseRecord(contents, &next, &ts, nullptr).ok()) return pos;
+    pos = next;
+  }
+  return pos;
+}
+
 }  // namespace
 
 Wal::~Wal() { Close(); }
@@ -16,10 +77,27 @@ Wal::~Wal() { Close(); }
 Status Wal::Open() {
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ != nullptr) return Status::OK();
+  SIREP_FAILPOINT("wal.open");
+  // Truncate-and-recover: if a crash (or an injected torn append) left a
+  // partial record at the tail, cut it off now. Appending behind garbage
+  // would make every later record unreadable — the valid prefix parser
+  // stops at the first bad byte.
+  std::string contents;
+  SIREP_RETURN_IF_ERROR(Slurp(path_, &contents));
+  const size_t valid = ValidPrefix(contents);
+  if (valid < contents.size()) {
+    SIREP_WLOG << "WAL " << path_ << ": truncating torn tail ("
+               << contents.size() - valid << " bytes at offset " << valid
+               << ")";
+    if (::truncate(path_.c_str(), static_cast<off_t>(valid)) != 0) {
+      return Status::Internal("cannot truncate torn WAL tail at " + path_);
+    }
+  }
   file_ = std::fopen(path_.c_str(), "ab");
   if (file_ == nullptr) {
     return Status::Internal("cannot open WAL at " + path_);
   }
+  wedged_ = false;
   return Status::OK();
 }
 
@@ -29,6 +107,11 @@ void Wal::Close() {
     std::fclose(file_);
     file_ = nullptr;
   }
+}
+
+bool Wal::wedged() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wedged_;
 }
 
 Status Wal::AppendCommit(Timestamp commit_ts, const WriteSet& ws) {
@@ -45,58 +128,50 @@ Status Wal::AppendCommit(Timestamp commit_ts, const WriteSet& ws) {
 
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr) return Status::Internal("WAL not open");
+  if (wedged_) {
+    return Status::Internal(
+        "WAL wedged after a failed append; reopen or truncate to recover");
+  }
+  SIREP_FAILPOINT("wal.append");
+  const auto torn = SIREP_FAILPOINT_HIT("wal.append.torn");
+  if (torn.fired) {
+    // Write a real torn tail: a prefix of the record reaches the OS, the
+    // rest never does (the process "crashed" mid-write).
+    size_t keep = record.size() / 2;
+    if (torn.arg > 0 && static_cast<size_t>(torn.arg) < record.size()) {
+      keep = static_cast<size_t>(torn.arg);
+    }
+    std::fwrite(record.data(), 1, keep, file_);
+    std::fflush(file_);
+    wedged_ = true;
+    return Status::Internal("injected torn WAL write (" +
+                            std::to_string(keep) + "/" +
+                            std::to_string(record.size()) + " bytes)");
+  }
   if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+    wedged_ = true;
     return Status::Internal("short WAL write");
   }
   std::fflush(file_);
+  SIREP_FAILPOINT("wal.fsync");
   return Status::OK();
 }
 
 Status Wal::Replay(
     const std::function<Status(Timestamp, const WriteSet&)>& fn) const {
+  SIREP_FAILPOINT("wal.replay");
   std::string contents;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    std::FILE* in = std::fopen(path_.c_str(), "rb");
-    if (in == nullptr) return Status::OK();  // no log yet
-    char buf[1 << 16];
-    size_t n;
-    while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) {
-      contents.append(buf, n);
-    }
-    std::fclose(in);
+    SIREP_RETURN_IF_ERROR(Slurp(path_, &contents));
   }
 
   size_t pos = 0;
   while (pos < contents.size()) {
     const size_t record_start = pos;
-    uint32_t magic = 0;
-    uint64_t commit_ts = 0;
-    uint32_t count = 0;
+    Timestamp commit_ts = 0;
     WriteSet ws;
-    auto read_record = [&]() -> Status {
-      SIREP_RETURN_IF_ERROR(sql::DecodeU32(contents, &pos, &magic));
-      if (magic != kRecordMagic) {
-        return Status::InvalidArgument("bad WAL record magic");
-      }
-      SIREP_RETURN_IF_ERROR(sql::DecodeU64(contents, &pos, &commit_ts));
-      SIREP_RETURN_IF_ERROR(sql::DecodeU32(contents, &pos, &count));
-      for (uint32_t i = 0; i < count; ++i) {
-        std::string table;
-        SIREP_RETURN_IF_ERROR(sql::DecodeString(contents, &pos, &table));
-        if (pos >= contents.size()) {
-          return Status::InvalidArgument("truncated op byte");
-        }
-        const auto op = static_cast<WriteOp>(contents[pos++]);
-        sql::Row key_parts, after;
-        SIREP_RETURN_IF_ERROR(sql::DecodeRow(contents, &pos, &key_parts));
-        SIREP_RETURN_IF_ERROR(sql::DecodeRow(contents, &pos, &after));
-        ws.Record({std::move(table), sql::Key{std::move(key_parts)}}, op,
-                  std::move(after));
-      }
-      return Status::OK();
-    };
-    Status st = read_record();
+    Status st = ParseRecord(contents, &pos, &commit_ts, &ws);
     if (!st.ok()) {
       // Torn tail from a crash mid-append: everything before it is valid.
       SIREP_WLOG << "WAL " << path_ << ": dropping torn tail at byte "
@@ -119,6 +194,7 @@ Status Wal::Truncate() {
   std::fclose(out);
   file_ = std::fopen(path_.c_str(), "ab");
   if (file_ == nullptr) return Status::Internal("cannot reopen WAL");
+  wedged_ = false;
   return Status::OK();
 }
 

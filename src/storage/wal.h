@@ -20,8 +20,19 @@ namespace sirep::storage {
 /// Record format (binary, see sql/serde.h):
 ///   u32 magic | u64 commit_ts | u32 entry_count |
 ///     per entry: string table | u8 op | row key-parts | row after-image
-/// A truncated trailing record (torn write at crash) is detected and
-/// ignored during replay.
+///
+/// Crash behaviour ("truncate-and-recover"): a truncated trailing record
+/// (torn write at crash) is detected and ignored during replay, and
+/// Open() physically truncates such a tail before appending — otherwise
+/// the next incarnation would append valid records *behind* the garbage
+/// and lose them all. A failed append in a live process wedges the log
+/// (the tail state is unknown) until Open() re-scans or Truncate()
+/// resets it, so no record is ever written after a possibly-torn one.
+///
+/// Failpoints (common/failpoint.h): "wal.open" and "wal.append" inject
+/// errors, "wal.append.torn" makes the next append write only the first
+/// arg(N) bytes of its record (N <= 0: half the record) — a real torn
+/// tail on disk — and "wal.fsync" fails the post-write flush step.
 class Wal {
  public:
   explicit Wal(std::string path) : path_(std::move(path)) {}
@@ -32,7 +43,9 @@ class Wal {
 
   const std::string& path() const { return path_; }
 
-  /// Opens (creating if needed) for appending.
+  /// Opens (creating if needed) for appending. Scans any existing log
+  /// first and truncates a torn tail left by a crash mid-append, so the
+  /// valid prefix stays replayable after new appends.
   Status Open();
 
   /// Appends one committed transaction. Called under the engine's commit
@@ -46,15 +59,21 @@ class Wal {
   Status Replay(
       const std::function<Status(Timestamp, const WriteSet&)>& fn) const;
 
-  /// Empties the log (after a checkpoint/full dump).
+  /// Empties the log (after a checkpoint/full dump). Also clears the
+  /// wedged state left by a failed append.
   Status Truncate();
 
   void Close();
+
+  /// True after an append failed partway: the on-disk tail is unknown
+  /// and further appends are refused until Open()/Truncate() recover.
+  bool wedged() const;
 
  private:
   std::string path_;
   mutable std::mutex mu_;
   std::FILE* file_ = nullptr;
+  bool wedged_ = false;
 };
 
 }  // namespace sirep::storage

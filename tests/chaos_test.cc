@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "cluster/cluster.h"
+#include "common/failpoint.h"
 
 namespace sirep {
 namespace {
@@ -140,6 +141,201 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
                          [](const auto& info) {
                            return "seed" + std::to_string(info.param.seed);
                          });
+
+// ---- failpoint-driven chaos ----
+
+/// Shared invariant checks: every replica holds sum(v) == `committed`
+/// and all replicas are row-identical.
+void ExpectConverged(Cluster& cluster, long long committed) {
+  auto sum_at = [&](size_t r) {
+    auto res = cluster.db(r)->ExecuteAutoCommit("SELECT SUM(v) FROM kv");
+    return res.ok() ? res.value().rows[0][0].AsInt() : -1;
+  };
+  for (size_t r = 0; r < cluster.size(); ++r) {
+    EXPECT_EQ(sum_at(r), committed) << "replica " << r;
+  }
+  auto reference =
+      cluster.db(0)->ExecuteAutoCommit("SELECT * FROM kv ORDER BY k");
+  for (size_t r = 1; r < cluster.size(); ++r) {
+    auto other =
+        cluster.db(r)->ExecuteAutoCommit("SELECT * FROM kv ORDER BY k");
+    ASSERT_EQ(other.value().NumRows(), reference.value().NumRows());
+    for (size_t i = 0; i < reference.value().rows.size(); ++i) {
+      EXPECT_EQ(other.value().rows[i], reference.value().rows[i])
+          << "replica " << r << " row " << i;
+    }
+  }
+}
+
+std::unique_ptr<Cluster> MakeChaosCluster(gcs::TransportKind transport) {
+  ClusterOptions options;
+  options.num_replicas = 4;
+  options.gcs.transport = transport;
+  auto cluster = std::make_unique<Cluster>(options);
+  EXPECT_TRUE(cluster->Start().ok());
+  EXPECT_TRUE(cluster
+                  ->ExecuteEverywhere(
+                      "CREATE TABLE kv (k INT, v INT, PRIMARY KEY (k))")
+                  .ok());
+  for (int k = 0; k < 16; ++k) {
+    EXPECT_TRUE(cluster
+                    ->ExecuteEverywhere("INSERT INTO kv VALUES (?, 0)",
+                                        {Value::Int(k)})
+                    .ok());
+  }
+  return cluster;
+}
+
+/// Runs `clients` traffic threads of seeded counter-increments for
+/// `duration`; returns how many commits the drivers acknowledged.
+long long RunTraffic(Cluster& cluster, uint64_t seed, int clients,
+                     std::chrono::milliseconds duration) {
+  std::atomic<bool> stop{false};
+  std::atomic<long long> committed{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Prng prng(seed * 9176 + c);
+      while (!stop.load(std::memory_order_relaxed)) {
+        client::ConnectionOptions copt;
+        copt.seed = prng.Next();
+        auto conn = cluster.Connect(copt);
+        if (!conn.ok()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          continue;
+        }
+        auto& connection = *conn.value();
+        connection.SetAutoCommit(false);
+        for (int t = 0; t < 5 && !stop.load(); ++t) {
+          const int64_t k = static_cast<int64_t>(prng.Uniform(16));
+          auto r = connection.Execute("UPDATE kv SET v = v + 1 WHERE k = ?",
+                                      {Value::Int(k)});
+          if (!r.ok()) {
+            connection.Rollback();
+            continue;
+          }
+          if (connection.Commit().ok()) committed.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(duration);
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  return committed.load();
+}
+
+/// Stable membership, but the transport, the appliers, and the
+/// validator all misbehave probabilistically — drops, transient apply
+/// deadlocks, validation delays — from one seed. A commit the driver
+/// acknowledged must still reach every replica exactly once.
+class FailpointChaosTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+TEST_P(FailpointChaosTest, ConvergesUnderInjectedTransientFaults) {
+  auto cluster = MakeChaosCluster(gcs::TransportKind::kDefault);
+
+  failpoint::Seed(GetParam());
+  ASSERT_TRUE(failpoint::ArmFromList(
+                  "gcs.send=1in(25,error(unavailable));"
+                  "mw.apply=1in(40,error(deadlock));"
+                  "mw.validate=1in(50,delay(200us))")
+                  .ok());
+  const long long committed =
+      RunTraffic(*cluster, GetParam(), 5, std::chrono::milliseconds(250));
+  failpoint::DisarmAll();
+  cluster->Quiesce();
+
+  EXPECT_GT(committed, 0);
+  ExpectConverged(*cluster, committed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FailpointChaosTest,
+                         ::testing::Values(101, 211, 307),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+/// TCP transport: an injected connection reset mid-commit. The commit
+/// is reported lost (the frame never reached the sequencer), the
+/// victim replica detects its dead socket and expels itself (crash),
+/// survivors keep serving, and an online restart reconverges everyone.
+TEST(TcpChaosTest, ConnectionResetSelfExpulsionAndRecovery) {
+  auto cluster = MakeChaosCluster(gcs::TransportKind::kTcp);
+  struct DisarmGuard {
+    ~DisarmGuard() { failpoint::DisarmAll(); }
+  } guard;
+
+  // Baseline traffic so the restarted replica has something to catch
+  // up on beyond the reset itself.
+  long long committed =
+      RunTraffic(*cluster, 17, 3, std::chrono::milliseconds(100));
+
+  client::ConnectionOptions copt;
+  copt.pinned_replica = 0;
+  auto conn = std::move(cluster->Connect(copt)).value();
+  conn->SetAutoCommit(false);
+  ASSERT_TRUE(conn->Execute("UPDATE kv SET v = v + 1 WHERE k = 3").ok());
+  {
+    failpoint::ScopedFailpoint fp("gcs.tcp.send.reset",
+                                  "error(unavailable)*1");
+    const Status st = conn->Commit();
+    EXPECT_EQ(st.code(), StatusCode::kTransactionLost) << st;
+    EXPECT_EQ(failpoint::Fires("gcs.tcp.send.reset"), 1u);
+  }
+
+  // The victim's receive loop sees the dead socket and self-expels.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (cluster->replica(0)->IsAlive() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_FALSE(cluster->replica(0)->IsAlive())
+      << "reset socket did not trigger self-expulsion";
+
+  // Survivors keep committing while replica 0 is down.
+  committed += RunTraffic(*cluster, 18, 3, std::chrono::milliseconds(100));
+
+  ASSERT_TRUE(cluster->RestartReplica(0).ok());
+  cluster->Quiesce();
+  EXPECT_GT(committed, 0);
+  ExpectConverged(*cluster, committed);
+}
+
+/// TCP transport: duplicated and delayed frames from one seed. The
+/// stream-index dedup must drop every duplicate — exactly-once delivery
+/// keeps sum(v) == commits.
+TEST(TcpChaosTest, DuplicateAndDelayedFramesConverge) {
+  auto cluster = MakeChaosCluster(gcs::TransportKind::kTcp);
+  struct DisarmGuard {
+    ~DisarmGuard() { failpoint::DisarmAll(); }
+  } guard;
+
+  failpoint::Seed(53);
+  ASSERT_TRUE(failpoint::ArmFromList(
+                  "gcs.tcp.recv.dup=1in(8,error);"
+                  "gcs.tcp.recv=1in(16,delay(300us))")
+                  .ok());
+  const long long committed =
+      RunTraffic(*cluster, 53, 4, std::chrono::milliseconds(250));
+  const uint64_t dups_injected = failpoint::Fires("gcs.tcp.recv.dup");
+  failpoint::DisarmAll();
+  cluster->Quiesce();
+
+  EXPECT_GT(committed, 0);
+  ExpectConverged(*cluster, committed);
+  // Every injected duplicate was delivered to some receiver and dropped
+  // by the stream-index check.
+  if (dups_injected > 0) {
+    const auto snap = cluster->DumpMetrics();
+    const auto it = snap.counters.find("gcs.tcp.dup_frames_dropped");
+    ASSERT_NE(it, snap.counters.end());
+    EXPECT_GE(it->second, dups_injected);
+  }
+}
 
 }  // namespace
 }  // namespace sirep

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "cluster/cluster.h"
+#include "common/failpoint.h"
 
 namespace sirep {
 namespace {
@@ -246,6 +247,148 @@ TEST(FailoverTest, SessionConsistencyAfterFailover) {
   auto check = cluster->db(2)->ExecuteAutoCommit(
       "SELECT v FROM kv WHERE k = 7");
   EXPECT_EQ(check.value().rows[0][0].AsInt(), 5);
+}
+
+// ---- deterministic crash-during-commit tests (failpoints) ----
+//
+// DriverResolvesCrashDuringCommit above races a crasher thread against
+// the commit and accepts either verdict. The failpoint tests below pin
+// the crash to an exact commit sub-stage, so each §5.4 sub-case gets
+// its own deterministic assertion.
+
+class FailpointFailoverTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+TEST_F(FailpointFailoverTest, InjectedCrashBeforeMulticastIsLost) {
+  // §5.4 case 3a: the replica dies after local validation but before the
+  // writeset enters the total order. No survivor ever hears of it, so
+  // the driver must report the transaction lost — and the survivors'
+  // state must be untouched.
+  auto cluster = MakeCluster(3);
+  client::ConnectionOptions copt;
+  copt.pinned_replica = 0;
+  auto conn = std::move(cluster->Connect(copt)).value();
+  conn->SetAutoCommit(false);
+  ASSERT_TRUE(conn->Execute("UPDATE kv SET v = 31 WHERE k = 6").ok());
+
+  failpoint::ScopedFailpoint fp("mw.commit.crash.before_multicast",
+                                "crash*1");
+  const Status st = conn->Commit();
+  EXPECT_EQ(st.code(), StatusCode::kTransactionLost) << st;
+  EXPECT_EQ(failpoint::Fires("mw.commit.crash.before_multicast"), 1u);
+  cluster->Quiesce();
+
+  for (size_t r = 1; r < 3; ++r) {
+    auto check =
+        cluster->db(r)->ExecuteAutoCommit("SELECT v FROM kv WHERE k = 6");
+    EXPECT_EQ(check.value().rows[0][0].AsInt(), 0) << "replica " << r;
+  }
+  // The connection failed over to a survivor and keeps working.
+  auto r = conn->Execute("SELECT v FROM kv WHERE k = 0");
+  EXPECT_TRUE(r.ok()) << r.status();
+  conn->Rollback();
+}
+
+TEST_F(FailpointFailoverTest, InjectedCrashAfterMulticastCommits) {
+  // §5.4 case 3b: the writeset entered the total order before the crash.
+  // Uniform reliable delivery means every survivor commits it; in-doubt
+  // resolution turns the crash into a fully transparent OK.
+  auto cluster = MakeCluster(3);
+  client::ConnectionOptions copt;
+  copt.pinned_replica = 0;
+  auto conn = std::move(cluster->Connect(copt)).value();
+  conn->SetAutoCommit(false);
+  ASSERT_TRUE(conn->Execute("UPDATE kv SET v = 32 WHERE k = 7").ok());
+
+  failpoint::ScopedFailpoint fp("mw.commit.crash.after_multicast",
+                                "crash*1");
+  const Status st = conn->Commit();
+  EXPECT_TRUE(st.ok()) << st;
+  cluster->Quiesce();
+
+  for (size_t r = 1; r < 3; ++r) {
+    auto check =
+        cluster->db(r)->ExecuteAutoCommit("SELECT v FROM kv WHERE k = 7");
+    EXPECT_EQ(check.value().rows[0][0].AsInt(), 32) << "replica " << r;
+  }
+  // Read-your-writes on the failed-over connection.
+  auto r = conn->Execute("SELECT v FROM kv WHERE k = 7");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value().rows[0][0].AsInt(), 32);
+  conn->Rollback();
+}
+
+TEST_F(FailpointFailoverTest, InjectedCrashBeforeLocalCommitCommits) {
+  // §5.4 case 3b at the last possible instant: globally validated, crash
+  // before the local database commit. Same client-visible outcome as
+  // crashing right after the multicast.
+  auto cluster = MakeCluster(3);
+  client::ConnectionOptions copt;
+  copt.pinned_replica = 0;
+  auto conn = std::move(cluster->Connect(copt)).value();
+  conn->SetAutoCommit(false);
+  ASSERT_TRUE(conn->Execute("UPDATE kv SET v = 33 WHERE k = 8").ok());
+
+  failpoint::ScopedFailpoint fp("mw.commit.crash.before_local_commit",
+                                "crash*1");
+  const Status st = conn->Commit();
+  EXPECT_TRUE(st.ok()) << st;
+  cluster->Quiesce();
+
+  for (size_t r = 1; r < 3; ++r) {
+    auto check =
+        cluster->db(r)->ExecuteAutoCommit("SELECT v FROM kv WHERE k = 8");
+    EXPECT_EQ(check.value().rows[0][0].AsInt(), 33) << "replica " << r;
+  }
+}
+
+TEST_F(FailpointFailoverTest, TransientMulticastDropAbortsWithoutFailover) {
+  // A dropped send from a replica that did NOT crash: the middleware
+  // aborts the transaction locally and the driver reports it lost
+  // without asking anyone — there is no in-doubt question, the writeset
+  // never entered the total order. The replica and connection stay up.
+  auto cluster = MakeCluster(3);
+  client::ConnectionOptions copt;
+  copt.pinned_replica = 0;
+  auto conn = std::move(cluster->Connect(copt)).value();
+  conn->SetAutoCommit(false);
+  ASSERT_TRUE(conn->Execute("UPDATE kv SET v = 34 WHERE k = 9").ok());
+
+  {
+    failpoint::ScopedFailpoint fp("gcs.send", "error(unavailable)*1");
+    const Status st = conn->Commit();
+    EXPECT_EQ(st.code(), StatusCode::kTransactionLost) << st;
+  }
+  ASSERT_TRUE(cluster->replica(0)->IsAlive());
+  EXPECT_EQ(conn->failover_count(), 0u);
+  cluster->Quiesce();
+  for (size_t r = 0; r < 3; ++r) {
+    auto check =
+        cluster->db(r)->ExecuteAutoCommit("SELECT v FROM kv WHERE k = 9");
+    EXPECT_EQ(check.value().rows[0][0].AsInt(), 0) << "replica " << r;
+  }
+  // Retrying on the same connection (and same replica) succeeds.
+  ASSERT_TRUE(conn->Execute("UPDATE kv SET v = 34 WHERE k = 9").ok());
+  ASSERT_TRUE(conn->Commit().ok());
+  cluster->Quiesce();
+  auto check =
+      cluster->db(1)->ExecuteAutoCommit("SELECT v FROM kv WHERE k = 9");
+  EXPECT_EQ(check.value().rows[0][0].AsInt(), 34);
+}
+
+TEST_F(FailpointFailoverTest, ConnectRetriesThroughTransientDiscoveryFailure) {
+  // The driver's connect path retries kUnavailable with backoff until
+  // its deadline: two injected discovery failures delay the connection
+  // but do not kill it.
+  auto cluster = MakeCluster(2);
+  failpoint::ScopedFailpoint fp("client.connect", "error(unavailable)*2");
+  auto conn = cluster->Connect();
+  ASSERT_TRUE(conn.ok()) << conn.status();
+  EXPECT_EQ(failpoint::Fires("client.connect"), 2u);
+  auto r = conn.value()->Execute("SELECT v FROM kv WHERE k = 0");
+  EXPECT_TRUE(r.ok()) << r.status();
 }
 
 TEST(FailoverTest, MulticastFromCrashedReplicaRejected) {

@@ -1,0 +1,218 @@
+// Tests for the deterministic failpoint subsystem (common/failpoint.h):
+// spec parsing, verdict kinds, self-disarm counts, list/env arming, and
+// — the load-bearing property for the chaos harness — seed determinism:
+// re-running any probabilistic schedule with the same seed reproduces
+// the identical fault sequence.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+
+namespace sirep {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::DisarmAll(); }
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+TEST_F(FailpointTest, UnarmedPointsAreFree) {
+  EXPECT_FALSE(failpoint::AnyArmed());
+  EXPECT_FALSE(failpoint::Eval("nope").fired);
+  EXPECT_TRUE(failpoint::EvalStatus("nope").ok());
+}
+
+TEST_F(FailpointTest, ErrorSpecFiresEveryTime) {
+  ASSERT_TRUE(failpoint::Arm("p.err", "error").ok());
+  EXPECT_TRUE(failpoint::AnyArmed());
+  for (int i = 0; i < 3; ++i) {
+    const Status st = failpoint::EvalStatus("p.err");
+    EXPECT_EQ(st.code(), StatusCode::kInternal) << st;
+  }
+  EXPECT_EQ(failpoint::Hits("p.err"), 3u);
+  EXPECT_EQ(failpoint::Fires("p.err"), 3u);
+}
+
+TEST_F(FailpointTest, ErrorCodeSpecs) {
+  ASSERT_TRUE(failpoint::Arm("p.unavail", "error(unavailable)").ok());
+  ASSERT_TRUE(failpoint::Arm("p.timeout", "error(timedout)").ok());
+  ASSERT_TRUE(failpoint::Arm("p.deadlock", "error(deadlock)").ok());
+  EXPECT_EQ(failpoint::EvalStatus("p.unavail").code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(failpoint::EvalStatus("p.timeout").code(), StatusCode::kTimedOut);
+  EXPECT_EQ(failpoint::EvalStatus("p.deadlock").code(),
+            StatusCode::kDeadlock);
+}
+
+TEST_F(FailpointTest, CrashVerdictReachesCaller) {
+  ASSERT_TRUE(failpoint::Arm("p.crash", "crash").ok());
+  const auto hit = failpoint::Eval("p.crash");
+  EXPECT_TRUE(hit.fired);
+  EXPECT_EQ(hit.kind, failpoint::Hit::Kind::kCrash);
+  // Collapsed to a Status it reads as the crashed component's callers
+  // would see it.
+  EXPECT_EQ(hit.ToStatus("p.crash").code(), StatusCode::kUnavailable);
+}
+
+TEST_F(FailpointTest, ArgVerdictCarriesArgument) {
+  ASSERT_TRUE(failpoint::Arm("p.arg", "arg(6)").ok());
+  const auto hit = failpoint::Eval("p.arg");
+  EXPECT_TRUE(hit.fired);
+  EXPECT_EQ(hit.kind, failpoint::Hit::Kind::kArg);
+  EXPECT_EQ(hit.arg, 6);
+  // kArg maps to OK as a Status: the call site must use Eval().
+  EXPECT_TRUE(hit.ToStatus("p.arg").ok());
+}
+
+TEST_F(FailpointTest, DelayCountsButDoesNotFire) {
+  ASSERT_TRUE(failpoint::Arm("p.delay", "delay(1us)").ok());
+  const auto hit = failpoint::Eval("p.delay");
+  EXPECT_FALSE(hit.fired);
+  EXPECT_EQ(failpoint::Hits("p.delay"), 1u);
+}
+
+TEST_F(FailpointTest, CountSuffixSelfDisarms) {
+  ASSERT_TRUE(failpoint::Arm("p.once", "error(unavailable)*2").ok());
+  EXPECT_FALSE(failpoint::EvalStatus("p.once").ok());
+  EXPECT_FALSE(failpoint::EvalStatus("p.once").ok());
+  // Third evaluation: the point disarmed itself.
+  EXPECT_TRUE(failpoint::EvalStatus("p.once").ok());
+  EXPECT_FALSE(failpoint::AnyArmed());
+}
+
+TEST_F(FailpointTest, OffDisarms) {
+  ASSERT_TRUE(failpoint::Arm("p.off", "error").ok());
+  ASSERT_TRUE(failpoint::Arm("p.off", "off").ok());
+  EXPECT_TRUE(failpoint::EvalStatus("p.off").ok());
+  EXPECT_FALSE(failpoint::AnyArmed());
+}
+
+TEST_F(FailpointTest, ListArmsMultiplePoints) {
+  ASSERT_TRUE(
+      failpoint::ArmFromList("a=error(conflict);b=arg(3)*1; c = delay(1us)")
+          .ok());
+  EXPECT_EQ(failpoint::EvalStatus("a").code(), StatusCode::kConflict);
+  EXPECT_EQ(failpoint::Eval("b").arg, 3);
+  EXPECT_FALSE(failpoint::Eval("c").fired);
+}
+
+TEST_F(FailpointTest, MalformedSpecsRejected) {
+  EXPECT_FALSE(failpoint::Arm("bad", "explode").ok());
+  EXPECT_FALSE(failpoint::Arm("bad", "error(nosuchcode)").ok());
+  EXPECT_FALSE(failpoint::Arm("bad", "delay(5)").ok());   // missing unit
+  EXPECT_FALSE(failpoint::Arm("bad", "1in(0)").ok());     // n must be >= 1
+  EXPECT_FALSE(failpoint::Arm("bad", "error*0").ok());    // zero count
+  EXPECT_FALSE(failpoint::ArmFromList("nospec").ok());
+  EXPECT_FALSE(failpoint::AnyArmed());
+}
+
+TEST_F(FailpointTest, ScopedFailpointDisarmsOnExit) {
+  {
+    failpoint::ScopedFailpoint fp("p.scoped", "error");
+    EXPECT_FALSE(failpoint::EvalStatus("p.scoped").ok());
+  }
+  EXPECT_TRUE(failpoint::EvalStatus("p.scoped").ok());
+  EXPECT_FALSE(failpoint::AnyArmed());
+}
+
+TEST_F(FailpointTest, SnapshotReportsCounters) {
+  ASSERT_TRUE(failpoint::Arm("p.snap", "1in(2)").ok());
+  for (int i = 0; i < 10; ++i) failpoint::Eval("p.snap");
+  bool found = false;
+  for (const auto& stats : failpoint::Snapshot()) {
+    if (stats.name != "p.snap") continue;
+    found = true;
+    EXPECT_EQ(stats.hits, 10u);
+    EXPECT_EQ(stats.fires, failpoint::Fires("p.snap"));
+    EXPECT_EQ(stats.spec, "1in(2)");
+  }
+  EXPECT_TRUE(found);
+}
+
+// The acceptance criterion: re-running a probabilistic schedule with the
+// same seed reproduces the identical fault sequence.
+TEST_F(FailpointTest, SameSeedReproducesIdenticalFirePattern) {
+  const auto run = [](uint64_t seed) {
+    failpoint::Seed(seed);
+    EXPECT_TRUE(failpoint::Arm("p.a", "1in(3)").ok());
+    EXPECT_TRUE(failpoint::Arm("p.b", "1in(5,error(unavailable))").ok());
+    std::vector<bool> pattern;
+    for (int i = 0; i < 200; ++i) {
+      pattern.push_back(failpoint::Eval("p.a").fired);
+      pattern.push_back(failpoint::Eval("p.b").fired);
+    }
+    failpoint::DisarmAll();
+    return pattern;
+  };
+  const auto first = run(0xC0FFEE);
+  const auto second = run(0xC0FFEE);
+  EXPECT_EQ(first, second);
+  // ... and a different seed gives a different schedule (with 400 draws
+  // the probability of a coincidental match is negligible).
+  const auto other = run(0xBEEF);
+  EXPECT_NE(first, other);
+}
+
+// Per-point PRNG independence: a point's verdict sequence depends only
+// on (seed, name, evaluation index), not on what other points were
+// armed or evaluated in between — the property that makes multi-threaded
+// chaos schedules replayable per point.
+TEST_F(FailpointTest, PointSequencesAreIndependent) {
+  const auto draws_of_a = [](uint64_t seed, bool also_run_b) {
+    failpoint::Seed(seed);
+    EXPECT_TRUE(failpoint::Arm("p.a", "1in(4)").ok());
+    EXPECT_TRUE(failpoint::Arm("p.b", "1in(4)").ok());
+    std::vector<bool> pattern;
+    for (int i = 0; i < 100; ++i) {
+      pattern.push_back(failpoint::Eval("p.a").fired);
+      if (also_run_b) {
+        failpoint::Eval("p.b");
+        failpoint::Eval("p.b");
+      }
+    }
+    failpoint::DisarmAll();
+    return pattern;
+  };
+  EXPECT_EQ(draws_of_a(42, false), draws_of_a(42, true));
+}
+
+TEST_F(FailpointTest, OneInNFiresAtRoughlyTheConfiguredRate) {
+  failpoint::Seed(7);
+  ASSERT_TRUE(failpoint::Arm("p.rate", "1in(4)").ok());
+  int fires = 0;
+  constexpr int kDraws = 4000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (failpoint::Eval("p.rate").fired) ++fires;
+  }
+  // Expected 1000; allow a generous window (binomial sd ~= 27).
+  EXPECT_GT(fires, 800);
+  EXPECT_LT(fires, 1200);
+}
+
+// Regression: with SIREP_FAILPOINTS set, the registry's lazy env arming
+// runs inside a call_once at first use — which once self-deadlocked by
+// re-entering the registry accessor from the arming code. The
+// "threadsafe" death-test style re-execs the binary, so the child's
+// FIRST registry use happens with the variable set, exactly the
+// production path of an env-armed binary.
+TEST(FailpointEnvDeathTest, EnvArmingAtFirstUseDoesNotDeadlock) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_EQ(setenv("SIREP_FAILPOINTS", "env.point=error(unavailable)", 1),
+            0);
+  EXPECT_EXIT(
+      {
+        const Status st = failpoint::EvalStatus("env.point");
+        std::_Exit(st.code() == StatusCode::kUnavailable ? 0 : 1);
+      },
+      ::testing::ExitedWithCode(0), "");
+  unsetenv("SIREP_FAILPOINTS");
+}
+
+}  // namespace
+}  // namespace sirep
