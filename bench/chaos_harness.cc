@@ -23,6 +23,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,6 +31,7 @@
 #include "cluster/cluster.h"
 #include "common/failpoint.h"
 #include "common/prng.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace sirep {
@@ -202,7 +204,36 @@ void PrintFaultReport(Cluster& cluster,
   }
 }
 
+/// On any failed run: one kInvariant event into the black box, then the
+/// whole observability state — merged metrics (Prometheus text) plus
+/// every flight recorder — into a file named after the failing seed, so
+/// the bit-for-bit replay starts from the recorded evidence.
+void DumpFailureArtifacts(Cluster& cluster, uint64_t seed,
+                          const std::string& why) {
+  obs::FlightRecorder::Global().Record(obs::FlightEventType::kInvariant, 0,
+                                       seed, 0, why);
+  const std::string path = "chaos_dump.seed" + std::to_string(seed) + ".txt";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  auto snap = cluster.DumpMetrics();
+  snap.Merge(obs::MetricsRegistry::Default().Snapshot());
+  out << "# chaos failure: " << why << " (seed=" << seed << ")\n"
+      << "# ---- merged metrics ----\n"
+      << snap.ToPrometheusText() << "# ---- flight recorders ----\n"
+      << cluster.DumpFlightRecorders();
+  std::fprintf(stderr, "observability dump written to %s\n", path.c_str());
+}
+
 int Run(const HarnessOptions& opt) {
+  // Black-box plumbing before any traffic: failpoint verdicts stream
+  // into the global flight recorder, and a fatal signal dumps every
+  // recorder to a seed-stamped file.
+  obs::FlightRecorder::RecordFailpointHits();
+  obs::FlightRecorder::InstallCrashHandler("chaos_flightrecorder.seed" +
+                                           std::to_string(opt.seed));
   ClusterOptions coptions;
   coptions.num_replicas = 4;
   coptions.gcs.transport = opt.transport;
@@ -265,6 +296,7 @@ int Run(const HarnessOptions& opt) {
       if (!RestartWithRetry(cluster, victim)) {
         std::fprintf(stderr, "late restart of replica %zu failed\n",
                      victim);
+        DumpFailureArtifacts(cluster, opt.seed, "late restart failed");
         return 2;
       }
     }
@@ -280,6 +312,7 @@ int Run(const HarnessOptions& opt) {
   for (size_t r = 0; r < cluster.size(); ++r) {
     if (!RestartWithRetry(cluster, r)) {
       std::fprintf(stderr, "final restart of replica %zu failed\n", r);
+      DumpFailureArtifacts(cluster, opt.seed, "final restart failed");
       return 2;
     }
   }
@@ -289,11 +322,15 @@ int Run(const HarnessOptions& opt) {
   PrintFaultReport(cluster, fault_points);
   if (committed == 0) {
     std::fprintf(stderr, "FAIL: no transaction ever committed\n");
+    DumpFailureArtifacts(cluster, opt.seed, "no transaction ever committed");
     return 1;
   }
   if (violations != 0) {
     std::fprintf(stderr, "FAIL: %d invariant violation(s), seed=%llu\n",
                  violations, static_cast<unsigned long long>(opt.seed));
+    DumpFailureArtifacts(cluster, opt.seed,
+                         std::to_string(violations) +
+                             " invariant violation(s)");
     return 1;
   }
   std::printf("PASS: %lld commits, invariants hold (seed=%llu)\n",

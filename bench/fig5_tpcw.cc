@@ -10,6 +10,9 @@
 //    with acceptable response times;
 //  * read-only transactions are cheaper than updates throughout.
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "bench_common.h"
 #include "workload/tpcw.h"
 
@@ -83,6 +86,16 @@ int main() {
       return 1;
     }
     cluster.SetEmulationEnabled(true);
+    // SIREP_METRICS=1: serve each replica's registry over loopback HTTP
+    // while the run is in flight (EXPERIMENTS.md "scraping a run").
+    if (std::getenv("SIREP_METRICS") != nullptr &&
+        cluster.StartMetricsEndpoints().ok()) {
+      std::printf("# metrics endpoints (curl while the run is live):\n");
+      for (uint16_t port : cluster.MetricsPorts()) {
+        std::printf("#   http://127.0.0.1:%u/metrics  (also "
+                    "/flightrecorder, /cluster/metrics)\n", port);
+      }
+    }
     for (double load : loads) {
       auto options = bench::BaseLoadOptions(load, /*clients=*/40);
       auto m = bench::RunOnCluster(cluster, tpcw, options);

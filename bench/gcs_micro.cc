@@ -82,6 +82,14 @@ void MeasureRate(double rate_per_s, std::chrono::microseconds delay,
               std::chrono::duration<double, std::milli>(delay).count(),
               latency_ms.Mean(), latency_ms.Percentile(95),
               latency_ms.Max());
+  // The same distribution as seen by the group's own histogram
+  // ("gcs.multicast_us": enqueue -> last stable delivery), extracted
+  // from its buckets — what a /metrics scrape reports.
+  const auto p = group.metrics().Snapshot().Percentiles("gcs.multicast_us");
+  std::printf("       registry gcs.multicast_us: n=%llu "
+              "p50 %5.2f ms, p95 %5.2f ms, p99 %5.2f ms\n",
+              static_cast<unsigned long long>(p.count), p.p50 / 1000.0,
+              p.p95 / 1000.0, p.p99 / 1000.0);
 }
 
 /// A representative OLTP writeset message: a handful of small rows.

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 
 namespace sirep::cluster {
@@ -25,6 +26,7 @@ Cluster::Cluster(ClusterOptions options)
 }
 
 Cluster::~Cluster() {
+  StopMetricsEndpoints();
   for (auto& replica : replicas_) replica->Shutdown();
   group_->Shutdown();
 }
@@ -95,7 +97,14 @@ Status Cluster::RestartReplica(size_t index) {
   auto incarnation = std::make_unique<middleware::SrcaRepReplica>(
       nodes_[index]->db(), group_.get(), ropt);
   SIREP_RETURN_IF_ERROR(incarnation->Start());
-  SIREP_RETURN_IF_ERROR(incarnation->Recover(from_tid));
+  Status recovered = incarnation->Recover(from_tid);
+  if (!recovered.ok()) {
+    // The incarnation already joined the group; detach it before the
+    // object dies, or the delivery thread would keep invoking a
+    // dangling listener on the next view change.
+    incarnation->Crash();
+    return recovered;
+  }
   {
     // Park (don't destroy) the dead incarnation: clients may still hold
     // raw pointers to it mid-failover.
@@ -117,7 +126,11 @@ Result<size_t> Cluster::AddReplica(
   auto replica = std::make_unique<middleware::SrcaRepReplica>(
       node->db(), group_.get(), ropt);
   SIREP_RETURN_IF_ERROR(replica->Start());
-  SIREP_RETURN_IF_ERROR(replica->Recover(/*from_tid=*/0));
+  Status recovered = replica->Recover(/*from_tid=*/0);
+  if (!recovered.ok()) {
+    replica->Crash();  // detach the joined listener before destruction
+    return recovered;
+  }
   std::unique_lock<std::shared_mutex> lock(replicas_mu_);
   nodes_.push_back(std::move(node));
   replicas_.push_back(std::move(replica));
@@ -145,20 +158,75 @@ obs::MetricsSnapshot Cluster::DumpMetrics() const {
 std::string Cluster::FormatCommitBreakdown(const obs::MetricsSnapshot& snap) {
   std::ostringstream os;
   os << "commit-path stage breakdown (us)\n";
-  os << "  " << std::left << std::setw(16) << "stage" << std::right
+  os << "  " << std::left << std::setw(20) << "stage" << std::right
      << std::setw(10) << "count" << std::setw(12) << "mean"
-     << std::setw(12) << "p95" << "\n";
+     << std::setw(12) << "p50" << std::setw(12) << "p95"
+     << std::setw(12) << "p99" << "\n";
   os << std::fixed << std::setprecision(1);
   for (int i = 0; i < obs::kNumStages; ++i) {
+    if (i == obs::kFirstCrossReplicaStage) {
+      os << "  -- cross-replica (spans recorded at remote replicas under "
+            "the origin's trace id) --\n";
+    }
     const auto stage = static_cast<obs::Stage>(i);
     const auto it = snap.histograms.find(obs::StageMetricName(stage));
     if (it == snap.histograms.end()) continue;
-    const obs::HistogramSnapshot& h = it->second;
-    os << "  " << std::left << std::setw(16) << obs::StageName(stage)
-       << std::right << std::setw(10) << h.count << std::setw(12)
-       << h.Mean() << std::setw(12) << h.Quantile(0.95) << "\n";
+    const auto p = it->second.SummaryPercentiles();
+    os << "  " << std::left << std::setw(20) << obs::StageName(stage)
+       << std::right << std::setw(10) << p.count << std::setw(12) << p.mean
+       << std::setw(12) << p.p50 << std::setw(12) << p.p95 << std::setw(12)
+       << p.p99 << "\n";
   }
   return os.str();
+}
+
+std::string Cluster::DumpFlightRecorders() const {
+  std::ostringstream os;
+  {
+    std::shared_lock<std::shared_mutex> lock(replicas_mu_);
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      os << "## replica " << i << " (member "
+         << replicas_[i]->member_id() << ")\n"
+         << replicas_[i]->flight_recorder().DumpText();
+    }
+  }
+  os << "## process-global\n" << obs::FlightRecorder::Global().DumpText();
+  return os.str();
+}
+
+Status Cluster::StartMetricsEndpoints() {
+  if (!metrics_servers_.empty()) return Status::OK();
+  const size_t n = size();
+  for (size_t i = 0; i < n; ++i) {
+    auto server = std::make_unique<middleware::MetricsHttpServer>();
+    server->AddEndpoint(
+        "/metrics", "text/plain; version=0.0.4", [this, i] {
+          return replica(i)->metrics().PrometheusText();
+        });
+    server->AddEndpoint("/flightrecorder", "text/plain", [this, i] {
+      return replica(i)->flight_recorder().DumpText();
+    });
+    server->AddEndpoint(
+        "/cluster/metrics", "text/plain; version=0.0.4",
+        [this] { return DumpMetrics().ToPrometheusText(); });
+    SIREP_RETURN_IF_ERROR(server->Start());
+    metrics_servers_.push_back(std::move(server));
+  }
+  return Status::OK();
+}
+
+std::vector<uint16_t> Cluster::MetricsPorts() const {
+  std::vector<uint16_t> ports;
+  ports.reserve(metrics_servers_.size());
+  for (const auto& server : metrics_servers_) {
+    ports.push_back(server->port());
+  }
+  return ports;
+}
+
+void Cluster::StopMetricsEndpoints() {
+  for (auto& server : metrics_servers_) server->Stop();
+  metrics_servers_.clear();
 }
 
 middleware::SrcaRepReplica::Stats Cluster::AggregateStats() const {

@@ -13,6 +13,7 @@
 #include "cluster/replica_node.h"
 #include "common/status.h"
 #include "gcs/group.h"
+#include "middleware/metrics_http.h"
 #include "middleware/replica_mw.h"
 
 namespace sirep::cluster {
@@ -111,10 +112,31 @@ class Cluster : public client::ReplicaDirectory {
   obs::MetricsSnapshot DumpMetrics() const;
 
   /// Human-readable per-stage commit-latency breakdown (count / mean /
-  /// p95 per commit-path stage) extracted from `snapshot`'s
+  /// p50 / p95 / p99 per commit-path stage) extracted from `snapshot`'s
   /// "mw.commit.stage.*_us" histograms — the paper's Fig. 7 overhead
-  /// table, measured instead of estimated.
+  /// table, measured instead of estimated. Includes the cross-replica
+  /// stages (sequencer queue, delivery skew, remote apply lag, snapshot
+  /// staleness), whose spans were recorded at remote replicas under the
+  /// originating transaction's trace id.
   static std::string FormatCommitBreakdown(const obs::MetricsSnapshot& snap);
+
+  /// Concatenated flight-recorder dump: one section per live replica
+  /// plus the process-global recorder (WAL, failpoints, harness events).
+  std::string DumpFlightRecorders() const;
+
+  /// Starts one loopback HTTP exposition server per replica, each
+  /// serving GET /metrics (that replica's registry, Prometheus text),
+  /// GET /flightrecorder (its black box), and GET /cluster/metrics (the
+  /// merged DumpMetrics() view — the cluster aggregator, available on
+  /// every port). Kernel-assigned ports; see MetricsPorts(). Idempotent.
+  Status StartMetricsEndpoints();
+
+  /// Bound port of each replica's exposition server (empty until
+  /// StartMetricsEndpoints()).
+  std::vector<uint16_t> MetricsPorts() const;
+
+  /// Stops the exposition servers (also run at destruction).
+  void StopMetricsEndpoints();
 
   /// Blocks until all multicast traffic has been delivered and all
   /// tocommit queues drained (test helper).
@@ -140,6 +162,11 @@ class Cluster : public client::ReplicaDirectory {
   /// Dead middleware incarnations, parked so raw SrcaRepReplica*
   /// handles held by clients stay valid until the cluster dies.
   std::vector<std::unique_ptr<middleware::SrcaRepReplica>> retired_;
+  /// Per-replica exposition servers (StartMetricsEndpoints). Handlers
+  /// resolve the replica by index through replica(), so they survive
+  /// RestartReplica's incarnation swap.
+  std::vector<std::unique_ptr<middleware::MetricsHttpServer>>
+      metrics_servers_;
   client::Driver driver_;
 };
 

@@ -267,6 +267,14 @@ bool AnyArmed() {
   return g_armed_count.load(std::memory_order_relaxed) > 0;
 }
 
+namespace {
+std::atomic<HitObserver> g_hit_observer{nullptr};
+}  // namespace
+
+void SetHitObserver(HitObserver observer) {
+  g_hit_observer.store(observer, std::memory_order_release);
+}
+
 Hit Eval(std::string_view name) {
   Registry& registry = GetRegistry();
   std::chrono::microseconds sleep_for{0};
@@ -314,6 +322,10 @@ Hit Eval(std::string_view name) {
       case Action::Kind::kOff:
         break;
     }
+  }
+  if (HitObserver observer = g_hit_observer.load(std::memory_order_acquire);
+      observer != nullptr && (hit.fired || sleep_for.count() > 0)) {
+    observer(name, hit, sleep_for.count() > 0);
   }
   // Sleep outside the registry lock so a delay policy on one point never
   // stalls evaluation (or arming) of others.

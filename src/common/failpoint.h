@@ -101,6 +101,16 @@ void Seed(uint64_t seed);
 uint64_t Hits(const std::string& name);
 uint64_t Fires(const std::string& name);
 
+/// Observer invoked after every evaluation of an armed point whose
+/// policy took effect — a fired error/crash/arg verdict, or an applied
+/// delay (`delayed` true). Installed once by the observability layer to
+/// mirror injected faults into the flight recorder; pass nullptr to
+/// remove. Runs on the evaluating thread, outside the registry lock,
+/// so it must be fast and must not evaluate failpoints itself.
+using HitObserver = void (*)(std::string_view name, const Hit& hit,
+                             bool delayed);
+void SetHitObserver(HitObserver observer);
+
 /// Every point ever armed with its counters, for the chaos harness's
 /// end-of-run fault report.
 struct PointStats {

@@ -44,7 +44,7 @@ class Group::MemberSink : public FrameSink {
       for (size_t i = 0; i < frame.entries.size(); ++i) {
         const FrameEntry& entry = frame.entries[i];
         Deliver(frame.sender, base_seqno + i, entry.type, entry.payload,
-                entry.enqueue_ns);
+                entry.enqueue_ns, entry.trace);
       }
       return;
     }
@@ -61,7 +61,7 @@ class Group::MemberSink : public FrameSink {
           group_->ResolvePayload(entry.type, entry.stash_id, entry.payload);
       if (payload == nullptr) continue;  // already logged
       Deliver(frame.sender, base_seqno + i, entry.type, std::move(payload),
-              entry.enqueue_ns);
+              entry.enqueue_ns, entry.trace);
     }
   }
 
@@ -71,12 +71,15 @@ class Group::MemberSink : public FrameSink {
 
  private:
   void Deliver(MemberId sender, uint64_t seqno, const std::string& type,
-               std::shared_ptr<const void> payload, uint64_t enqueue_ns) {
+               std::shared_ptr<const void> payload, uint64_t enqueue_ns,
+               const obs::TraceContext& trace) {
     Message message;
     message.sender = sender;
     message.seqno = seqno;
     message.type = type;
     message.payload = std::move(payload);
+    message.enqueue_ns = enqueue_ns;
+    message.trace = trace;
     group_->h_multicast_us_->Observe(
         obs::NanosToUs(obs::MonotonicNanos() - enqueue_ns));
     listener_->OnDeliver(message);
@@ -147,11 +150,13 @@ bool Group::IsAlive(MemberId member) const {
 }
 
 Group::Staged Group::Stage(MemberId sender, std::string type,
-                           std::shared_ptr<const void> payload) {
+                           std::shared_ptr<const void> payload,
+                           const obs::TraceContext& trace) {
   (void)sender;
   Staged staged;
   staged.entry.type = std::move(type);
   staged.entry.enqueue_ns = obs::MonotonicNanos();
+  staged.entry.trace = trace;
   if (!transport_->needs_encoding()) {
     staged.entry.payload = std::move(payload);
     staged.bytes = staged.entry.type.size() + sizeof(FrameEntry);
@@ -182,7 +187,8 @@ Group::Staged Group::Stage(MemberId sender, std::string type,
 }
 
 Status Group::Multicast(MemberId sender, std::string type,
-                        std::shared_ptr<const void> payload) {
+                        std::shared_ptr<const void> payload,
+                        obs::TraceContext trace) {
   if (shutdown_.load(std::memory_order_acquire)) {
     return Status::Unavailable("group is shut down");
   }
@@ -191,7 +197,7 @@ Status Group::Multicast(MemberId sender, std::string type,
   // backend (the TCP transport additionally has socket-level points).
   SIREP_FAILPOINT("gcs.send");
   if (!batching_) {
-    Staged staged = Stage(sender, std::move(type), std::move(payload));
+    Staged staged = Stage(sender, std::move(type), std::move(payload), trace);
     Frame frame;
     frame.sender = sender;
     frame.message_count = 1;
@@ -200,6 +206,7 @@ Status Group::Multicast(MemberId sender, std::string type,
       wire.sender = sender;
       wire.entries.push_back({std::move(staged.entry.type),
                               staged.entry.stash_id, staged.entry.enqueue_ns,
+                              staged.entry.trace,
                               std::move(staged.wire_payload)});
       EncodeWireFrame(wire, &frame.encoded);
     } else {
@@ -223,7 +230,7 @@ Status Group::Multicast(MemberId sender, std::string type,
     return Status::Unavailable("sender " + std::to_string(sender) +
                                " has crashed");
   }
-  Staged staged = Stage(sender, std::move(type), std::move(payload));
+  Staged staged = Stage(sender, std::move(type), std::move(payload), trace);
   std::lock_guard<std::mutex> lock(batch_mu_);
   Batch& batch = batches_[sender];
   if (batch.staged.empty()) {
@@ -251,6 +258,7 @@ void Group::FlushBatchLocked(MemberId sender, Batch* batch) {
     for (Staged& staged : batch->staged) {
       wire.entries.push_back({std::move(staged.entry.type),
                               staged.entry.stash_id, staged.entry.enqueue_ns,
+                              staged.entry.trace,
                               std::move(staged.wire_payload)});
     }
     EncodeWireFrame(wire, &frame.encoded);

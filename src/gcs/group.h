@@ -29,6 +29,12 @@ struct Message {
   uint64_t seqno = 0;  ///< position in the total order (1-based)
   std::string type;    ///< application tag, e.g. "writeset"
   std::shared_ptr<const void> payload;
+  /// Sender's MonotonicNanos() at Multicast() time (latency accounting;
+  /// meaningful only where sender and receiver share a clock).
+  uint64_t enqueue_ns = 0;
+  /// Originating transaction's distributed trace context, propagated by
+  /// both transports (empty trace_id when the sender did not trace).
+  obs::TraceContext trace;
 
   template <typename T>
   const T* As() const {
@@ -132,7 +138,8 @@ class Group {
   /// enabled, OK means the message is accepted into the sender's pending
   /// batch (flushed by count/bytes/window).
   Status Multicast(MemberId sender, std::string type,
-                   std::shared_ptr<const void> payload);
+                   std::shared_ptr<const void> payload,
+                   obs::TraceContext trace = {});
 
   /// Registers the wire codec for a payload type (idempotent; later
   /// registrations win). Byte-shipping transports use it to serialize
@@ -191,7 +198,8 @@ class Group {
   /// Encodes `payload` into a Staged entry, stashing it if `type` has no
   /// codec and the transport needs bytes.
   Staged Stage(MemberId sender, std::string type,
-               std::shared_ptr<const void> payload);
+               std::shared_ptr<const void> payload,
+               const obs::TraceContext& trace);
 
   /// Delivery-side payload reconstruction (codec decode or stash fetch).
   std::shared_ptr<const void> ResolvePayload(const std::string& type,

@@ -1,0 +1,94 @@
+#include "gcs/socket_util.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+
+#include <cerrno>
+
+#include "sql/serde.h"
+
+namespace sirep::gcs::net {
+
+namespace {
+
+timeval ToTimeval(std::chrono::milliseconds ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms.count() % 1000) * 1000);
+  return tv;
+}
+
+}  // namespace
+
+void ConfigureSocket(int fd, std::chrono::milliseconds send_timeout) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  int buf = kSocketBufferBytes;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &buf, sizeof(buf));
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &buf, sizeof(buf));
+  if (send_timeout.count() > 0) {
+    const timeval tv = ToTimeval(send_timeout);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  const timeval rv = ToTimeval(
+      std::chrono::duration_cast<std::chrono::milliseconds>(kRecvPollPeriod));
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &rv, sizeof(rv));
+}
+
+bool WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    // EAGAIN here is the SO_SNDTIMEO deadline expiring: the peer has not
+    // drained its socket for the whole send timeout. Treat it like a dead
+    // connection — callers expel the peer rather than retrying into the
+    // same full buffer.
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool WriteRecord(int fd, const std::string& body) {
+  std::string wire;
+  wire.reserve(4 + body.size());
+  sql::EncodeU32(static_cast<uint32_t>(body.size()), &wire);
+  wire += body;
+  return WriteAll(fd, wire);
+}
+
+bool RecordBuffer::Next(std::string* body) {
+  if (buf_.size() < 4) return false;
+  uint32_t len = 0;
+  size_t pos = 0;
+  if (!sql::DecodeU32(buf_, &pos, &len).ok() || len > kMaxRecordBytes) {
+    corrupt_ = true;
+    return false;
+  }
+  if (buf_.size() < 4 + static_cast<size_t>(len)) return false;
+  body->assign(buf_, 4, len);
+  buf_.erase(0, 4 + static_cast<size_t>(len));
+  return true;
+}
+
+bool ReadRecord(int fd, RecordBuffer* rb, std::string* body,
+                const std::function<bool()>& keep_waiting) {
+  char chunk[16384];
+  while (!rb->Next(body)) {
+    if (rb->corrupt()) return false;
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      if (keep_waiting != nullptr && keep_waiting()) continue;
+      return false;
+    }
+    if (n <= 0) return false;
+    rb->Append(chunk, static_cast<size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace sirep::gcs::net

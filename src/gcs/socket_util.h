@@ -1,0 +1,61 @@
+#ifndef SIREP_GCS_SOCKET_UTIL_H_
+#define SIREP_GCS_SOCKET_UTIL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace sirep::gcs::net {
+
+/// Loopback socket plumbing shared by the TCP sequencer transport and
+/// the metrics exposition HTTP listener: option/deadline setup, blocking
+/// whole-buffer writes, and incremental length-prefixed record parsing.
+
+constexpr int kSocketBufferBytes = 1 << 20;
+constexpr uint32_t kMaxRecordBytes = 64u << 20;
+
+/// Blocking recvs wake this often so reader loops can re-check their
+/// keep-waiting predicate (shutdown, crash) without a signal.
+constexpr auto kRecvPollPeriod = std::chrono::milliseconds(100);
+
+/// Sets TCP_NODELAY, buffer sizes, and I/O deadlines. `send_timeout` is
+/// the hung-peer bound: a send() that cannot make progress for that long
+/// fails with EAGAIN instead of blocking forever (a full socket buffer
+/// on a stalled peer must degrade into a removal, not wedge the writer).
+/// Receives always time out at kRecvPollPeriod — idle is normal there;
+/// the short period only bounds how stale a reader's exit predicate is.
+void ConfigureSocket(int fd, std::chrono::milliseconds send_timeout);
+
+/// Blocking write of the whole byte string; false on error or a send
+/// deadline expiring mid-write.
+bool WriteAll(int fd, const std::string& data);
+
+/// Blocking write of one record (u32 length prefix + body).
+bool WriteRecord(int fd, const std::string& body);
+
+/// Incremental record parser over a receive buffer. Append() bytes as
+/// they arrive; Next() pops one complete record body at a time.
+class RecordBuffer {
+ public:
+  void Append(const char* data, size_t n) { buf_.append(data, n); }
+
+  bool Next(std::string* body);
+
+  bool corrupt() const { return corrupt_; }
+
+ private:
+  std::string buf_;
+  bool corrupt_ = false;
+};
+
+/// Blocking read of one record body; returns false on EOF/error, or when
+/// a receive deadline expires and `keep_waiting` says to stop. Sockets
+/// carry a short SO_RCVTIMEO (kRecvPollPeriod), so the predicate is
+/// re-evaluated on that cadence while the connection is idle.
+bool ReadRecord(int fd, RecordBuffer* rb, std::string* body,
+                const std::function<bool()>& keep_waiting);
+
+}  // namespace sirep::gcs::net
+
+#endif  // SIREP_GCS_SOCKET_UTIL_H_

@@ -55,6 +55,7 @@
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/sync.h"
+#include "gcs/socket_util.h"
 #include "gcs/transport.h"
 #include "sql/serde.h"
 
@@ -72,108 +73,11 @@ enum Opcode : uint8_t {
   kCrash = 7,
 };
 
-constexpr int kSocketBufferBytes = 1 << 20;
-constexpr uint32_t kMaxRecordBytes = 64u << 20;
-
-/// Blocking recvs wake this often so reader loops can re-check their
-/// keep-waiting predicate (shutdown, crash) without a signal.
-constexpr auto kRecvPollPeriod = std::chrono::milliseconds(100);
-
-timeval ToTimeval(std::chrono::milliseconds ms) {
-  timeval tv{};
-  tv.tv_sec = static_cast<time_t>(ms.count() / 1000);
-  tv.tv_usec = static_cast<suseconds_t>((ms.count() % 1000) * 1000);
-  return tv;
-}
-
-/// Sets TCP_NODELAY, buffer sizes, and I/O deadlines. `send_timeout` is
-/// the hung-peer bound: a send() that cannot make progress for that long
-/// fails with EAGAIN instead of blocking forever (a full socket buffer
-/// on a stalled peer must degrade into a removal, not wedge the writer).
-/// Receives always time out at kRecvPollPeriod — idle is normal there;
-/// the short period only bounds how stale a reader's exit predicate is.
-void ConfigureSocket(int fd, std::chrono::milliseconds send_timeout) {
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  int buf = kSocketBufferBytes;
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &buf, sizeof(buf));
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &buf, sizeof(buf));
-  if (send_timeout.count() > 0) {
-    const timeval tv = ToTimeval(send_timeout);
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-  }
-  const timeval rv = ToTimeval(
-      std::chrono::duration_cast<std::chrono::milliseconds>(kRecvPollPeriod));
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &rv, sizeof(rv));
-}
-
-/// Blocking write of the whole record (u32 length + body).
-bool WriteRecord(int fd, const std::string& body) {
-  std::string wire;
-  wire.reserve(4 + body.size());
-  sql::EncodeU32(static_cast<uint32_t>(body.size()), &wire);
-  wire += body;
-  size_t off = 0;
-  while (off < wire.size()) {
-    const ssize_t n =
-        ::send(fd, wire.data() + off, wire.size() - off, MSG_NOSIGNAL);
-    if (n < 0 && errno == EINTR) continue;
-    // EAGAIN here is the SO_SNDTIMEO deadline expiring: the peer has not
-    // drained its socket for the whole send timeout. Treat it like a dead
-    // connection — callers expel the peer rather than retrying into the
-    // same full buffer.
-    if (n <= 0) return false;
-    off += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-/// Incremental record parser over a receive buffer. Append() bytes as
-/// they arrive; Next() pops one complete record body at a time.
-class RecordBuffer {
- public:
-  void Append(const char* data, size_t n) { buf_.append(data, n); }
-
-  bool Next(std::string* body) {
-    if (buf_.size() < 4) return false;
-    uint32_t len = 0;
-    size_t pos = 0;
-    if (!sql::DecodeU32(buf_, &pos, &len).ok() || len > kMaxRecordBytes) {
-      corrupt_ = true;
-      return false;
-    }
-    if (buf_.size() < 4 + static_cast<size_t>(len)) return false;
-    body->assign(buf_, 4, len);
-    buf_.erase(0, 4 + static_cast<size_t>(len));
-    return true;
-  }
-
-  bool corrupt() const { return corrupt_; }
-
- private:
-  std::string buf_;
-  bool corrupt_ = false;
-};
-
-/// Blocking read of one record body; returns false on EOF/error, or when
-/// a receive deadline expires and `keep_waiting` says to stop. Sockets
-/// carry a short SO_RCVTIMEO (kRecvPollPeriod), so the predicate is
-/// re-evaluated on that cadence while the connection is idle.
-bool ReadRecord(int fd, RecordBuffer* rb, std::string* body,
-                const std::function<bool()>& keep_waiting) {
-  char chunk[16384];
-  while (!rb->Next(body)) {
-    if (rb->corrupt()) return false;
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
-      if (keep_waiting != nullptr && keep_waiting()) continue;
-      return false;
-    }
-    if (n <= 0) return false;
-    rb->Append(chunk, static_cast<size_t>(n));
-  }
-  return true;
-}
+using net::ConfigureSocket;
+using net::ReadRecord;
+using net::RecordBuffer;
+using net::WriteRecord;
+using net::kRecvPollPeriod;
 
 class TcpSequencerTransport : public Transport {
   struct Endpoint;  // defined in the private section below
@@ -420,6 +324,7 @@ class TcpSequencerTransport : public Transport {
     Frame frame;              // kFrame
     View view;                // kView
     uint64_t stable = 0;      // kStableMark
+    uint64_t rx_ns = 0;       // kFrame: MonotonicNanos at socket receive
   };
 
   struct Endpoint {
@@ -735,6 +640,7 @@ class TcpSequencerTransport : public Transport {
             continue;
           }
           record.frame.message_count = count;
+          record.rx_ns = obs::MonotonicNanos();
           // "gcs.tcp.recv" delays the ack (stalls the stable watermark —
           // a slow consumer); "gcs.tcp.recv.dup" re-enqueues the frame
           // (a retransmitting network) to prove delivery dedupes.
@@ -839,7 +745,13 @@ class TcpSequencerTransport : public Transport {
         if (!ep->crashed.load(std::memory_order_acquire)) {
           if (front.kind == RxRecord::Kind::kFrame) {
             if (h_delivery_lag_us_ != nullptr) {
-              h_delivery_lag_us_->Observe(0.0);  // no emulated delay here
+              // Socket receive -> stable delivery: the ack-stability
+              // wait the sequencer's uniform-delivery discipline adds.
+              h_delivery_lag_us_->Observe(front.rx_ns == 0
+                                              ? 0.0
+                                              : obs::NanosToUs(
+                                                    obs::MonotonicNanos() -
+                                                    front.rx_ns));
             }
             ep->sink->OnFrame(front.base_seqno, front.frame);
           } else {

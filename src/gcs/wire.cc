@@ -6,8 +6,10 @@ namespace sirep::gcs {
 
 namespace {
 /// Smallest possible encoded entry: empty type string (4), stash_id (8),
-/// enqueue_ns (8), empty payload string (4).
-constexpr size_t kMinEntryBytes = 24;
+/// enqueue_ns (8), empty payload string (4); version >= 2 adds the
+/// trace context (8 + 4 + 8 + 8).
+constexpr size_t kMinEntryBytesV1 = 24;
+constexpr size_t kMinEntryBytesV2 = kMinEntryBytesV1 + 28;
 }  // namespace
 
 void EncodeWireFrame(const WireFrame& frame, std::string* out) {
@@ -20,6 +22,10 @@ void EncodeWireFrame(const WireFrame& frame, std::string* out) {
     sql::EncodeString(entry.type, out);
     sql::EncodeU64(entry.stash_id, out);
     sql::EncodeU64(entry.enqueue_ns, out);
+    sql::EncodeU64(entry.trace.trace_id, out);
+    sql::EncodeU32(entry.trace.origin_replica, out);
+    sql::EncodeU64(entry.trace.origin_mono_ns, out);
+    sql::EncodeU64(entry.trace.origin_wall_ns, out);
     sql::EncodeString(entry.payload, out);
   }
 }
@@ -35,7 +41,7 @@ Status DecodeWireFrame(const std::string& in, WireFrame* out) {
     return Status::InvalidArgument("truncated frame header");
   }
   const uint8_t version = static_cast<uint8_t>(in[pos++]);
-  if (version != kWireVersion) {
+  if (version < 1 || version > kWireVersion) {
     return Status::InvalidArgument("unsupported frame version " +
                                    std::to_string(version));
   }
@@ -47,7 +53,9 @@ Status DecodeWireFrame(const std::string& in, WireFrame* out) {
   SIREP_RETURN_IF_ERROR(sql::DecodeU32(in, &pos, &sender));
   uint32_t count = 0;
   SIREP_RETURN_IF_ERROR(sql::DecodeU32(in, &pos, &count));
-  if (static_cast<size_t>(count) * kMinEntryBytes > in.size() - pos) {
+  const size_t min_entry_bytes =
+      version >= 2 ? kMinEntryBytesV2 : kMinEntryBytesV1;
+  if (static_cast<size_t>(count) * min_entry_bytes > in.size() - pos) {
     return Status::InvalidArgument("frame entry count exceeds frame size");
   }
   out->sender = sender;
@@ -58,6 +66,15 @@ Status DecodeWireFrame(const std::string& in, WireFrame* out) {
     SIREP_RETURN_IF_ERROR(sql::DecodeString(in, &pos, &entry.type));
     SIREP_RETURN_IF_ERROR(sql::DecodeU64(in, &pos, &entry.stash_id));
     SIREP_RETURN_IF_ERROR(sql::DecodeU64(in, &pos, &entry.enqueue_ns));
+    if (version >= 2) {
+      SIREP_RETURN_IF_ERROR(sql::DecodeU64(in, &pos, &entry.trace.trace_id));
+      SIREP_RETURN_IF_ERROR(
+          sql::DecodeU32(in, &pos, &entry.trace.origin_replica));
+      SIREP_RETURN_IF_ERROR(
+          sql::DecodeU64(in, &pos, &entry.trace.origin_mono_ns));
+      SIREP_RETURN_IF_ERROR(
+          sql::DecodeU64(in, &pos, &entry.trace.origin_wall_ns));
+    }
     SIREP_RETURN_IF_ERROR(sql::DecodeString(in, &pos, &entry.payload));
     out->entries.push_back(std::move(entry));
   }

@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "gcs/transport.h"
+#include "obs/trace.h"
 
 namespace sirep::gcs {
 
@@ -25,19 +26,30 @@ namespace sirep::gcs {
 ///                        lives in the sender process' stash (types
 ///                        without a registered wire codec)
 ///     u64     enqueue_ns Multicast() timestamp (latency accounting)
+///     -- version >= 2 only (distributed trace context) --
+///     u64     trace_id        0 = no context
+///     u32     trace_origin    originating replica's MemberId
+///     u64     trace_mono_ns   origin MonotonicNanos() at multicast
+///     u64     trace_wall_ns   origin wall clock at multicast
+///     -- all versions --
 ///     string  payload    codec-encoded message body (empty if stashed)
+///
+/// Version 2 added the per-entry TraceContext. Encoders always write
+/// the current version; decoders still accept version-1 frames, whose
+/// entries decode with an empty (trace_id == 0) context.
 ///
 /// Decoders fail with kInvalidArgument on truncation, bad magic, an
 /// unknown version, or a count that cannot fit the remaining bytes —
 /// never by reading out of bounds.
 
 constexpr uint32_t kWireMagic = 0x57524953;  // "SIRW"
-constexpr uint8_t kWireVersion = 1;
+constexpr uint8_t kWireVersion = 2;
 
 struct WireEntry {
   std::string type;
   uint64_t stash_id = 0;
   uint64_t enqueue_ns = 0;
+  obs::TraceContext trace;
   std::string payload;
 };
 

@@ -163,6 +163,13 @@ class HoleTracker {
     return HasHolesLocked();
   }
 
+  /// Validated-but-uncommitted transactions currently tracked (the
+  /// potential-hole set); sampled as a gauge on every delivery.
+  size_t OutstandingCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return outstanding_.size();
+  }
+
   /// Largest tid T such that every validated tid <= T has committed at
   /// this replica — the durable prefix a restarted replica can recover
   /// from (re-applying anything after it is idempotent).

@@ -6,15 +6,17 @@ namespace sirep::middleware {
 
 namespace {
 
-Status DecodeHeader(const std::string& in, size_t* pos, GlobalTxnId* gid) {
+Status DecodeHeader(const std::string& in, size_t* pos, GlobalTxnId* gid,
+                    uint8_t* version_out) {
   if (*pos >= in.size()) {
     return Status::InvalidArgument("truncated message: missing version");
   }
   const uint8_t version = static_cast<uint8_t>(in[(*pos)++]);
-  if (version != kMessageWireVersion) {
+  if (version < 1 || version > kMessageWireVersion) {
     return Status::InvalidArgument("unsupported message version " +
                                    std::to_string(version));
   }
+  *version_out = version;
   SIREP_RETURN_IF_ERROR(sql::DecodeU32(in, pos, &gid->replica));
   SIREP_RETURN_IF_ERROR(sql::DecodeU64(in, pos, &gid->seq));
   return Status::OK();
@@ -27,14 +29,29 @@ void EncodeWriteSetMessage(const WriteSetMessage& msg, std::string* out) {
   sql::EncodeU32(msg.gid.replica, out);
   sql::EncodeU64(msg.gid.seq, out);
   sql::EncodeU64(msg.cert, out);
+  sql::EncodeU64(msg.trace.trace_id, out);
+  sql::EncodeU32(msg.trace.origin_replica, out);
+  sql::EncodeU64(msg.trace.origin_mono_ns, out);
+  sql::EncodeU64(msg.trace.origin_wall_ns, out);
   static const storage::WriteSet kEmpty;
   storage::EncodeWriteSet(msg.ws != nullptr ? *msg.ws : kEmpty, out);
 }
 
 Status DecodeWriteSetMessage(const std::string& in, WriteSetMessage* out) {
   size_t pos = 0;
-  SIREP_RETURN_IF_ERROR(DecodeHeader(in, &pos, &out->gid));
+  uint8_t version = 0;
+  SIREP_RETURN_IF_ERROR(DecodeHeader(in, &pos, &out->gid, &version));
   SIREP_RETURN_IF_ERROR(sql::DecodeU64(in, &pos, &out->cert));
+  out->trace = obs::TraceContext{};
+  if (version >= 2) {
+    SIREP_RETURN_IF_ERROR(sql::DecodeU64(in, &pos, &out->trace.trace_id));
+    SIREP_RETURN_IF_ERROR(
+        sql::DecodeU32(in, &pos, &out->trace.origin_replica));
+    SIREP_RETURN_IF_ERROR(
+        sql::DecodeU64(in, &pos, &out->trace.origin_mono_ns));
+    SIREP_RETURN_IF_ERROR(
+        sql::DecodeU64(in, &pos, &out->trace.origin_wall_ns));
+  }
   auto ws = std::make_shared<storage::WriteSet>();
   SIREP_RETURN_IF_ERROR(storage::DecodeWriteSet(in, &pos, ws.get()));
   if (pos != in.size()) {
@@ -53,7 +70,8 @@ void EncodeDdlMessage(const DdlMessage& msg, std::string* out) {
 
 Status DecodeDdlMessage(const std::string& in, DdlMessage* out) {
   size_t pos = 0;
-  SIREP_RETURN_IF_ERROR(DecodeHeader(in, &pos, &out->gid));
+  uint8_t version = 0;
+  SIREP_RETURN_IF_ERROR(DecodeHeader(in, &pos, &out->gid, &version));
   SIREP_RETURN_IF_ERROR(sql::DecodeString(in, &pos, &out->sql));
   if (pos != in.size()) {
     return Status::InvalidArgument("trailing bytes after ddl message");

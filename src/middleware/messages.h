@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "gcs/group.h"
 #include "middleware/global_txn_id.h"
+#include "obs/trace.h"
 #include "storage/write_set.h"
 
 namespace sirep::middleware {
@@ -25,6 +26,11 @@ struct WriteSetMessage {
   /// point (everything before was covered by local validation).
   uint64_t cert = 0;
   std::shared_ptr<const storage::WriteSet> ws;
+  /// Distributed trace context of the originating transaction, so every
+  /// replica can record its validate/apply/commit spans under the
+  /// origin's trace id. Empty (trace_id == 0) when decoded from a
+  /// version-1 message.
+  obs::TraceContext trace;
 };
 
 /// Message type tag for replicated DDL.
@@ -48,10 +54,20 @@ struct DdlMessage {
 ///   u32  gid.replica
 ///   u64  gid.seq
 ///   u64  cert
+///   -- version >= 2 only (distributed trace context) --
+///   u64  trace.trace_id        0 = no context
+///   u32  trace.origin_replica
+///   u64  trace.origin_mono_ns
+///   u64  trace.origin_wall_ns
+///   -- all versions --
 ///   ...  writeset  (storage::EncodeWriteSet)
 ///
 /// DdlMessage: u8 version, u32 gid.replica, u64 gid.seq, string sql.
-inline constexpr uint8_t kMessageWireVersion = 1;
+///
+/// Version 2 added the writeset TraceContext. Encoders always write the
+/// current version; decoders accept version 1, whose writesets decode
+/// with an empty context.
+inline constexpr uint8_t kMessageWireVersion = 2;
 
 void EncodeWriteSetMessage(const WriteSetMessage& msg, std::string* out);
 Status DecodeWriteSetMessage(const std::string& in, WriteSetMessage* out);

@@ -1,5 +1,6 @@
 #include "middleware/replica_mw.h"
 
+#include <algorithm>
 #include <set>
 #include <thread>
 
@@ -24,6 +25,9 @@ SrcaRepReplica::SrcaRepReplica(engine::Database* db, gcs::Group* group,
   c_remote_discards_ = registry_.GetCounter("mw.remote_discards");
   c_apply_retries_ = registry_.GetCounter("mw.apply_retries");
   g_tocommit_depth_ = registry_.GetGauge("mw.tocommit.queue_depth");
+  g_ws_list_size_ = registry_.GetGauge("mw.wslist.size");
+  g_holes_outstanding_ = registry_.GetGauge("mw.holes.outstanding");
+  g_clock_offset_ns_ = registry_.GetGauge("mw.clock.offset_estimate_ns");
   holes_.SetWaitHistogram(
       registry_.GetLatencyHistogram("mw.begin.hole_wait_us"));
   if (options_.start_recovering) {
@@ -232,6 +236,8 @@ Status SrcaRepReplica::CommitTxn(const TxnHandle& txn, bool* had_writes) {
       db_->Abort(txn.db_txn);
       RecordOutcome(txn.gid, /*committed=*/false);
       c_local_val_aborts_->Increment();
+      flight_.Record(obs::FlightEventType::kValidation, member_id(),
+                     txn.gid.seq, txn.gid.replica, "local: remote in queue");
       return Status::Conflict("local validation failed for " +
                               txn.gid.ToString());
     }
@@ -255,10 +261,23 @@ Status SrcaRepReplica::CommitTxn(const TxnHandle& txn, bool* had_writes) {
 
   // I.2.g: disseminate in total order. The multicast span is closed by
   // the delivery thread (ProcessWriteSet) at the message's arrival.
-  if (trace != nullptr) trace->Begin(obs::Stage::kMulticast);
+  // The TraceContext rides both the frame and the payload so every
+  // replica records its spans under this transaction's trace id and can
+  // measure delivery skew / staleness against the origin's clocks.
+  obs::TraceContext ctx;
+  ctx.trace_id =
+      (static_cast<uint64_t>(txn.gid.replica) + 1) << 40 | txn.gid.seq;
+  ctx.origin_replica = txn.gid.replica;
+  ctx.origin_mono_ns = obs::MonotonicNanos();
+  ctx.origin_wall_ns = obs::TraceContext::WallNanos();
+  if (trace != nullptr) {
+    trace->SetContext(ctx);
+    trace->Begin(obs::Stage::kMulticast);
+  }
   auto payload = std::make_shared<const WriteSetMessage>(
-      WriteSetMessage{txn.gid, cert, ws});
-  Status mc = group_->Multicast(member_id(), kWriteSetMessageType, payload);
+      WriteSetMessage{txn.gid, cert, ws, ctx});
+  Status mc =
+      group_->Multicast(member_id(), kWriteSetMessageType, payload, ctx);
   if (!mc.ok()) {
     {
       std::lock_guard<std::mutex> plock(pending_mu_);
@@ -364,9 +383,42 @@ void SrcaRepReplica::ProcessWriteSet(const gcs::Message& message) {
   const auto* msg = message.As<WriteSetMessage>();
   const bool is_local = msg->gid.replica == member_id();
   const uint64_t arrival_ns = obs::MonotonicNanos();
+  // Prefer the payload-level context (it survives codec round-trips);
+  // the frame-level copy covers payloads that never carried one.
+  const obs::TraceContext& ctx =
+      msg->trace.valid() ? msg->trace : message.trace;
+
+  // Origin-tagged trace for a traced *remote* writeset: the spans this
+  // replica records (validate, apply, commit, the cross-replica lags)
+  // all land under the originating transaction's trace id.
+  std::shared_ptr<obs::TxnTrace> rtrace;
+  if (!is_local && ctx.valid()) {
+    // NTP-style clock-offset lower bound: the minimum observed
+    // (arrival - origin send) across all traced deliveries.
+    const int64_t delta =
+        static_cast<int64_t>(arrival_ns) -
+        static_cast<int64_t>(ctx.origin_mono_ns);
+    int64_t prev = clock_offset_ns_.load(std::memory_order_relaxed);
+    while (delta < prev && !clock_offset_ns_.compare_exchange_weak(
+                               prev, delta, std::memory_order_relaxed)) {
+    }
+    const int64_t offset = std::min(prev, delta);
+    g_clock_offset_ns_->Set(offset);
+    rtrace = std::make_shared<obs::TxnTrace>();
+    rtrace->SetId(ctx.ToString());
+    rtrace->SetContext(ctx);
+    // Zero for the delivery that set the offset bound itself: every
+    // traced delivery contributes a sample so the histogram's count
+    // (and p50) reflects all of them, not just the laggards.
+    rtrace->Add(obs::Stage::kDeliverySkew,
+                delta > offset ? static_cast<uint64_t>(delta - offset)
+                               : 0);
+  }
 
   bool conflict;
   uint64_t tid = 0;
+  storage::TupleId conflict_key;
+  size_t ws_list_size = 0;
   {
     // Step II: global validation, in delivery order (the total order makes
     // every replica take the same decision here).
@@ -381,7 +433,7 @@ void SrcaRepReplica::ProcessWriteSet(const gcs::Message& message) {
                  << ws_list_.MinRetainedTid() << ")";
       conflict = true;
     } else {
-      conflict = ws_list_.ConflictsAfter(msg->cert, *msg->ws);
+      conflict = ws_list_.ConflictsAfter(msg->cert, *msg->ws, &conflict_key);
     }
     if (!conflict) {
       tid = ++lastvalidated_tid_;
@@ -393,6 +445,13 @@ void SrcaRepReplica::ProcessWriteSet(const gcs::Message& message) {
         }
       }
       holes_.NoteValidated(tid);
+      if (rtrace != nullptr) {
+        // Last write before publication: Append hands the trace to an
+        // applier thread (the queue's lock orders that handoff), so the
+        // validation span must land before the entry becomes visible.
+        rtrace->Add(obs::Stage::kGlobalValidate,
+                    obs::MonotonicNanos() - arrival_ns);
+      }
       ToCommitEntry entry;
       entry.tid = tid;
       entry.gid = msg->gid;
@@ -400,10 +459,35 @@ void SrcaRepReplica::ProcessWriteSet(const gcs::Message& message) {
       entry.ws = msg->ws;
       // Local entries are committed by the waiting client thread.
       entry.dispatched = is_local;
+      entry.delivered_ns = arrival_ns;
+      entry.trace = rtrace;
       tocommit_queue_.Append(std::move(entry));
     }
+    ws_list_size = ws_list_.size();
   }
   const uint64_t validate_ns = obs::MonotonicNanos() - arrival_ns;
+
+  // Pipeline-depth gauges, sampled on every delivery (the fig5/fig8
+  // saturation signals: queue backlog, validation window, hole set).
+  const uint64_t depth = tocommit_queue_.size();
+  g_tocommit_depth_->Set(static_cast<int64_t>(depth));
+  g_ws_list_size_->Set(static_cast<int64_t>(ws_list_size));
+  g_holes_outstanding_->Set(
+      static_cast<int64_t>(holes_.OutstandingCount()));
+  uint64_t hw = queue_high_water_.load(std::memory_order_relaxed);
+  while (depth > hw && !queue_high_water_.compare_exchange_weak(
+                           hw, depth, std::memory_order_relaxed)) {
+  }
+  if (depth > hw && depth >= 16 && depth >= 2 * hw) {
+    flight_.Record(obs::FlightEventType::kQueueHighWater, member_id(),
+                   depth, hw, "mw.tocommit");
+  }
+  if (conflict) {
+    flight_.Record(obs::FlightEventType::kValidation, member_id(),
+                   msg->gid.seq, msg->gid.replica,
+                   conflict_key.table.empty() ? "cert window underrun"
+                                              : conflict_key.ToString());
+  }
 
   RecordOutcome(msg->gid, /*committed=*/!conflict);
 
@@ -426,6 +510,13 @@ void SrcaRepReplica::ProcessWriteSet(const gcs::Message& message) {
         // and only resumes after pending->cv signals done.
         pending->trace->EndAt(obs::Stage::kMulticast, arrival_ns);
         pending->trace->Add(obs::Stage::kGlobalValidate, validate_ns);
+        // Sequencer/batching wait: group enqueue at the origin until
+        // total-order delivery back at the origin (same clock, so no
+        // skew correction needed).
+        if (message.enqueue_ns != 0 && arrival_ns > message.enqueue_ns) {
+          pending->trace->Add(obs::Stage::kSequencerQueue,
+                              arrival_ns - message.enqueue_ns);
+        }
       }
       if (conflict) {
         db_->Abort(pending->db_txn);
@@ -440,12 +531,21 @@ void SrcaRepReplica::ProcessWriteSet(const gcs::Message& message) {
     }
     // else: the client gave up (crash path) — nothing to do.
   } else {
-    // Remote writesets have no txn trace here; their validation cost
-    // goes straight into the stage histogram.
-    stage_hists_.stage[static_cast<int>(obs::Stage::kGlobalValidate)]
-        ->Observe(obs::NanosToUs(validate_ns));
+    if (rtrace == nullptr) {
+      // Untraced remote writeset (v1 wire, or an untracing origin): its
+      // validation cost goes straight into the stage histogram.
+      stage_hists_.stage[static_cast<int>(obs::Stage::kGlobalValidate)]
+          ->Observe(obs::NanosToUs(validate_ns));
+    }
     if (conflict) {
       c_remote_discards_->Increment();
+      // A discarded writeset never reaches ApplyRemote, so the trace was
+      // never shared with an applier: record the validation span and
+      // flush what we have (delivery skew + validation) now.
+      if (rtrace != nullptr) {
+        rtrace->Add(obs::Stage::kGlobalValidate, validate_ns);
+        rtrace->Flush(stage_hists_);
+      }
     } else {
       ScheduleAppliers();
     }
@@ -475,6 +575,7 @@ void SrcaRepReplica::ApplyRemote(ToCommitEntry entry) {
   // database aborts one side; if it was us, retry until success. A
   // version-check conflict can only be transient here (the conflicting
   // local transaction is guaranteed to fail validation and abort).
+  obs::TxnTrace* const rtrace = entry.trace.get();
   while (!shutdown_.load(std::memory_order_acquire) && IsAlive()) {
     auto txn = db_->Begin();
     // "mw.apply" injects transient failures (e.g. 1in(4,error(deadlock)))
@@ -483,20 +584,48 @@ void SrcaRepReplica::ApplyRemote(ToCommitEntry entry) {
     Status st = failpoint::AnyArmed() ? failpoint::EvalStatus("mw.apply")
                                       : Status::OK();
     if (st.ok()) {
+      // With an origin-tagged trace, apply/commit spans accumulate there
+      // (flushed once at commit, retries included); without one they go
+      // straight into the stage histograms, one observation per attempt.
+      if (rtrace != nullptr) rtrace->Begin(obs::Stage::kApply);
       obs::ScopedLatency apply_timer(
-          stage_hists_.stage[static_cast<int>(obs::Stage::kApply)]);
+          rtrace != nullptr
+              ? nullptr
+              : stage_hists_.stage[static_cast<int>(obs::Stage::kApply)]);
       st = db_->ApplyWriteSet(txn, *entry.ws);
       apply_timer.Stop();
+      if (rtrace != nullptr) rtrace->End(obs::Stage::kApply);
     }
     if (st.ok()) {
+      if (rtrace != nullptr) rtrace->Begin(obs::Stage::kCommit);
       obs::ScopedLatency commit_timer(
-          stage_hists_.stage[static_cast<int>(obs::Stage::kCommit)]);
+          rtrace != nullptr
+              ? nullptr
+              : stage_hists_.stage[static_cast<int>(obs::Stage::kCommit)]);
       st = holes_.RecordCommit(entry.tid, [&] { return db_->Commit(txn); });
       commit_timer.Stop();
+      if (rtrace != nullptr) rtrace->End(obs::Stage::kCommit);
       if (st.ok()) {
         tocommit_queue_.Remove(entry.tid);
         MarkLocallyCommitted(entry.gid);
         c_committed_->Increment();
+        if (rtrace != nullptr) {
+          const uint64_t now = obs::MonotonicNanos();
+          // Delivery here -> committed here: tocommit queueing + apply.
+          if (entry.delivered_ns != 0 && now > entry.delivered_ns) {
+            rtrace->Add(obs::Stage::kRemoteApplyLag,
+                        now - entry.delivered_ns);
+          }
+          // Origin multicast send -> visible at this replica (raw
+          // cross-clock difference; the clock-offset gauge lets readers
+          // correct it on clock-skewed deployments).
+          const auto& octx = rtrace->context();
+          if (octx.origin_mono_ns != 0 && now > octx.origin_mono_ns) {
+            rtrace->Add(obs::Stage::kSnapshotStaleness,
+                        now - octx.origin_mono_ns);
+          }
+          rtrace->Flush(stage_hists_);
+        }
         ScheduleAppliers();
         return;
       }
@@ -823,6 +952,9 @@ void SrcaRepReplica::OnViewChange(const gcs::View& view) {
                !view.Contains(member_id());
     outcomes_cv_.notify_all();
   }
+  flight_.Record(obs::FlightEventType::kViewChange, member_id(),
+                 view.view_id, view.members.size(),
+                 expelled ? "expelled self" : "installed");
   // A view that excludes *us* means the group expelled this replica (a
   // TCP transport self-expulsion after losing the sequencer connection):
   // crash ourselves rather than keep serving clients as a zombie with a
@@ -841,6 +973,8 @@ void SrcaRepReplica::Crash() {
                                         std::memory_order_acq_rel)) {
     return;
   }
+  flight_.Record(obs::FlightEventType::kCrash, member_id(), 0, 0,
+                 "middleware crash");
   group_->Crash(member_id());
   // Release clients blocked waiting for holes to close — those commits
   // will never happen now — and quiescence waiters watching our queue.

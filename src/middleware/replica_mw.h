@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -23,6 +24,7 @@
 #include "middleware/messages.h"
 #include "middleware/tocommit_queue.h"
 #include "middleware/ws_list.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -195,6 +197,13 @@ class SrcaRepReplica : public gcs::GroupListener {
   /// commit-path stage histograms ("mw.commit.stage.<stage>_us").
   obs::MetricsRegistry& metrics() { return registry_; }
   const obs::MetricsRegistry& metrics() const { return registry_; }
+
+  /// This replica's black box: view changes, validation aborts (with
+  /// the first conflicting key), tocommit high-water marks, crashes.
+  /// Registered with obs::FlightRecorder::DumpAllText() for its
+  /// lifetime.
+  obs::FlightRecorder& flight_recorder() { return flight_; }
+  const obs::FlightRecorder& flight_recorder() const { return flight_; }
 
   /// Validated transactions not yet committed at this replica (test and
   /// quiescence helper).
@@ -381,6 +390,22 @@ class SrcaRepReplica : public gcs::GroupListener {
   obs::Counter* c_remote_discards_ = nullptr;
   obs::Counter* c_apply_retries_ = nullptr;
   obs::Gauge* g_tocommit_depth_ = nullptr;
+  obs::Gauge* g_ws_list_size_ = nullptr;
+  obs::Gauge* g_holes_outstanding_ = nullptr;
+  obs::Gauge* g_clock_offset_ns_ = nullptr;
+
+  /// Per-replica black box (see flight_recorder()).
+  obs::FlightRecorder flight_{1024};
+  /// High-water mark of the tocommit queue depth; crossings are recorded
+  /// as kQueueHighWater flight events (doubling steps only, so a deep
+  /// backlog does not flood the ring).
+  std::atomic<uint64_t> queue_high_water_{0};
+  /// Minimum observed (local arrival - origin send) over all traced
+  /// remote writesets: the NTP-style lower bound used as this replica's
+  /// clock-offset estimate for kDeliverySkew. INT64_MAX until the first
+  /// traced delivery.
+  std::atomic<int64_t> clock_offset_ns_{
+      std::numeric_limits<int64_t>::max()};
 };
 
 }  // namespace sirep::middleware

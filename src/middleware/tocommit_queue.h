@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "middleware/global_txn_id.h"
+#include "obs/trace.h"
 #include "storage/write_set.h"
 
 namespace sirep::middleware {
@@ -26,6 +27,12 @@ struct ToCommitEntry {
   std::shared_ptr<const storage::WriteSet> ws;
   bool dispatched = false;     ///< already handed to an applier (internal)
   bool gate_deferred = false;  ///< hole gate deferral already counted
+  /// Delivery time at this replica (MonotonicNanos), for remote-apply lag.
+  uint64_t delivered_ns = 0;
+  /// Origin-tagged distributed trace for remote entries (null when the
+  /// origin sent no TraceContext); the applier records its apply/commit
+  /// spans into it and flushes it at commit.
+  std::shared_ptr<obs::TxnTrace> trace;
 };
 
 /// The per-replica `tocommit_queue` of the paper (Fig. 1 II / Fig. 4 III),

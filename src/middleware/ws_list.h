@@ -34,7 +34,10 @@ class WsList {
   }
 
   /// True iff some validated Tj with tid > cert conflicts with `ws`.
-  bool ConflictsAfter(uint64_t cert, const storage::WriteSet& ws) const {
+  /// `first_conflict`, if non-null, receives one conflicting tuple (the
+  /// flight recorder tags abort verdicts with it).
+  bool ConflictsAfter(uint64_t cert, const storage::WriteSet& ws,
+                      storage::TupleId* first_conflict = nullptr) const {
     // Entries are tid-ordered; binary-search the first tid > cert.
     size_t lo = 0, hi = entries_.size();
     while (lo < hi) {
@@ -46,7 +49,12 @@ class WsList {
       }
     }
     for (size_t i = lo; i < entries_.size(); ++i) {
-      if (entries_[i].ws->Intersects(ws)) return true;
+      for (const auto& we : ws.entries()) {
+        if (entries_[i].ws->Contains(we.tuple)) {
+          if (first_conflict != nullptr) *first_conflict = we.tuple;
+          return true;
+        }
+      }
     }
     return false;
   }

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cctype>
 #include <chrono>
 #include <cinttypes>
@@ -134,6 +135,44 @@ void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
 }
 
 // ---- MetricsSnapshot ----
+
+HistogramSnapshot::Percentiles HistogramSnapshot::SummaryPercentiles()
+    const {
+  Percentiles p;
+  p.count = count;
+  p.mean = Mean();
+  p.p50 = Quantile(0.50);
+  p.p95 = Quantile(0.95);
+  p.p99 = Quantile(0.99);
+  return p;
+}
+
+HistogramSnapshot::Percentiles MetricsSnapshot::Percentiles(
+    const std::string& name) const {
+  auto it = histograms.find(name);
+  if (it == histograms.end()) return {};
+  return it->second.SummaryPercentiles();
+}
+
+bool IsValidMetricName(std::string_view name) {
+  // component.noun[_unit]: >= 2 lowercase dot-separated segments, each
+  // [a-z][a-z0-9_]*.
+  bool at_segment_start = true;
+  size_t segments = 0;
+  for (const char c : name) {
+    if (at_segment_start) {
+      if (c < 'a' || c > 'z') return false;
+      at_segment_start = false;
+      ++segments;
+    } else if (c == '.') {
+      at_segment_start = true;
+    } else if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                 c == '_')) {
+      return false;
+    }
+  }
+  return segments >= 2 && !at_segment_start;
+}
 
 void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
   for (const auto& [name, value] : other.counters) counters[name] += value;
@@ -464,6 +503,7 @@ Result<MetricsSnapshot> MetricsSnapshot::FromJson(const std::string& json) {
 // ---- MetricsRegistry ----
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  assert(IsValidMetricName(name) && "metric name violates component.noun");
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
@@ -474,6 +514,7 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  assert(IsValidMetricName(name) && "metric name violates component.noun");
   std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
@@ -484,6 +525,7 @@ Gauge* MetricsRegistry::GetGauge(std::string_view name) {
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name,
                                          const std::vector<double>& bounds) {
+  assert(IsValidMetricName(name) && "metric name violates component.noun");
   std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {

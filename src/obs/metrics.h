@@ -96,6 +96,16 @@ struct HistogramSnapshot {
   /// bucket's width.
   double Quantile(double q) const;
 
+  /// The percentile summary benches print instead of raw bucket dumps.
+  struct Percentiles {
+    uint64_t count = 0;
+    double mean = 0;
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+  };
+  Percentiles SummaryPercentiles() const;
+
   void Merge(const HistogramSnapshot& other);
   bool operator==(const HistogramSnapshot& other) const = default;
 };
@@ -134,12 +144,25 @@ struct MetricsSnapshot {
   std::string ToJson() const;
   std::string ToPrometheusText() const;
 
+  /// Percentile summary of the named histogram, or a zeroed row when the
+  /// histogram is absent or empty.
+  HistogramSnapshot::Percentiles Percentiles(const std::string& name) const;
+
   /// Parses the output of ToJson() back (round-trip; used by tests and
   /// by tooling that scrapes bench output).
   static Result<MetricsSnapshot> FromJson(const std::string& json);
 
   bool operator==(const MetricsSnapshot& other) const = default;
 };
+
+/// Naming convention lint: every registered metric name must be
+/// `component.noun` (optionally nested, with a unit suffix where the
+/// value has one): lowercase dot-separated segments of [a-z0-9_],
+/// starting with a letter, at least two segments — e.g.
+/// "mw.commit.stage.apply_us", "gcs.tcp.connect_retries". Enforced by
+/// an assert in the registry's Get* methods (debug builds) and by a
+/// unit test that sweeps every name a running cluster registers.
+bool IsValidMetricName(std::string_view name);
 
 /// Thread-safe name -> metric registry. Registration takes a mutex;
 /// recording through the returned pointers never does. Metrics are never

@@ -1,8 +1,22 @@
 #include "obs/trace.h"
 
+#include <chrono>
+
 #include "common/logging.h"
 
 namespace sirep::obs {
+
+std::string TraceContext::ToString() const {
+  return "r" + std::to_string(origin_replica) + "/" +
+         std::to_string(trace_id);
+}
+
+uint64_t TraceContext::WallNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
 
 const char* StageName(Stage stage) {
   switch (stage) {
@@ -20,6 +34,14 @@ const char* StageName(Stage stage) {
       return "apply";
     case Stage::kCommit:
       return "commit";
+    case Stage::kSequencerQueue:
+      return "sequencer_queue";
+    case Stage::kDeliverySkew:
+      return "delivery_skew";
+    case Stage::kRemoteApplyLag:
+      return "remote_apply_lag";
+    case Stage::kSnapshotStaleness:
+      return "snapshot_staleness";
   }
   return "unknown";
 }

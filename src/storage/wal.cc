@@ -6,6 +6,7 @@
 
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
 #include "sql/serde.h"
 
 namespace sirep::storage {
@@ -70,6 +71,14 @@ size_t ValidPrefix(const std::string& contents) {
   return pos;
 }
 
+/// Last path components for flight-recorder details (the ring keeps 48
+/// bytes per event; the tail of a path identifies the replica, the
+/// head is a shared temp dir).
+std::string PathTail(const std::string& path) {
+  constexpr size_t kKeep = obs::FlightRecorder::kDetailBytes - 8;
+  return path.size() > kKeep ? path.substr(path.size() - kKeep) : path;
+}
+
 }  // namespace
 
 Wal::~Wal() { Close(); }
@@ -92,6 +101,9 @@ Status Wal::Open() {
     if (::truncate(path_.c_str(), static_cast<off_t>(valid)) != 0) {
       return Status::Internal("cannot truncate torn WAL tail at " + path_);
     }
+    obs::FlightRecorder::Global().Record(
+        obs::FlightEventType::kWalTruncate, 0, valid,
+        contents.size() - valid, PathTail(path_));
   }
   file_ = std::fopen(path_.c_str(), "ab");
   if (file_ == nullptr) {
@@ -185,10 +197,15 @@ Status Wal::Replay(
 
 Status Wal::Truncate() {
   std::lock_guard<std::mutex> lock(mu_);
+  uint64_t dropped = 0;
   if (file_ != nullptr) {
+    const long at = std::ftell(file_);
+    if (at > 0) dropped = static_cast<uint64_t>(at);
     std::fclose(file_);
     file_ = nullptr;
   }
+  obs::FlightRecorder::Global().Record(obs::FlightEventType::kWalTruncate,
+                                       0, 0, dropped, PathTail(path_));
   std::FILE* out = std::fopen(path_.c_str(), "wb");
   if (out == nullptr) return Status::Internal("cannot truncate WAL");
   std::fclose(out);

@@ -1,0 +1,137 @@
+// Metrics exposition endpoint (ISSUE 5): the per-middleware loopback
+// HTTP listener serving /metrics (Prometheus text) and /flightrecorder,
+// and Cluster::StartMetricsEndpoints() wiring one server per replica
+// plus the merged /cluster/metrics aggregator. The requests here are
+// what `curl` sends — raw sockets, HTTP/1.0, one request per
+// connection.
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <utility>
+
+#include "cluster/cluster.h"
+#include "middleware/metrics_http.h"
+
+namespace sirep {
+namespace {
+
+/// One curl-style request: connect, send, read to EOF.
+std::string HttpGet(uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(MetricsHttpServerTest, ServesRegisteredEndpoint) {
+  middleware::MetricsHttpServer server;
+  server.AddEndpoint("/ping", "text/plain", [] { return "pong"; });
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.port(), 0);
+
+  const std::string response = HttpGet(server.port(), "/ping");
+  EXPECT_EQ(response.rfind("HTTP/1.0 200", 0), 0u) << response;
+  EXPECT_NE(response.find("Content-Type: text/plain"), std::string::npos);
+  EXPECT_NE(response.find("\r\n\r\npong"), std::string::npos);
+}
+
+TEST(MetricsHttpServerTest, UnknownPathIs404) {
+  middleware::MetricsHttpServer server;
+  server.AddEndpoint("/ping", "text/plain", [] { return "pong"; });
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response = HttpGet(server.port(), "/nope");
+  EXPECT_EQ(response.rfind("HTTP/1.0 404", 0), 0u) << response;
+}
+
+TEST(MetricsHttpServerTest, HandlerEvaluatedPerRequest) {
+  middleware::MetricsHttpServer server;
+  int calls = 0;
+  server.AddEndpoint("/n", "text/plain",
+                     [&calls] { return std::to_string(++calls); });
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_NE(HttpGet(server.port(), "/n").find("\r\n\r\n1"),
+            std::string::npos);
+  EXPECT_NE(HttpGet(server.port(), "/n").find("\r\n\r\n2"),
+            std::string::npos);
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(ClusterMetricsEndpointsTest, ScrapeDuringTraffic) {
+  cluster::ClusterOptions options;
+  options.num_replicas = 2;
+  cluster::Cluster cluster(options);
+  ASSERT_TRUE(cluster.Start().ok());
+  ASSERT_TRUE(cluster
+                  .ExecuteEverywhere(
+                      "CREATE TABLE t (k INT, v INT, PRIMARY KEY (k))")
+                  .ok());
+  auto* mw = cluster.replica(0);
+  auto handle = std::move(mw->BeginTxn()).value();
+  ASSERT_TRUE(mw->Execute(handle, "INSERT INTO t VALUES (1, 1)").ok());
+  ASSERT_TRUE(mw->CommitTxn(handle).ok());
+  cluster.Quiesce();
+
+  ASSERT_TRUE(cluster.StartMetricsEndpoints().ok());
+  ASSERT_TRUE(cluster.StartMetricsEndpoints().ok());  // idempotent
+  const auto ports = cluster.MetricsPorts();
+  ASSERT_EQ(ports.size(), 2u);
+
+  for (const uint16_t port : ports) {
+    const std::string metrics = HttpGet(port, "/metrics");
+    EXPECT_EQ(metrics.rfind("HTTP/1.0 200", 0), 0u) << metrics;
+    EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+    // Valid Prometheus exposition: counter series plus histogram
+    // buckets with the +Inf bound.
+    EXPECT_NE(metrics.find("mw_committed"), std::string::npos);
+    EXPECT_NE(metrics.find("le=\"+Inf\""), std::string::npos);
+
+    const std::string recorder = HttpGet(port, "/flightrecorder");
+    EXPECT_EQ(recorder.rfind("HTTP/1.0 200", 0), 0u);
+
+    // The aggregator merges every registry: gcs + mw + storage series
+    // appear on any replica's port.
+    const std::string merged = HttpGet(port, "/cluster/metrics");
+    EXPECT_EQ(merged.rfind("HTTP/1.0 200", 0), 0u);
+    EXPECT_NE(merged.find("gcs_messages_delivered"), std::string::npos);
+    EXPECT_NE(merged.find("mw_committed"), std::string::npos);
+  }
+
+  cluster.StopMetricsEndpoints();
+  EXPECT_TRUE(cluster.MetricsPorts().empty());
+}
+
+}  // namespace
+}  // namespace sirep

@@ -1,14 +1,19 @@
 // Unit tests for the observability substrate (src/obs): lock-free
 // counters/histograms under concurrency, bucket-boundary semantics,
-// snapshot consistency guarantees, merge, and JSON round-tripping.
+// snapshot consistency guarantees, merge, JSON round-tripping,
+// percentile extraction, the metric-name lint, and the flight
+// recorder's lock-free ring (including wraparound under concurrent
+// writers — run under TSan in CI).
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cmath>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -55,11 +60,11 @@ TEST(GaugeTest, SetAddSub) {
 
 TEST(RegistryTest, SameNameReturnsSameHandle) {
   MetricsRegistry registry;
-  EXPECT_EQ(registry.GetCounter("x"), registry.GetCounter("x"));
-  EXPECT_EQ(registry.GetGauge("y"), registry.GetGauge("y"));
-  EXPECT_EQ(registry.GetLatencyHistogram("z"),
-            registry.GetLatencyHistogram("z"));
-  EXPECT_NE(registry.GetCounter("x"), registry.GetCounter("x2"));
+  EXPECT_EQ(registry.GetCounter("test.x"), registry.GetCounter("test.x"));
+  EXPECT_EQ(registry.GetGauge("test.y"), registry.GetGauge("test.y"));
+  EXPECT_EQ(registry.GetLatencyHistogram("test.z"),
+            registry.GetLatencyHistogram("test.z"));
+  EXPECT_NE(registry.GetCounter("test.x"), registry.GetCounter("test.x2"));
 }
 
 TEST(HistogramTest, BucketBoundaries) {
@@ -144,20 +149,20 @@ TEST(HistogramTest, SnapshotConsistentUnderConcurrentObserves) {
 TEST(SnapshotTest, MergeAddsCountersGaugesAndBuckets) {
   MetricsRegistry a;
   MetricsRegistry b;
-  a.GetCounter("shared")->Add(10);
-  b.GetCounter("shared")->Add(32);
-  b.GetCounter("only_b")->Add(7);
-  a.GetGauge("depth")->Set(3);
-  b.GetGauge("depth")->Set(4);
-  a.GetLatencyHistogram("lat")->Observe(5.0);
-  b.GetLatencyHistogram("lat")->Observe(500.0);
+  a.GetCounter("test.shared")->Add(10);
+  b.GetCounter("test.shared")->Add(32);
+  b.GetCounter("test.only_b")->Add(7);
+  a.GetGauge("test.depth")->Set(3);
+  b.GetGauge("test.depth")->Set(4);
+  a.GetLatencyHistogram("test.lat")->Observe(5.0);
+  b.GetLatencyHistogram("test.lat")->Observe(500.0);
 
   MetricsSnapshot merged = a.Snapshot();
   merged.Merge(b.Snapshot());
-  EXPECT_EQ(merged.counters.at("shared"), 42u);
-  EXPECT_EQ(merged.counters.at("only_b"), 7u);
-  EXPECT_EQ(merged.gauges.at("depth"), 7);
-  const HistogramSnapshot& lat = merged.histograms.at("lat");
+  EXPECT_EQ(merged.counters.at("test.shared"), 42u);
+  EXPECT_EQ(merged.counters.at("test.only_b"), 7u);
+  EXPECT_EQ(merged.gauges.at("test.depth"), 7);
+  const HistogramSnapshot& lat = merged.histograms.at("test.lat");
   EXPECT_EQ(lat.count, 2u);
   EXPECT_DOUBLE_EQ(lat.sum, 505.0);
   EXPECT_DOUBLE_EQ(lat.min, 5.0);
@@ -235,6 +240,179 @@ TEST(TraceTest, EndWithoutBeginIsIgnored) {
   trace.End(Stage::kApply);
   EXPECT_EQ(trace.Count(Stage::kApply), 0u);
   EXPECT_EQ(trace.DurationNs(Stage::kApply), 0u);
+}
+
+TEST(TraceContextTest, ValidityAndEquality) {
+  TraceContext empty;
+  EXPECT_FALSE(empty.valid());
+
+  TraceContext ctx;
+  ctx.trace_id = 0x42;
+  ctx.origin_replica = 2;
+  ctx.origin_mono_ns = 123;
+  ctx.origin_wall_ns = 456;
+  EXPECT_TRUE(ctx.valid());
+  EXPECT_EQ(ctx, ctx);
+  EXPECT_FALSE(ctx == empty);
+}
+
+// --- percentile extraction from histogram buckets ----------------------
+
+TEST(HistogramTest, SummaryPercentilesOrderedAndBounded) {
+  Histogram hist(LatencyBucketsUs());
+  for (int i = 1; i <= 1000; ++i) hist.Observe(static_cast<double>(i));
+  const auto p = hist.Snapshot().SummaryPercentiles();
+  EXPECT_EQ(p.count, 1000u);
+  EXPECT_NEAR(p.mean, 500.5, 0.01);
+  // Bucket interpolation is approximate, but the order and the [min,
+  // max] clamp are guaranteed.
+  EXPECT_LE(p.p50, p.p95);
+  EXPECT_LE(p.p95, p.p99);
+  EXPECT_GE(p.p50, 1.0);
+  EXPECT_LE(p.p99, 1000.0);
+}
+
+TEST(SnapshotTest, PercentilesByNameZeroWhenAbsent) {
+  MetricsRegistry registry;
+  registry.GetLatencyHistogram("test.lat")->Observe(42.0);
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.Percentiles("test.lat").count, 1u);
+  const auto missing = snap.Percentiles("test.no_such");
+  EXPECT_EQ(missing.count, 0u);
+  EXPECT_DOUBLE_EQ(missing.p99, 0.0);
+}
+
+// --- metric-name lint (CI satellite: component.noun_unit) --------------
+
+TEST(MetricNameLintTest, AcceptsConventionalNames) {
+  EXPECT_TRUE(IsValidMetricName("mw.committed"));
+  EXPECT_TRUE(IsValidMetricName("mw.commit.stage.apply_us"));
+  EXPECT_TRUE(IsValidMetricName("gcs.tcp.connect_retries"));
+  EXPECT_TRUE(IsValidMetricName("storage.version_chain_len"));
+  EXPECT_TRUE(IsValidMetricName("mw.clock.offset_estimate_ns"));
+}
+
+TEST(MetricNameLintTest, RejectsMalformedNames) {
+  EXPECT_FALSE(IsValidMetricName(""));
+  EXPECT_FALSE(IsValidMetricName("x"));            // single segment
+  EXPECT_FALSE(IsValidMetricName("committed"));    // single segment
+  EXPECT_FALSE(IsValidMetricName("Mw.foo"));       // uppercase
+  EXPECT_FALSE(IsValidMetricName("mw.Foo"));       // uppercase
+  EXPECT_FALSE(IsValidMetricName("mw."));          // trailing empty segment
+  EXPECT_FALSE(IsValidMetricName(".mw"));          // leading empty segment
+  EXPECT_FALSE(IsValidMetricName("mw..foo"));      // empty middle segment
+  EXPECT_FALSE(IsValidMetricName("mw.9foo"));      // digit-leading segment
+  EXPECT_FALSE(IsValidMetricName("mw._foo"));      // underscore-leading
+  EXPECT_FALSE(IsValidMetricName("mw.foo-bar"));   // bad character
+  EXPECT_FALSE(IsValidMetricName("mw foo.bar"));   // space
+}
+
+// --- flight recorder ---------------------------------------------------
+
+TEST(FlightRecorderTest, RecordsAndDumpsInOrder) {
+  FlightRecorder rec(64);
+  rec.Record(FlightEventType::kViewChange, 1, 7, 3, "installed");
+  rec.Record(FlightEventType::kValidation, 2, 41, 0, "accounts/[5]");
+  EXPECT_EQ(rec.TotalRecorded(), 2u);
+
+  const auto events = rec.Dump();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[0].type, FlightEventType::kViewChange);
+  EXPECT_EQ(events[0].replica, 1u);
+  EXPECT_EQ(events[0].a, 7u);
+  EXPECT_EQ(events[0].b, 3u);
+  EXPECT_EQ(events[0].detail, "installed");
+  EXPECT_EQ(events[1].seq, 1u);
+  EXPECT_EQ(events[1].type, FlightEventType::kValidation);
+  EXPECT_EQ(events[1].detail, "accounts/[5]");
+
+  const std::string text = rec.DumpText();
+  EXPECT_NE(text.find("view_change"), std::string::npos);
+  EXPECT_NE(text.find("validation_abort"), std::string::npos);
+  EXPECT_NE(text.find("accounts/[5]"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, DetailIsTruncatedNotCorrupted) {
+  FlightRecorder rec(64);
+  const std::string long_detail(200, 'k');
+  rec.Record(FlightEventType::kInvariant, 0, 1, 2, long_detail);
+  const auto events = rec.Dump();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_LE(events[0].detail.size(), FlightRecorder::kDetailBytes);
+  EXPECT_EQ(events[0].detail,
+            long_detail.substr(0, events[0].detail.size()));
+}
+
+TEST(FlightRecorderTest, WraparoundUnderConcurrentWriters) {
+  // The ring is much smaller than the event volume: every slot is
+  // overwritten dozens of times from 4 threads at once. The dump must
+  // still return only fully-published, untorn events (TSan-checked).
+  FlightRecorder rec(64);
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 5000;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        rec.Record(FlightEventType::kQueueHighWater,
+                   static_cast<uint32_t>(t), i, i * 2, "mw.tocommit");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(rec.TotalRecorded(), kThreads * kPerThread);
+  const auto events = rec.Dump();
+  EXPECT_LE(events.size(), rec.capacity());
+  EXPECT_GT(events.size(), 0u);
+  uint64_t prev_seq = 0;
+  bool first = true;
+  for (const auto& e : events) {
+    if (!first) EXPECT_GT(e.seq, prev_seq);  // oldest first, strictly
+    prev_seq = e.seq;
+    first = false;
+    // Field consistency proves the slot was not torn.
+    EXPECT_EQ(e.type, FlightEventType::kQueueHighWater);
+    EXPECT_LT(e.replica, static_cast<uint32_t>(kThreads));
+    EXPECT_EQ(e.b, e.a * 2);
+    EXPECT_EQ(e.detail, "mw.tocommit");
+    // Survivors are from the most recent window of claims.
+    EXPECT_GE(e.seq, kThreads * kPerThread - rec.capacity());
+  }
+}
+
+TEST(FlightRecorderTest, DumpWhileWritingSkipsTornSlots) {
+  FlightRecorder rec(64);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&rec, &stop] {
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        rec.Record(FlightEventType::kFailpoint, 9, i, i + 1, "fp.test");
+        ++i;
+      }
+    });
+  }
+  for (int round = 0; round < 100; ++round) {
+    for (const auto& e : rec.Dump()) {
+      EXPECT_EQ(e.type, FlightEventType::kFailpoint);
+      EXPECT_EQ(e.replica, 9u);
+      EXPECT_EQ(e.b, e.a + 1);
+      EXPECT_EQ(e.detail, "fp.test");
+    }
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+}
+
+TEST(FlightRecorderTest, GlobalRecorderAppearsInDumpAll) {
+  FlightRecorder::Global().Record(FlightEventType::kInvariant, 0, 11, 22,
+                                  "obs_metrics_test marker");
+  const std::string all = FlightRecorder::DumpAllText();
+  EXPECT_NE(all.find("obs_metrics_test marker"), std::string::npos);
 }
 
 }  // namespace

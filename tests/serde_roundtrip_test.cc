@@ -12,6 +12,8 @@
 
 #include "gcs/wire.h"
 #include "middleware/messages.h"
+#include "obs/trace.h"
+#include "sql/serde.h"
 #include "sql/value.h"
 #include "storage/write_set.h"
 
@@ -247,6 +249,63 @@ TEST(MessageSerdeTest, DdlMessageTruncationFails) {
   }
 }
 
+// --- TraceContext propagation (wire version 2) -------------------------
+
+obs::TraceContext SampleTrace() {
+  obs::TraceContext ctx;
+  ctx.trace_id = 0x123456789AULL;
+  ctx.origin_replica = 3;
+  ctx.origin_mono_ns = 111222333444ULL;
+  ctx.origin_wall_ns = 1700000000123456789ULL;
+  return ctx;
+}
+
+TEST(MessageSerdeTest, WriteSetMessageTraceContextRoundTrips) {
+  WriteSetMessage msg;
+  msg.gid = GlobalTxnId{3, 41};
+  msg.cert = 17;
+  msg.ws = std::make_shared<const WriteSet>(SampleWriteSet());
+  msg.trace = SampleTrace();
+
+  std::string encoded;
+  middleware::EncodeWriteSetMessage(msg, &encoded);
+  WriteSetMessage decoded;
+  ASSERT_TRUE(middleware::DecodeWriteSetMessage(encoded, &decoded).ok());
+  EXPECT_EQ(decoded.trace, msg.trace);
+  EXPECT_TRUE(decoded.trace.valid());
+}
+
+TEST(MessageSerdeTest, WriteSetMessageWithoutTraceStaysEmpty) {
+  WriteSetMessage msg;
+  msg.gid = GlobalTxnId{1, 2};
+  std::string encoded;
+  middleware::EncodeWriteSetMessage(msg, &encoded);
+  WriteSetMessage decoded;
+  decoded.trace = SampleTrace();  // prove decode resets the context
+  ASSERT_TRUE(middleware::DecodeWriteSetMessage(encoded, &decoded).ok());
+  EXPECT_FALSE(decoded.trace.valid());
+}
+
+TEST(MessageSerdeTest, Version1WriteSetMessageDecodesWithEmptyTrace) {
+  // Hand-build the version-1 layout (no trace fields): a frame from a
+  // replica running the previous wire format must keep decoding.
+  std::string v1;
+  v1.push_back(1);
+  sql::EncodeU32(3, &v1);   // gid.replica
+  sql::EncodeU64(41, &v1);  // gid.seq
+  sql::EncodeU64(17, &v1);  // cert
+  storage::EncodeWriteSet(SampleWriteSet(), &v1);
+
+  WriteSetMessage decoded;
+  decoded.trace = SampleTrace();
+  ASSERT_TRUE(middleware::DecodeWriteSetMessage(v1, &decoded).ok());
+  EXPECT_EQ(decoded.gid, (GlobalTxnId{3, 41}));
+  EXPECT_EQ(decoded.cert, 17u);
+  EXPECT_FALSE(decoded.trace.valid());
+  ASSERT_NE(decoded.ws, nullptr);
+  ExpectWriteSetsEqual(SampleWriteSet(), *decoded.ws);
+}
+
 // --- GCS batch frames --------------------------------------------------
 
 gcs::WireFrame SampleFrame() {
@@ -309,6 +368,44 @@ TEST(WireFrameTest, EveryTruncationFailsCleanly) {
               StatusCode::kInvalidArgument)
         << "prefix length " << len;
   }
+}
+
+TEST(WireFrameTest, EntryTraceContextRoundTrips) {
+  gcs::WireFrame frame = SampleFrame();
+  frame.entries[0].trace = SampleTrace();
+
+  std::string encoded;
+  gcs::EncodeWireFrame(frame, &encoded);
+  gcs::WireFrame decoded;
+  ASSERT_TRUE(gcs::DecodeWireFrame(encoded, &decoded).ok());
+  ASSERT_EQ(decoded.entries.size(), frame.entries.size());
+  EXPECT_EQ(decoded.entries[0].trace, SampleTrace());
+  EXPECT_FALSE(decoded.entries[1].trace.valid());
+  EXPECT_FALSE(decoded.entries[2].trace.valid());
+}
+
+TEST(WireFrameTest, Version1FrameDecodesWithEmptyTrace) {
+  // Hand-build a version-1 frame (entries carry no trace fields).
+  std::string v1;
+  sql::EncodeU32(gcs::kWireMagic, &v1);
+  v1.push_back(1);  // version
+  v1.push_back(0);  // flags
+  sql::EncodeU32(7, &v1);  // sender
+  sql::EncodeU32(1, &v1);  // entry count
+  sql::EncodeString("writeset", &v1);
+  sql::EncodeU64(42, &v1);      // stash_id
+  sql::EncodeU64(123456, &v1);  // enqueue_ns
+  sql::EncodeString("payload-bytes", &v1);
+
+  gcs::WireFrame decoded;
+  ASSERT_TRUE(gcs::DecodeWireFrame(v1, &decoded).ok());
+  EXPECT_EQ(decoded.sender, 7u);
+  ASSERT_EQ(decoded.entries.size(), 1u);
+  EXPECT_EQ(decoded.entries[0].type, "writeset");
+  EXPECT_EQ(decoded.entries[0].stash_id, 42u);
+  EXPECT_EQ(decoded.entries[0].enqueue_ns, 123456u);
+  EXPECT_FALSE(decoded.entries[0].trace.valid());
+  EXPECT_EQ(decoded.entries[0].payload, "payload-bytes");
 }
 
 TEST(WireFrameTest, RejectsCorruptHeader) {
