@@ -138,11 +138,15 @@ long long RunTraffic(Cluster& cluster, uint64_t seed, int clients,
 /// transient injected drop. That is a scenario to survive, not a
 /// harness failure — retry until the schedule lets the join through.
 bool RestartWithRetry(Cluster& cluster, size_t index) {
+  Status last = Status::OK();
   for (int attempt = 0; attempt < 50; ++attempt) {
     if (cluster.replica(index)->IsAlive()) return true;
-    if (cluster.RestartReplica(index).ok()) return true;
+    last = cluster.RestartReplica(index);
+    if (last.ok()) return true;
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
+  std::fprintf(stderr, "restart of replica %zu kept failing: %s\n", index,
+               last.ToString().c_str());
   return false;
 }
 

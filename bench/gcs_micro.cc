@@ -11,12 +11,18 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
+#include "common/failpoint.h"
 #include "common/stats.h"
+#include "engine/database.h"
 #include "gcs/group.h"
+#include "middleware/apply_pipeline.h"
 #include "middleware/messages.h"
+#include "middleware/tocommit_queue.h"
 #include "sql/value.h"
 #include "storage/write_set.h"
 
@@ -159,6 +165,113 @@ void MeasureBatchSweep(gcs::TransportKind kind, const char* label) {
   std::printf("\n");
 }
 
+/// Remote-apply pipeline sweep: the pure worker-pool mechanics, no GCS.
+/// The feed dispatches non-conflicting writesets (distinct tuples) as
+/// fast as it can — faster than one worker can apply them at the
+/// emulated apply cost — so throughput should scale with width until the
+/// dispatch loop itself becomes the limit. This isolates the pipeline
+/// from fig7_overhead's full-stack sweep (validation, holes, WAL).
+void MeasureApplyPipelineSweep() {
+  const int kWritesets = bench::FastMode() ? 1024 : 4096;
+  const auto kApplyCost = std::chrono::microseconds(200);
+  std::printf("Remote-apply pipeline sweep (%d non-conflicting writesets, "
+              "%lld us emulated apply):\n",
+              kWritesets,
+              static_cast<long long>(kApplyCost.count()));
+  double serial_us = 0;
+  for (size_t threads : {1, 2, 4, 8}) {
+    std::atomic<int> applied{0};
+    auto pipeline = middleware::ApplyPipeline::Create(
+        threads,
+        [&](middleware::ToCommitEntry) {
+          std::this_thread::sleep_for(kApplyCost);
+          applied.fetch_add(1, std::memory_order_relaxed);
+        },
+        nullptr);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kWritesets; ++i) {
+      auto ws = std::make_shared<storage::WriteSet>();
+      storage::TupleId tuple;
+      tuple.table = "t";
+      tuple.key.parts = {sql::Value::Int(i)};  // distinct => spread shards
+      ws->Record(tuple, storage::WriteOp::kUpdate, {sql::Value::Int(i)});
+      middleware::ToCommitEntry entry;
+      entry.tid = static_cast<uint64_t>(i + 1);
+      entry.ws = std::move(ws);
+      pipeline->Dispatch(std::move(entry));
+    }
+    pipeline->Shutdown();  // drains, so this times the full batch
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    if (threads == 1) serial_us = us;
+    std::printf("  threads %zu: %6.2f us/writeset (%7.0f applies/s, "
+                "speedup %.2fx), applied %d\n",
+                threads, us / kWritesets, kWritesets / (us / 1e6),
+                serial_us / us, applied.load());
+  }
+  std::printf("\n");
+}
+
+/// WAL group commit A/B at the storage layer: 8 concurrent committers on
+/// disjoint keys, per-commit flush vs leader-elected group flush. The
+/// group path is what keeps the WAL off the critical path once the
+/// parallel appliers make commits concurrent. The log's flush is an
+/// fflush to the page cache (~free), which would hide the effect, so we
+/// emulate a storage-device fsync with the wal.fsync delay failpoint —
+/// both modes pay the same per-flush cost; group commit wins by doing
+/// fewer flushes.
+void MeasureWalGroupCommit() {
+  const int kThreads = 8;
+  const int kTxns = bench::FastMode() ? 100 : 400;
+  if (!failpoint::ArmFromList("wal.fsync=delay(200us)").ok()) return;
+  std::printf("WAL group commit (8 committers x %d autocommit updates, "
+              "disjoint keys, 200 us emulated fsync):\n",
+              kTxns);
+  for (const bool group : {false, true}) {
+    const std::string path = "/tmp/sirep_gcs_micro_wal_" +
+                             std::to_string(::getpid()) +
+                             (group ? "_group" : "_serial") + ".wal";
+    engine::Database db;
+    if (!db.ExecuteAutoCommit("CREATE TABLE kv (k INT, v INT, "
+                              "PRIMARY KEY (k))")
+             .ok() ||
+        !db.EnableWal(path, group).ok()) {
+      return;
+    }
+    for (int t = 0; t < kThreads; ++t) {
+      (void)db.ExecuteAutoCommit("INSERT INTO kv VALUES (?, 0)",
+                                 {sql::Value::Int(t)});
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> committers;
+    for (int t = 0; t < kThreads; ++t) {
+      committers.emplace_back([&db, t, kTxns] {
+        for (int i = 0; i < kTxns; ++i) {
+          (void)db.ExecuteAutoCommit("UPDATE kv SET v = ? WHERE k = ?",
+                                     {sql::Value::Int(i), sql::Value::Int(t)});
+        }
+      });
+    }
+    for (auto& c : committers) c.join();
+    const double s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    const auto gp =
+        db.engine().metrics().Snapshot().Percentiles("storage.wal_group_size");
+    std::printf("  %-6s: %7.0f commits/s, mean group size %.2f "
+                "(%llu flushes)\n",
+                group ? "group" : "serial", kThreads * kTxns / s,
+                group ? gp.mean : 1.0,
+                static_cast<unsigned long long>(
+                    group ? gp.count
+                          : static_cast<uint64_t>(kThreads) * kTxns));
+    std::remove(path.c_str());
+  }
+  failpoint::DisarmAll();
+  std::printf("\n");
+}
+
 void BM_MulticastOrderingOverhead(benchmark::State& state) {
   // Raw cost of the total-order + enqueue path, no delay, no rate limit.
   gcs::Group group;
@@ -189,6 +302,9 @@ int main(int argc, char** argv) {
 
   MeasureBatchSweep(gcs::TransportKind::kTcp, "TCP sequencer");
   MeasureBatchSweep(gcs::TransportKind::kInProcess, "in-process");
+
+  MeasureApplyPipelineSweep();
+  MeasureWalGroupCommit();
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -43,6 +43,15 @@ class Database {
   Status Commit(const storage::TransactionPtr& txn) {
     return engine_.Commit(txn);
   }
+  /// Lock-holding callers: commit now, wait for WAL durability later
+  /// (see StorageEngine::Commit's two-phase form).
+  Status Commit(const storage::TransactionPtr& txn,
+                uint64_t* durability_ticket) {
+    return engine_.Commit(txn, durability_ticket);
+  }
+  Status WaitWalDurable(uint64_t ticket) {
+    return engine_.WaitWalDurable(ticket);
+  }
   void Abort(const storage::TransactionPtr& txn) { engine_.Abort(txn); }
 
   // ---- statement execution ----
@@ -86,6 +95,9 @@ class Database {
   /// See StorageEngine::EnableWal / RecoverFromWal.
   Status EnableWal(const std::string& path) {
     return engine_.EnableWal(path);
+  }
+  Status EnableWal(const std::string& path, bool group_commit) {
+    return engine_.EnableWal(path, group_commit);
   }
   Status RecoverFromWal(const std::string& path) {
     return engine_.RecoverFromWal(path);

@@ -1,0 +1,68 @@
+#ifndef SIREP_MIDDLEWARE_APPLY_PIPELINE_H_
+#define SIREP_MIDDLEWARE_APPLY_PIPELINE_H_
+
+#include <functional>
+#include <memory>
+
+#include "middleware/tocommit_queue.h"
+#include "obs/metrics.h"
+
+namespace sirep::middleware {
+
+/// The remote-apply half of step III, extracted from SrcaRepReplica so
+/// the serial (pre-pipeline) path stays selectable for A/B benching and
+/// bisection. The replica validates writesets in delivery order and asks
+/// the ToCommitQueue which entries have no conflicting predecessor
+/// (Adjustment 2); every entry handed to Dispatch() is therefore
+/// pairwise non-conflicting with every other in-flight entry — the
+/// pipeline is free to run them on any worker in any order without
+/// affecting the database state. 1-copy-SI visibility order is not the
+/// pipeline's job: the HoleTracker (Adjustment 3) gates local begins and
+/// the stable prefix, and the ToCommitQueue withholds conflicting
+/// successors until their predecessor commits.
+///
+/// Implementations:
+///  * width 1 — a single worker applying in strict dispatch order: the
+///    behavior of the original single-applier replica, byte for byte.
+///  * width N — one dispatch queue per worker, routed by the writeset's
+///    first tuple hash (keeps writers of a hot key on one worker, warm),
+///    with work stealing so a worker blocked on a database lock held by
+///    a local transaction never strands other queues' entries (the pool
+///    must not lose width to hidden blocking, paper §4.2).
+///
+/// Shutdown() drains queued entries through `apply` before returning —
+/// the replica's shutdown flag makes those drained applies fall through
+/// to their hole-discard path, exactly as the previous thread pool did.
+class ApplyPipeline {
+ public:
+  /// Applies + commits one validated remote writeset (bound to
+  /// SrcaRepReplica::ApplyRemote). Must be callable concurrently.
+  using ApplyFn = std::function<void(ToCommitEntry)>;
+
+  virtual ~ApplyPipeline() = default;
+
+  /// Hands one dispatchable entry to a worker. Never blocks on the
+  /// apply itself; drops the entry when shut down.
+  virtual void Dispatch(ToCommitEntry entry) = 0;
+
+  /// Drains outstanding entries and joins the workers. Idempotent.
+  virtual void Shutdown() = 0;
+
+  /// Number of worker threads.
+  virtual size_t width() const = 0;
+
+  /// Builds a serial (threads <= 1) or sharded pipeline. `registry`, if
+  /// non-null, receives per-shard "mw.apply.shard<i>.queue_depth" gauges.
+  static std::unique_ptr<ApplyPipeline> Create(size_t threads,
+                                               ApplyFn apply,
+                                               obs::MetricsRegistry* registry);
+
+  /// SIREP_APPLY_THREADS, when set to a positive integer, overrides the
+  /// configured width (the ctest/CI hook for pinning both pipeline
+  /// modes); otherwise returns `configured`, floored at 1.
+  static size_t ThreadsFromEnv(size_t configured);
+};
+
+}  // namespace sirep::middleware
+
+#endif  // SIREP_MIDDLEWARE_APPLY_PIPELINE_H_

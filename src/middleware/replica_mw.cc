@@ -14,10 +14,16 @@ SrcaRepReplica::SrcaRepReplica(engine::Database* db, gcs::Group* group,
     : db_(db),
       group_(group),
       options_(options),
-      ws_list_(options.ws_list_window),
-      holes_(options.mode == ReplicaMode::kSrcaRep),
-      appliers_(options.applier_threads) {
+      ws_index_(options.ws_list_window, options.validation_shards),
+      holes_(options.mode == ReplicaMode::kSrcaRep) {
   stage_hists_ = obs::StageHistograms::FromRegistry(&registry_);
+  // The pipeline's workers only run entries handed to Dispatch(), and
+  // nothing dispatches before Start() joins the group — constructing it
+  // here (before the gauges below resolve) is safe.
+  pipeline_ = ApplyPipeline::Create(
+      ApplyPipeline::ThreadsFromEnv(options_.applier_threads),
+      [this](ToCommitEntry entry) { ApplyRemote(std::move(entry)); },
+      &registry_);
   c_committed_ = registry_.GetCounter("mw.committed");
   c_empty_ws_commits_ = registry_.GetCounter("mw.empty_ws_commits");
   c_local_val_aborts_ = registry_.GetCounter("mw.local_val_aborts");
@@ -331,8 +337,12 @@ Status SrcaRepReplica::CommitTxn(const TxnHandle& txn, bool* had_writes) {
   // transactions, but the commit is recorded atomically with the hole
   // bookkeeping.
   if (trace != nullptr) trace->Begin(obs::Stage::kCommit);
-  Status st = holes_.RecordCommit(result.tid,
-                                  [&] { return db_->Commit(txn.db_txn); });
+  uint64_t wal_ticket = 0;
+  Status st = holes_.RecordCommit(
+      result.tid, [&] { return db_->Commit(txn.db_txn, &wal_ticket); });
+  // Group-commit durability wait, outside the hole mutex so concurrent
+  // committers share one flush; the client is only acked after this.
+  if (st.ok()) st = db_->WaitWalDurable(wal_ticket);
   if (trace != nullptr) trace->End(obs::Stage::kCommit);
   tocommit_queue_.Remove(result.tid);
   MarkLocallyCommitted(txn.gid);
@@ -423,21 +433,21 @@ void SrcaRepReplica::ProcessWriteSet(const gcs::Message& message) {
     // Step II: global validation, in delivery order (the total order makes
     // every replica take the same decision here).
     std::lock_guard<std::mutex> lock(wsmutex_);
-    if (!ws_list_.empty() && msg->cert + 1 < ws_list_.MinRetainedTid()) {
+    if (!ws_index_.empty() && msg->cert + 1 < ws_index_.MinRetainedTid()) {
       // The cert predates our retained window (an extremely lagged
       // sender). We cannot check exactly — abort conservatively. All
       // replicas share the window size and delivery order, so they all
       // take this branch identically.
       SIREP_WLOG << "ws_list window underrun for " << msg->gid.ToString()
                  << " (cert " << msg->cert << " < min retained "
-                 << ws_list_.MinRetainedTid() << ")";
+                 << ws_index_.MinRetainedTid() << ")";
       conflict = true;
     } else {
-      conflict = ws_list_.ConflictsAfter(msg->cert, *msg->ws, &conflict_key);
+      conflict = ws_index_.ConflictsAfter(msg->cert, *msg->ws, &conflict_key);
     }
     if (!conflict) {
       tid = ++lastvalidated_tid_;
-      ws_list_.Append(tid, msg->ws);
+      ws_index_.Append(tid, msg->ws);
       if (options_.ws_log_capacity > 0) {
         ws_log_.push_back(LogEntry{tid, msg->gid, msg->ws});
         while (ws_log_.size() > options_.ws_log_capacity) {
@@ -463,7 +473,7 @@ void SrcaRepReplica::ProcessWriteSet(const gcs::Message& message) {
       entry.trace = rtrace;
       tocommit_queue_.Append(std::move(entry));
     }
-    ws_list_size = ws_list_.size();
+    ws_list_size = ws_index_.size();
   }
   const uint64_t validate_ns = obs::MonotonicNanos() - arrival_ns;
 
@@ -563,9 +573,7 @@ void SrcaRepReplica::ScheduleAppliers() {
   g_tocommit_depth_->Set(static_cast<int64_t>(tocommit_queue_.size()));
   for (size_t i = 0; i < deferred; ++i) holes_.CountDeferredCommit();
   for (auto& entry : ready) {
-    appliers_.Submit([this, entry = std::move(entry)]() mutable {
-      ApplyRemote(std::move(entry));
-    });
+    pipeline_->Dispatch(std::move(entry));
   }
 }
 
@@ -575,6 +583,18 @@ void SrcaRepReplica::ApplyRemote(ToCommitEntry entry) {
   // database aborts one side; if it was us, retry until success. A
   // version-check conflict can only be transient here (the conflicting
   // local transaction is guaranteed to fail validation and abort).
+  //
+  // kApplyParallelism samples the number of concurrent ApplyRemote
+  // calls at each apply start — a direct histogram observation, not a
+  // TxnTrace span (Flush would misinterpret the count as nanoseconds).
+  const int64_t inflight =
+      applies_inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  stage_hists_.stage[static_cast<int>(obs::Stage::kApplyParallelism)]
+      ->Observe(static_cast<double>(inflight));
+  struct InflightGuard {
+    std::atomic<int64_t>* counter;
+    ~InflightGuard() { counter->fetch_sub(1, std::memory_order_relaxed); }
+  } inflight_guard{&applies_inflight_};
   obs::TxnTrace* const rtrace = entry.trace.get();
   while (!shutdown_.load(std::memory_order_acquire) && IsAlive()) {
     auto txn = db_->Begin();
@@ -602,7 +622,12 @@ void SrcaRepReplica::ApplyRemote(ToCommitEntry entry) {
           rtrace != nullptr
               ? nullptr
               : stage_hists_.stage[static_cast<int>(obs::Stage::kCommit)]);
-      st = holes_.RecordCommit(entry.tid, [&] { return db_->Commit(txn); });
+      uint64_t wal_ticket = 0;
+      st = holes_.RecordCommit(entry.tid,
+                               [&] { return db_->Commit(txn, &wal_ticket); });
+      // Durability wait outside the hole mutex: parallel appliers pile
+      // their records into one group flush instead of serializing on it.
+      if (st.ok()) st = db_->WaitWalDurable(wal_ticket);
       commit_timer.Stop();
       if (rtrace != nullptr) rtrace->End(obs::Stage::kCommit);
       if (st.ok()) {
@@ -678,7 +703,7 @@ void SrcaRepReplica::HandleRecoveryRequest(const gcs::Message& message) {
   {
     std::lock_guard<std::mutex> lock(wsmutex_);
     package.lastvalidated = lastvalidated_tid_;
-    package.ws_window = ws_list_.Snapshot();
+    package.ws_window = ws_index_.Snapshot();
     if (options_.ws_log_capacity == 0) {
       package.status =
           Status::NotSupported("this replica keeps no writeset log");
@@ -858,7 +883,7 @@ Status SrcaRepReplica::Recover(uint64_t from_tid,
   {
     std::lock_guard<std::mutex> lock(wsmutex_);
     lastvalidated_tid_ = package.lastvalidated;
-    ws_list_.Load(package.ws_window);
+    ws_index_.Load(package.ws_window);
     ws_log_.assign(package.log_suffix.begin(), package.log_suffix.end());
   }
 
@@ -1020,7 +1045,7 @@ void SrcaRepReplica::Shutdown() {
   holes_.SetChangeListener(nullptr);
   holes_.Cancel();
   tocommit_queue_.Poke();
-  appliers_.Shutdown();
+  pipeline_->Shutdown();
   {
     std::lock_guard<std::mutex> lock(outcomes_mu_);
     outcomes_cv_.notify_all();

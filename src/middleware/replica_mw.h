@@ -15,15 +15,15 @@
 #include <vector>
 
 #include "common/status.h"
-#include "common/thread_pool.h"
 #include "engine/database.h"
 #include "engine/query_result.h"
 #include "gcs/group.h"
+#include "middleware/apply_pipeline.h"
 #include "middleware/global_txn_id.h"
 #include "middleware/hole_tracker.h"
 #include "middleware/messages.h"
+#include "middleware/sharded_ws_index.h"
 #include "middleware/tocommit_queue.h"
-#include "middleware/ws_list.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -50,14 +50,21 @@ struct ReplicaOptions {
   /// Recover() completes. Used when restarting a crashed replica or
   /// adding a new one while the cluster keeps processing transactions.
   bool start_recovering = false;
-  /// Threads applying remote writesets concurrently. Must be > 1 or
-  /// blocked applies (waiting on local transactions' locks) would
-  /// serialize unrelated applies; local commits are never run here (the
-  /// committing client's thread performs them), so the hidden-deadlock
-  /// freedom of Adjustment 2 does not depend on this pool's size.
+  /// Width of the remote-apply pipeline (see ApplyPipeline): 1 selects
+  /// the strict serial path, >1 a sharded worker pool applying
+  /// non-conflicting writesets in parallel. Should be > 1 or blocked
+  /// applies (waiting on local transactions' locks) serialize unrelated
+  /// applies; local commits are never run here (the committing client's
+  /// thread performs them), so the hidden-deadlock freedom of
+  /// Adjustment 2 does not depend on this width. The SIREP_APPLY_THREADS
+  /// environment variable, when set, overrides this value.
   size_t applier_threads = 8;
-  /// Sliding window of retained validated writesets (see WsList).
+  /// Sliding window of retained validated writesets (see ShardedWsIndex).
   size_t ws_list_window = 65536;
+  /// Hash-range shards of the validation index; probes and appends over
+  /// disjoint shards never contend. Purely a concurrency knob — the
+  /// validation verdicts are shard-count independent.
+  size_t validation_shards = 16;
 };
 
 /// Validation/commit outcome of a transaction as known at this replica.
@@ -339,16 +346,24 @@ class SrcaRepReplica : public gcs::GroupListener {
   bool fence_seen_ = false;
   std::vector<gcs::Message> buffered_;
 
-  // Fig. 4 state. wsmutex_ protects lastvalidated_tid_ and ws_list_, and
-  // serializes validation (steps I.2.c-f and II).
+  // Fig. 4 state. wsmutex_ protects lastvalidated_tid_ and ws_index_,
+  // and serializes validation (steps I.2.c-f and II). ws_index_'s own
+  // per-shard locks additionally allow lock-free-of-wsmutex_ readers
+  // (gauges) and shard-parallel probes.
   std::mutex wsmutex_;
   uint64_t lastvalidated_tid_ = 0;
-  WsList ws_list_;
+  ShardedWsIndex ws_index_;
   std::deque<LogEntry> ws_log_;  // guarded by wsmutex_
 
   ToCommitQueue tocommit_queue_;
   HoleTracker holes_;
-  ThreadPool appliers_;
+  /// Remote-apply worker pool (serial when width 1); entries handed to
+  /// it are pairwise non-conflicting by the ToCommitQueue's dispatch
+  /// rule, so hole_tracker ordering is the only visibility constraint.
+  std::unique_ptr<ApplyPipeline> pipeline_;
+  /// Remote applies currently inside ApplyRemote, sampled into the
+  /// kApplyParallelism stage histogram at each apply start.
+  std::atomic<int64_t> applies_inflight_{0};
 
   std::mutex pending_mu_;
   std::unordered_map<GlobalTxnId, std::shared_ptr<PendingLocal>,

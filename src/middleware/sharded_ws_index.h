@@ -1,0 +1,160 @@
+#ifndef SIREP_MIDDLEWARE_SHARDED_WS_INDEX_H_
+#define SIREP_MIDDLEWARE_SHARDED_WS_INDEX_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "storage/types.h"
+#include "storage/write_set.h"
+
+namespace sirep::middleware {
+
+/// Drop-in replacement for WsList (the paper's `ws_list`) that turns the
+/// certification probe from an O(window-suffix x writeset) scan into an
+/// O(writeset) hash lookup, sharded by tuple-key hash range so probes and
+/// appends touching disjoint shards never contend.
+///
+/// The insight: validation of Ti only asks "does any Tj with tid >
+/// Ti.cert write a tuple Ti writes?". Appends are tid-monotone, so the
+/// per-tuple *last* writer tid answers that exactly — if the newest
+/// writer of a tuple is <= cert, every older writer is too. The index
+/// therefore keeps, per shard, a map tuple -> last-writer tid; a window
+/// deque of (tid, writeset) entries drives pruning, MinRetainedTid() and
+/// recovery snapshots, exactly mirroring WsList's sliding window.
+///
+/// Decision-equivalence with WsList (relied on by recovery and by the
+/// cross-replica determinism argument): for any append sequence and any
+/// (cert, ws) probe, ConflictsAfter() returns the same verdict as
+/// WsList::ConflictsAfter — see middleware_unit_test's differential test.
+///
+/// Threading: appends and window pruning are serialized by the caller
+/// (the replica's wsmutex / single delivery thread, as in the paper's
+/// pseudo-code). The per-shard mutexes make concurrent read-only probes
+/// (and the per-shard size gauges) safe against an in-flight append, and
+/// are the hook for concurrent certification of non-overlapping
+/// writesets: two probes over disjoint shards proceed fully in parallel.
+class ShardedWsIndex {
+ public:
+  explicit ShardedWsIndex(size_t max_entries = 65536, size_t num_shards = 16)
+      : max_entries_(max_entries),
+        shards_(num_shards == 0 ? 1 : num_shards) {}
+
+  ShardedWsIndex(const ShardedWsIndex&) = delete;
+  ShardedWsIndex& operator=(const ShardedWsIndex&) = delete;
+
+  void Append(uint64_t tid, std::shared_ptr<const storage::WriteSet> ws) {
+    for (const auto& we : ws->entries()) {
+      Shard& shard = ShardFor(we.tuple);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.last_writer[we.tuple] = tid;
+    }
+    window_.push_back(Entry{tid, std::move(ws)});
+    while (window_.size() > max_entries_) {
+      const Entry& evicted = window_.front();
+      for (const auto& we : evicted.ws->entries()) {
+        Shard& shard = ShardFor(we.tuple);
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.last_writer.find(we.tuple);
+        // Only drop the map entry if no younger writeset in the window
+        // overwrote it; a stale smaller tid can never be present because
+        // appends are tid-monotone.
+        if (it != shard.last_writer.end() && it->second == evicted.tid) {
+          shard.last_writer.erase(it);
+        }
+      }
+      window_.pop_front();
+    }
+  }
+
+  /// True iff some validated Tj with tid > cert conflicts with `ws`.
+  /// `first_conflict`, if non-null, receives one conflicting tuple (the
+  /// flight recorder tags abort verdicts with it).
+  bool ConflictsAfter(uint64_t cert, const storage::WriteSet& ws,
+                      storage::TupleId* first_conflict = nullptr) const {
+    for (const auto& we : ws.entries()) {
+      const Shard& shard = ShardFor(we.tuple);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.last_writer.find(we.tuple);
+      if (it != shard.last_writer.end() && it->second > cert) {
+        if (first_conflict != nullptr) *first_conflict = we.tuple;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Oldest tid still retained; a validation with cert < MinRetainedTid()-1
+  /// cannot be decided exactly and must abort conservatively.
+  uint64_t MinRetainedTid() const {
+    return window_.empty() ? 0 : window_.front().tid;
+  }
+
+  size_t size() const { return window_.size(); }
+  bool empty() const { return window_.empty(); }
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Distinct tuples currently indexed in `shard` (per-shard gauges).
+  size_t ShardSize(size_t shard) const {
+    const Shard& s = shards_[shard % shards_.size()];
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.last_writer.size();
+  }
+
+  /// State transfer for online recovery: export the retained window...
+  std::vector<std::pair<uint64_t, std::shared_ptr<const storage::WriteSet>>>
+  Snapshot() const {
+    std::vector<std::pair<uint64_t, std::shared_ptr<const storage::WriteSet>>>
+        out;
+    out.reserve(window_.size());
+    for (const auto& e : window_) out.emplace_back(e.tid, e.ws);
+    return out;
+  }
+
+  /// ...and adopt a donor's window verbatim (replaces current content),
+  /// so the recovering replica's validation decisions match the donor's.
+  void Load(
+      const std::vector<
+          std::pair<uint64_t, std::shared_ptr<const storage::WriteSet>>>&
+          snapshot) {
+    window_.clear();
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.last_writer.clear();
+    }
+    for (const auto& [tid, ws] : snapshot) Append(tid, ws);
+  }
+
+ private:
+  struct Entry {
+    uint64_t tid;
+    std::shared_ptr<const storage::WriteSet> ws;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<storage::TupleId, uint64_t, storage::TupleIdHash>
+        last_writer;
+  };
+
+  Shard& ShardFor(const storage::TupleId& tuple) {
+    return shards_[storage::TupleIdHash()(tuple) % shards_.size()];
+  }
+  const Shard& ShardFor(const storage::TupleId& tuple) const {
+    return shards_[storage::TupleIdHash()(tuple) % shards_.size()];
+  }
+
+  size_t max_entries_;
+  /// Sliding window in tid order; mutated only by the (single) appender.
+  std::deque<Entry> window_;
+  /// Fixed shard array — never resized, so ShardFor stays stable.
+  std::vector<Shard> shards_;
+};
+
+}  // namespace sirep::middleware
+
+#endif  // SIREP_MIDDLEWARE_SHARDED_WS_INDEX_H_

@@ -24,6 +24,11 @@ namespace sirep::middleware {
 /// in-flight multicast depth (a few hundred), a generous window never
 /// affects results; if a cert ever falls below the window the caller must
 /// abort conservatively (see MinRetainedTid()).
+///
+/// This is the literal O(window-suffix x writeset) formulation, kept for
+/// the reference SRCA middleware and as the oracle in differential
+/// tests; SrcaRepReplica's hot path uses the decision-equivalent
+/// ShardedWsIndex (sharded_ws_index.h), whose probes are O(writeset).
 class WsList {
  public:
   explicit WsList(size_t max_entries = 65536) : max_entries_(max_entries) {}

@@ -34,6 +34,8 @@ const char* StageName(Stage stage) {
       return "apply";
     case Stage::kCommit:
       return "commit";
+    case Stage::kApplyParallelism:
+      return "apply_parallelism";
     case Stage::kSequencerQueue:
       return "sequencer_queue";
     case Stage::kDeliverySkew:
@@ -47,6 +49,10 @@ const char* StageName(Stage stage) {
 }
 
 std::string StageMetricName(Stage stage) {
+  // kApplyParallelism counts concurrent appliers, not microseconds.
+  if (stage == Stage::kApplyParallelism) {
+    return std::string("mw.commit.stage.") + StageName(stage);
+  }
   return std::string("mw.commit.stage.") + StageName(stage) + "_us";
 }
 
@@ -55,7 +61,10 @@ StageHistograms StageHistograms::FromRegistry(MetricsRegistry* registry) {
   if (registry == nullptr) return hists;
   for (int i = 0; i < kNumStages; ++i) {
     const Stage stage = static_cast<Stage>(i);
-    hists.stage[i] = registry->GetLatencyHistogram(StageMetricName(stage));
+    hists.stage[i] =
+        stage == Stage::kApplyParallelism
+            ? registry->GetHistogram(StageMetricName(stage), LengthBuckets())
+            : registry->GetLatencyHistogram(StageMetricName(stage));
   }
   return hists;
 }

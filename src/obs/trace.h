@@ -31,6 +31,12 @@ namespace sirep::obs {
 ///   kSnapshotStaleness  origin multicast send -> visible (committed)
 ///                     at a remote replica: the window in which a read
 ///                     there still sees the pre-transaction snapshot.
+///
+/// kApplyParallelism is the odd one out: not a latency but the number of
+/// concurrently in-flight remote applies, sampled once per apply start.
+/// Its metric name carries no "_us" suffix and its histogram uses count
+/// (length) buckets; it shows how much of the apply pipeline's width
+/// (SIREP_APPLY_THREADS) the workload actually exploits.
 enum class Stage : int {
   kExecute = 0,
   kExtract,
@@ -39,12 +45,13 @@ enum class Stage : int {
   kGlobalValidate,
   kApply,
   kCommit,
+  kApplyParallelism,
   kSequencerQueue,
   kDeliverySkew,
   kRemoteApplyLag,
   kSnapshotStaleness,
 };
-inline constexpr int kNumStages = 11;
+inline constexpr int kNumStages = 12;
 
 /// First cross-replica stage; [kFirstCrossReplicaStage, kNumStages) are
 /// measured against the origin's TraceContext rather than one replica's

@@ -1,6 +1,7 @@
 #include "storage/storage_engine.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 
 #include "common/logging.h"
@@ -13,6 +14,8 @@ StorageEngine::StorageEngine() {
   c_ww_conflicts_ = registry_.GetCounter("storage.ww_conflicts");
   c_deadlocks_ = registry_.GetCounter("storage.deadlocks");
   h_wal_append_us_ = registry_.GetLatencyHistogram("storage.wal_append_us");
+  h_wal_group_size_ = registry_.GetHistogram("storage.wal_group_size",
+                                             obs::LengthBuckets());
   h_version_chain_len_ = registry_.GetHistogram("storage.version_chain_len",
                                                 obs::LengthBuckets());
   locks_.SetWaitHistogram(
@@ -84,6 +87,13 @@ Status StorageEngine::AbortWith(const TransactionPtr& txn, Status status) {
 }
 
 Status StorageEngine::Commit(const TransactionPtr& txn) {
+  uint64_t ticket = 0;
+  SIREP_RETURN_IF_ERROR(Commit(txn, &ticket));
+  return WaitWalDurable(ticket);
+}
+
+Status StorageEngine::Commit(const TransactionPtr& txn,
+                             uint64_t* durability_ticket) {
   SIREP_RETURN_IF_ERROR(CheckActive(txn));
   if (txn->writes_.empty()) {
     txn->state_.store(TxnState::kCommitted, std::memory_order_release);
@@ -92,15 +102,23 @@ Status StorageEngine::Commit(const TransactionPtr& txn) {
     c_commits_->Increment();
     return Status::OK();
   }
+  uint64_t wal_ticket = 0;
   {
     std::lock_guard<std::mutex> lock(commit_mu_);
     const Timestamp commit_ts = ++clock_;
-    // Write-ahead: the log record lands before the in-memory install
-    // becomes visible (both under commit_mu_, so readers never see a
-    // commit the log does not have).
+    // Write-ahead: the log record lands (group mode: is buffered, in
+    // commit-timestamp order) before the in-memory install becomes
+    // visible (both under commit_mu_, so readers never see a commit the
+    // log does not have a record for).
     if (wal_ != nullptr) {
       obs::ScopedLatency wal_timer(h_wal_append_us_);
-      SIREP_RETURN_IF_ERROR(wal_->AppendCommit(commit_ts, txn->writes_));
+      if (wal_group_commit_) {
+        auto ticket = wal_->AppendCommitBuffered(commit_ts, txn->writes_);
+        SIREP_RETURN_IF_ERROR(ticket.status());
+        wal_ticket = ticket.value();
+      } else {
+        SIREP_RETURN_IF_ERROR(wal_->AppendCommit(commit_ts, txn->writes_));
+      }
     }
     for (const auto& entry : txn->writes_.entries()) {
       MvccTable* table = GetTable(entry.tuple.table);
@@ -119,7 +137,20 @@ Status StorageEngine::Commit(const TransactionPtr& txn) {
   locks_.ReleaseAll(txn->id());
   ReleaseSnapshot(txn->snapshot());
   c_commits_->Increment();
+  // Group commit: the caller waits via WaitWalDurable(*durability_ticket)
+  // — crucially *outside* whatever lock wrapped this commit (the
+  // middleware calls Commit inside HoleTracker::RecordCommit's mutex,
+  // which must not be held across a flush wait or concurrent committers
+  // could never pile into one group). The versions above are already
+  // visible; on a flush failure the in-memory commit stands and the
+  // error reports the durability loss.
+  *durability_ticket = wal_ticket;
   return Status::OK();
+}
+
+Status StorageEngine::WaitWalDurable(uint64_t ticket) {
+  if (ticket == 0 || wal_ == nullptr) return Status::OK();
+  return wal_->WaitDurable(ticket);
 }
 
 void StorageEngine::Abort(const TransactionPtr& txn) {
@@ -383,11 +414,19 @@ size_t StorageEngine::Vacuum() {
 }
 
 Status StorageEngine::EnableWal(const std::string& path) {
+  const char* env = std::getenv("SIREP_WAL_GROUP_COMMIT");
+  return EnableWal(path, env != nullptr && *env != '\0' &&
+                             std::string(env) != "0");
+}
+
+Status StorageEngine::EnableWal(const std::string& path, bool group_commit) {
   std::lock_guard<std::mutex> lock(commit_mu_);
   if (wal_ != nullptr) return Status::AlreadyExists("WAL already enabled");
   auto wal = std::make_unique<Wal>(path);
   SIREP_RETURN_IF_ERROR(wal->Open());
+  wal->SetGroupSizeHistogram(h_wal_group_size_);
   wal_ = std::move(wal);
+  wal_group_commit_ = group_commit;
   return Status::OK();
 }
 

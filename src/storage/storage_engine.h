@@ -96,7 +96,21 @@ class StorageEngine {
   /// timestamp, releases locks. Cannot fail for an active transaction —
   /// conflicts were already detected at write time (locks are held from
   /// write to commit, so no newer committed version can have appeared).
+  /// With group-commit WAL enabled this form also waits for the record's
+  /// group flush before returning.
   Status Commit(const TransactionPtr& txn);
+
+  /// Two-phase form for callers that hold a lock across Commit (the
+  /// middleware commits inside the hole tracker's mutex): completes the
+  /// in-memory commit and hands back a durability ticket instead of
+  /// waiting. The caller must pass it to WaitWalDurable() *after*
+  /// releasing its lock — before acknowledging the commit — so
+  /// concurrent committers can share one group flush. The ticket is 0
+  /// (WaitWalDurable is a no-op) without group-commit WAL.
+  Status Commit(const TransactionPtr& txn, uint64_t* durability_ticket);
+
+  /// Blocks until the ticket's WAL record is flushed (see above).
+  Status WaitWalDurable(uint64_t ticket);
 
   /// Aborts: drops buffered writes, releases locks. Idempotent.
   void Abort(const TransactionPtr& txn);
@@ -191,7 +205,19 @@ class StorageEngine {
 
   /// Turns on WAL durability: every commit appends its writeset to the
   /// log at `path` before returning. Enable before traffic starts.
+  ///
+  /// With `group_commit` (default: the SIREP_WAL_GROUP_COMMIT env var),
+  /// commits buffer their record inside the commit critical section and
+  /// wait for a leader-elected group flush outside it, so concurrent
+  /// committers — e.g. the middleware's parallel remote appliers —
+  /// amortize flushes ("storage.wal_group_size" histograms the records
+  /// per flush). A commit still never returns before its record is
+  /// flushed; only the flush granularity changes. If the group flush
+  /// fails (log wedged), the commit's versions are already visible —
+  /// the commit completes in memory and the error reports the lost
+  /// durability.
   Status EnableWal(const std::string& path);
+  Status EnableWal(const std::string& path, bool group_commit);
 
   /// Rebuilds the committed state from the WAL at `path` (tables must
   /// already exist — schema is DDL, not logged). Installs versions with
@@ -223,6 +249,7 @@ class StorageEngine {
   mutable std::mutex commit_mu_;
   Timestamp clock_ = 0;
   std::unique_ptr<Wal> wal_;  // null unless EnableWal was called
+  bool wal_group_commit_ = false;
 
   std::atomic<TxnId> next_txn_id_{1};
 
@@ -238,6 +265,7 @@ class StorageEngine {
   obs::Counter* c_ww_conflicts_ = nullptr;
   obs::Counter* c_deadlocks_ = nullptr;
   obs::Histogram* h_wal_append_us_ = nullptr;
+  obs::Histogram* h_wal_group_size_ = nullptr;
   obs::Histogram* h_version_chain_len_ = nullptr;
 };
 

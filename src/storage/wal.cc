@@ -110,6 +110,13 @@ Status Wal::Open() {
     return Status::Internal("cannot open WAL at " + path_);
   }
   wedged_ = false;
+  // Unflushed buffered records predate the recovery scan and are gone —
+  // releasing their tickets keeps any straggling WaitDurable from
+  // leading a flush of a buffer that no longer exists.
+  pending_.clear();
+  pending_count_ = 0;
+  durable_ticket_ = next_ticket_;
+  flush_cv_.notify_all();
   return Status::OK();
 }
 
@@ -126,7 +133,7 @@ bool Wal::wedged() const {
   return wedged_;
 }
 
-Status Wal::AppendCommit(Timestamp commit_ts, const WriteSet& ws) {
+std::string Wal::EncodeRecord(Timestamp commit_ts, const WriteSet& ws) {
   std::string record;
   sql::EncodeU32(kRecordMagic, &record);
   sql::EncodeU64(commit_ts, &record);
@@ -137,36 +144,126 @@ Status Wal::AppendCommit(Timestamp commit_ts, const WriteSet& ws) {
     sql::EncodeRow(entry.tuple.key.parts, &record);
     sql::EncodeRow(entry.after, &record);
   }
+  return record;
+}
 
+Status Wal::WriteAndFlush(std::FILE* file, const std::string& batch,
+                          bool* tail_intact, bool* data_written) {
+  *tail_intact = true;
+  *data_written = false;
+  SIREP_FAILPOINT("wal.append");  // fires before any bytes: tail intact
+  const auto torn = SIREP_FAILPOINT_HIT("wal.append.torn");
+  if (torn.fired) {
+    // Write a real torn tail: a prefix of the batch reaches the OS, the
+    // rest never does (the process "crashed" mid-write).
+    size_t keep = batch.size() / 2;
+    if (torn.arg > 0 && static_cast<size_t>(torn.arg) < batch.size()) {
+      keep = static_cast<size_t>(torn.arg);
+    }
+    std::fwrite(batch.data(), 1, keep, file);
+    std::fflush(file);
+    *tail_intact = false;
+    return Status::Internal("injected torn WAL write (" +
+                            std::to_string(keep) + "/" +
+                            std::to_string(batch.size()) + " bytes)");
+  }
+  if (std::fwrite(batch.data(), 1, batch.size(), file) != batch.size()) {
+    *tail_intact = false;
+    return Status::Internal("short WAL write");
+  }
+  std::fflush(file);
+  *data_written = true;
+  SIREP_FAILPOINT("wal.fsync");  // fires after a complete, flushed record
+  return Status::OK();
+}
+
+Status Wal::AppendCommit(Timestamp commit_ts, const WriteSet& ws) {
+  const std::string record = EncodeRecord(commit_ts, ws);
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr) return Status::Internal("WAL not open");
   if (wedged_) {
     return Status::Internal(
         "WAL wedged after a failed append; reopen or truncate to recover");
   }
-  SIREP_FAILPOINT("wal.append");
-  const auto torn = SIREP_FAILPOINT_HIT("wal.append.torn");
-  if (torn.fired) {
-    // Write a real torn tail: a prefix of the record reaches the OS, the
-    // rest never does (the process "crashed" mid-write).
-    size_t keep = record.size() / 2;
-    if (torn.arg > 0 && static_cast<size_t>(torn.arg) < record.size()) {
-      keep = static_cast<size_t>(torn.arg);
+  bool tail_intact = true, data_written = false;
+  Status st = WriteAndFlush(file_, record, &tail_intact, &data_written);
+  if (!tail_intact) wedged_ = true;
+  return st;
+}
+
+Result<uint64_t> Wal::AppendCommitBuffered(Timestamp commit_ts,
+                                           const WriteSet& ws) {
+  std::string record = EncodeRecord(commit_ts, ws);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::Internal("WAL not open");
+  if (wedged_) {
+    return Status::Internal(
+        "WAL wedged after a failed append; reopen or truncate to recover");
+  }
+  pending_ += record;
+  ++pending_count_;
+  return ++next_ticket_;
+}
+
+Status Wal::WaitDurable(uint64_t ticket) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (durable_ticket_ < ticket) {
+    if (wedged_) {
+      return Status::Internal(
+          "WAL wedged during a group flush; reopen or truncate to recover");
     }
-    std::fwrite(record.data(), 1, keep, file_);
-    std::fflush(file_);
-    wedged_ = true;
-    return Status::Internal("injected torn WAL write (" +
-                            std::to_string(keep) + "/" +
-                            std::to_string(record.size()) + " bytes)");
+    if (!flush_in_progress_) {
+      // Become the flush leader: take the whole pending buffer — a
+      // commit_ts-ordered prefix of the unflushed records — and write it
+      // in one shot with mu_ released, so committers keep buffering
+      // (and the engine's commit critical section keeps turning) behind
+      // us. flush_in_progress_ is the file-ownership token while
+      // unlocked: no second flush can start, and group mode never calls
+      // the immediate AppendCommit concurrently.
+      flush_in_progress_ = true;
+      std::string batch;
+      batch.swap(pending_);
+      const size_t batch_records = pending_count_;
+      pending_count_ = 0;
+      const uint64_t batch_last = next_ticket_;
+      std::FILE* const file = file_;
+      lock.unlock();
+      bool tail_intact = true, data_written = false;
+      const Status st =
+          WriteAndFlush(file, batch, &tail_intact, &data_written);
+      lock.lock();
+      flush_in_progress_ = false;
+      if (st.ok() || data_written) {
+        // Even on a post-flush error (injected fsync failure) the whole
+        // batch reached the file with a well-formed tail: the records
+        // are replayable, so the group counts as durable for waiters.
+        durable_ticket_ = batch_last;
+        if (group_size_hist_ != nullptr && batch_records > 0) {
+          group_size_hist_->Observe(static_cast<double>(batch_records));
+        }
+      } else if (tail_intact) {
+        // Nothing reached the file and the tail is still well-formed:
+        // put the batch back at the front of the pending buffer (it
+        // still precedes anything buffered while we were unlocked) so
+        // the next flush leader retries it. The leader's own commit
+        // reports the error; its record may still become durable later.
+        pending_.insert(0, batch);
+        pending_count_ += batch_records;
+      } else {
+        wedged_ = true;
+      }
+      flush_cv_.notify_all();
+      if (!st.ok()) return st;
+    } else {
+      flush_cv_.wait(lock);
+    }
   }
-  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
-    wedged_ = true;
-    return Status::Internal("short WAL write");
-  }
-  std::fflush(file_);
-  SIREP_FAILPOINT("wal.fsync");
   return Status::OK();
+}
+
+void Wal::SetGroupSizeHistogram(obs::Histogram* hist) {
+  std::lock_guard<std::mutex> lock(mu_);
+  group_size_hist_ = hist;
 }
 
 Status Wal::Replay(
@@ -212,6 +309,10 @@ Status Wal::Truncate() {
   file_ = std::fopen(path_.c_str(), "ab");
   if (file_ == nullptr) return Status::Internal("cannot reopen WAL");
   wedged_ = false;
+  pending_.clear();
+  pending_count_ = 0;
+  durable_ticket_ = next_ticket_;
+  flush_cv_.notify_all();
   return Status::OK();
 }
 

@@ -1,12 +1,14 @@
 #ifndef SIREP_STORAGE_WAL_H_
 #define SIREP_STORAGE_WAL_H_
 
+#include <condition_variable>
 #include <cstdio>
 #include <functional>
 #include <mutex>
 #include <string>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/types.h"
 #include "storage/write_set.h"
 
@@ -54,6 +56,38 @@ class Wal {
   /// would fsync).
   Status AppendCommit(Timestamp commit_ts, const WriteSet& ws);
 
+  // ---- group/epoch commit ----
+  //
+  // With parallel remote appliers the per-commit flush above becomes the
+  // serialization point; group commit splits the append into a cheap
+  // buffered stage (under the engine's commit mutex, preserving
+  // commit-timestamp record order) and a shared flush stage performed
+  // outside it. Waiters elect a leader: the first waiter whose ticket is
+  // not yet durable writes and flushes the *entire* pending buffer — one
+  // flush covers every commit buffered since the previous flush, so N
+  // concurrent appliers amortize N flushes into ~1. Ordering is safe
+  // because records enter the buffer in commit_ts order and the buffer
+  // is always flushed as a prefix: a record is never durable before one
+  // it depends on.
+
+  /// Buffers one committed transaction's record without flushing.
+  /// Returns a ticket to pass to WaitDurable(). Call under the engine's
+  /// commit mutex. Fails without buffering when the log is wedged.
+  Result<uint64_t> AppendCommitBuffered(Timestamp commit_ts,
+                                        const WriteSet& ws);
+
+  /// Blocks until every record up to and including `ticket` has been
+  /// written and flushed (leader-elected: one waiter performs the group
+  /// flush for all). Returns the wedged error if a group flush failed —
+  /// such records may or may not be on disk, exactly like a torn
+  /// AppendCommit.
+  Status WaitDurable(uint64_t ticket);
+
+  /// Count of records covered by each group flush (set by the engine;
+  /// may be null). A mean near 1 means the workload is not concurrent
+  /// enough to amortize anything.
+  void SetGroupSizeHistogram(obs::Histogram* hist);
+
   /// Reads every complete record in commit order. Stops cleanly at a
   /// torn tail.
   Status Replay(
@@ -70,10 +104,35 @@ class Wal {
   bool wedged() const;
 
  private:
+  /// Encodes one record (shared by the immediate and buffered appends).
+  static std::string EncodeRecord(Timestamp commit_ts, const WriteSet& ws);
+
+  /// Writes `batch` to `file` and flushes, honoring the append
+  /// failpoints. Does not touch wedged_ (callers do, under mu_); the
+  /// group-flush leader calls it with mu_ released, holding the file via
+  /// the flush_in_progress_ token. On failure the out-params tell the
+  /// caller what state the file is in: `*tail_intact` is false only when
+  /// bytes may have partially reached the file (torn write, short write)
+  /// — the wedge condition — and `*data_written` is true when the whole
+  /// batch was written and flushed before the failure (e.g. an injected
+  /// fsync error), i.e. the records are in fact replayable.
+  static Status WriteAndFlush(std::FILE* file, const std::string& batch,
+                              bool* tail_intact, bool* data_written);
+
   std::string path_;
   mutable std::mutex mu_;
   std::FILE* file_ = nullptr;
   bool wedged_ = false;
+
+  // Group-commit state (guarded by mu_). pending_ holds encoded records
+  // in commit_ts order; tickets number buffered records 1..N.
+  std::string pending_;
+  size_t pending_count_ = 0;
+  uint64_t next_ticket_ = 0;
+  uint64_t durable_ticket_ = 0;
+  bool flush_in_progress_ = false;
+  std::condition_variable flush_cv_;
+  obs::Histogram* group_size_hist_ = nullptr;
 };
 
 }  // namespace sirep::storage

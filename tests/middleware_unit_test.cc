@@ -1,15 +1,18 @@
-// Unit tests for the middleware building blocks: WsList, ToCommitQueue,
-// HoleTracker, TableLockManager, and commit-path stage tracing.
+// Unit tests for the middleware building blocks: WsList, ShardedWsIndex,
+// ToCommitQueue, HoleTracker, TableLockManager, and commit-path stage
+// tracing.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <random>
 #include <thread>
 
 #include "cluster/cluster.h"
 #include "middleware/hole_tracker.h"
+#include "middleware/sharded_ws_index.h"
 #include "middleware/table_locks.h"
 #include "middleware/tocommit_queue.h"
 #include "middleware/ws_list.h"
@@ -62,6 +65,106 @@ TEST(WsListTest, WindowPruning) {
   // Conflicts inside the retained window are still exact.
   EXPECT_TRUE(list.ConflictsAfter(2, *Ws({{"t", 4}})));
   EXPECT_FALSE(list.ConflictsAfter(4, *Ws({{"t", 4}})));
+}
+
+// ---- ShardedWsIndex ----
+
+TEST(ShardedWsIndexTest, ConflictsAfterCert) {
+  ShardedWsIndex index;
+  index.Append(1, Ws({{"t", 1}}));
+  index.Append(2, Ws({{"t", 2}}));
+  index.Append(3, Ws({{"t", 3}}));
+
+  EXPECT_TRUE(index.ConflictsAfter(0, *Ws({{"t", 2}})));
+  EXPECT_FALSE(index.ConflictsAfter(2, *Ws({{"t", 2}})));
+  EXPECT_TRUE(index.ConflictsAfter(2, *Ws({{"t", 3}})));
+  EXPECT_FALSE(index.ConflictsAfter(3, *Ws({{"t", 3}})));
+  EXPECT_FALSE(index.ConflictsAfter(0, *Ws({{"u", 1}})));
+}
+
+TEST(ShardedWsIndexTest, WindowPruning) {
+  ShardedWsIndex index(/*max_entries=*/3);
+  for (uint64_t tid = 1; tid <= 5; ++tid) {
+    index.Append(tid, Ws({{"t", static_cast<int64_t>(tid)}}));
+  }
+  EXPECT_EQ(index.size(), 3u);
+  EXPECT_EQ(index.MinRetainedTid(), 3u);
+  EXPECT_TRUE(index.ConflictsAfter(2, *Ws({{"t", 4}})));
+  EXPECT_FALSE(index.ConflictsAfter(4, *Ws({{"t", 4}})));
+}
+
+// Evicting an old writeset must not forget a *newer* writer of the same
+// tuple: the per-tuple map entry is dropped only when the evicted tid
+// still owns it.
+TEST(ShardedWsIndexTest, EvictionKeepsNewestWriterOfTuple) {
+  ShardedWsIndex index(/*max_entries=*/2);
+  index.Append(1, Ws({{"t", 7}}));
+  index.Append(2, Ws({{"t", 7}}));  // same tuple, newer writer
+  index.Append(3, Ws({{"t", 8}}));  // evicts tid 1's entry
+  EXPECT_EQ(index.MinRetainedTid(), 2u);
+  // tid 2 still conflicts even though tid 1 (same tuple) was evicted.
+  EXPECT_TRUE(index.ConflictsAfter(1, *Ws({{"t", 7}})));
+  EXPECT_FALSE(index.ConflictsAfter(2, *Ws({{"t", 7}})));
+}
+
+TEST(ShardedWsIndexTest, SnapshotLoadRoundTrip) {
+  ShardedWsIndex donor;
+  donor.Append(4, Ws({{"t", 1}}));
+  donor.Append(5, Ws({{"t", 2}, {"u", 2}}));
+
+  ShardedWsIndex joiner;
+  joiner.Append(1, Ws({{"stale", 1}}));  // replaced by Load
+  joiner.Load(donor.Snapshot());
+  EXPECT_EQ(joiner.size(), 2u);
+  EXPECT_EQ(joiner.MinRetainedTid(), 4u);
+  EXPECT_TRUE(joiner.ConflictsAfter(4, *Ws({{"u", 2}})));
+  EXPECT_FALSE(joiner.ConflictsAfter(0, *Ws({{"stale", 1}})));
+}
+
+// Differential check against WsList, the literal paper formulation: for
+// a long random append/probe sequence (fixed seed, deterministic) both
+// structures must return identical verdicts — validation decisions are
+// part of the cross-replica determinism argument, so the O(writeset)
+// index must be decision-equivalent, not just approximately right.
+TEST(ShardedWsIndexTest, DifferentialAgainstWsList) {
+  constexpr size_t kWindow = 16;
+  WsList oracle(kWindow);
+  ShardedWsIndex index(kWindow, /*num_shards=*/4);
+  std::mt19937 rng(20260808);
+  std::uniform_int_distribution<int64_t> key(0, 24);
+  std::uniform_int_distribution<int> nkeys(1, 4);
+  std::uniform_int_distribution<int> table(0, 1);
+  const char* tables[] = {"a", "b"};
+
+  auto random_ws = [&]() {
+    auto ws = std::make_shared<WriteSet>();
+    const int n = nkeys(rng);
+    for (int i = 0; i < n; ++i) {
+      ws->Record({tables[table(rng)], sql::Key{{sql::Value::Int(key(rng))}}},
+                 WriteOp::kUpdate, {sql::Value::Int(0)});
+    }
+    return ws;
+  };
+
+  for (uint64_t tid = 1; tid <= 400; ++tid) {
+    auto ws = random_ws();
+    oracle.Append(tid, ws);
+    index.Append(tid, ws);
+    ASSERT_EQ(oracle.size(), index.size());
+    ASSERT_EQ(oracle.MinRetainedTid(), index.MinRetainedTid());
+
+    // Probe both with certs across the whole window (including below
+    // MinRetainedTid and above the newest tid).
+    for (int probe = 0; probe < 8; ++probe) {
+      auto probe_ws = random_ws();
+      std::uniform_int_distribution<uint64_t> cert(
+          tid > kWindow + 4 ? tid - kWindow - 4 : 0, tid + 2);
+      const uint64_t c = cert(rng);
+      ASSERT_EQ(oracle.ConflictsAfter(c, *probe_ws),
+                index.ConflictsAfter(c, *probe_ws))
+          << "tid=" << tid << " cert=" << c;
+    }
+  }
 }
 
 // ---- ToCommitQueue ----

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/failpoint.h"
@@ -329,6 +330,117 @@ TEST_F(WalTest, InjectedFsyncFailureLeavesCompleteRecord) {
   }
   EXPECT_FALSE(wal.wedged());
   ASSERT_TRUE(wal.AppendCommit(2, OneRowWs(2, "y")).ok());
+  int records = 0;
+  ASSERT_TRUE(wal.Replay([&](storage::Timestamp, const storage::WriteSet&) {
+                   ++records;
+                   return Status::OK();
+                 })
+                  .ok());
+  EXPECT_EQ(records, 2);
+}
+
+// ---- group commit ----
+
+// Concurrent committers through the buffered path: every record must be
+// durable and replayable, records stay in commit_ts order on disk, and
+// the leader-elected flush must amortize at least some flushes (the
+// group-size histogram sees groups; with this much concurrency at least
+// one group > 1 is overwhelmingly likely, but we only assert counts).
+TEST_F(WalTest, GroupCommitConcurrentCommittersAllDurable) {
+  path_ = TempWalPath("group");
+  constexpr int kThreads = 4;
+  constexpr int kTxnsPerThread = 25;
+  {
+    engine::Database db;
+    CreateSchema(db);
+    ASSERT_TRUE(db.EnableWal(path_, /*group_commit=*/true).ok());
+    for (int t = 0; t < kThreads; ++t) {
+      ASSERT_TRUE(db.ExecuteAutoCommit("INSERT INTO kv VALUES (?, 'seed')",
+                                       {Value::Int(t)})
+                      .ok());
+    }
+    std::vector<std::thread> committers;
+    for (int t = 0; t < kThreads; ++t) {
+      committers.emplace_back([&db, t] {
+        for (int i = 0; i < kTxnsPerThread; ++i) {
+          ASSERT_TRUE(db.ExecuteAutoCommit(
+                            "UPDATE kv SET v = ? WHERE k = ?",
+                            {Value::String("v" + std::to_string(i)),
+                             Value::Int(t)})
+                          .ok());
+        }
+      });
+    }
+    for (auto& c : committers) c.join();
+    // Every commit waited for its flush, so the histogram covered all
+    // of them by the time the last committer returned.
+    auto snap = db.engine().metrics().Snapshot();
+    auto it = snap.histograms.find("storage.wal_group_size");
+    ASSERT_NE(it, snap.histograms.end());
+    EXPECT_GT(it->second.count, 0u);
+  }
+  engine::Database revived;
+  CreateSchema(revived);
+  ASSERT_TRUE(revived.RecoverFromWal(path_).ok());
+  auto r = revived.ExecuteAutoCommit("SELECT k, v FROM kv ORDER BY k");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().NumRows(), static_cast<size_t>(kThreads));
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(r.value().rows[t][1].AsString(),
+              "v" + std::to_string(kTxnsPerThread - 1));
+  }
+}
+
+// A torn group flush wedges the log (tail unknown) and the waiting
+// committer gets the error; Open() truncates the torn tail and recovers.
+TEST_F(WalTest, GroupFlushTornWriteWedgesThenRecovers) {
+  path_ = TempWalPath("group_torn");
+  storage::Wal wal(path_);
+  ASSERT_TRUE(wal.Open().ok());
+  auto t1 = wal.AppendCommitBuffered(1, OneRowWs(1, "ok"));
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(wal.WaitDurable(t1.value()).ok());
+  auto t2 = wal.AppendCommitBuffered(2, OneRowWs(2, "torn"));
+  ASSERT_TRUE(t2.ok());
+  {
+    failpoint::ScopedFailpoint fp("wal.append.torn", "arg(0)*1");
+    EXPECT_FALSE(wal.WaitDurable(t2.value()).ok());
+  }
+  EXPECT_TRUE(wal.wedged());
+  EXPECT_FALSE(wal.AppendCommitBuffered(3, OneRowWs(3, "no")).ok());
+  ASSERT_TRUE(wal.Open().ok());  // no-op: still open... reopen via Close
+  wal.Close();
+  ASSERT_TRUE(wal.Open().ok());  // truncates the torn tail
+  EXPECT_FALSE(wal.wedged());
+  auto t3 = wal.AppendCommitBuffered(3, OneRowWs(3, "yes"));
+  ASSERT_TRUE(t3.ok());
+  ASSERT_TRUE(wal.WaitDurable(t3.value()).ok());
+  int records = 0;
+  ASSERT_TRUE(wal.Replay([&](storage::Timestamp, const storage::WriteSet&) {
+                   ++records;
+                   return Status::OK();
+                 })
+                  .ok());
+  EXPECT_EQ(records, 2);  // commit 1 and commit 3; the torn 2 is gone
+}
+
+// An injected pre-write error during a group flush must not wedge or
+// lose the batch: it goes back to the pending buffer and the next flush
+// (here: a later committer's WaitDurable) writes it.
+TEST_F(WalTest, GroupFlushTransientErrorRetriesBatch) {
+  path_ = TempWalPath("group_retry");
+  storage::Wal wal(path_);
+  ASSERT_TRUE(wal.Open().ok());
+  auto t1 = wal.AppendCommitBuffered(1, OneRowWs(1, "x"));
+  ASSERT_TRUE(t1.ok());
+  {
+    failpoint::ScopedFailpoint fp("wal.append", "error(unavailable)*1");
+    EXPECT_EQ(wal.WaitDurable(t1.value()).code(), StatusCode::kUnavailable);
+  }
+  EXPECT_FALSE(wal.wedged());
+  auto t2 = wal.AppendCommitBuffered(2, OneRowWs(2, "y"));
+  ASSERT_TRUE(t2.ok());
+  ASSERT_TRUE(wal.WaitDurable(t2.value()).ok());  // flushes both records
   int records = 0;
   ASSERT_TRUE(wal.Replay([&](storage::Timestamp, const storage::WriteSet&) {
                    ++records;
