@@ -16,8 +16,9 @@
 // Usage:
 //   chaos_harness [--seed=N] [--rounds=N] [--clients=N]
 //                 [--duration-ms=N] [--transport=inproc|tcp]
-//                 [--failpoints=SPEC_LIST]
+//                 [--failpoints=SPEC_LIST] [--join-under-load]
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -47,6 +48,10 @@ struct HarnessOptions {
   int clients = 4;         // concurrent traffic threads
   int duration_ms = 250;   // traffic window per round
   gcs::TransportKind transport = gcs::TransportKind::kDefault;
+  // Grow the cluster by one fresh replica mid-traffic (AddReplica with
+  // an empty schema): the joiner must complete a chunked state transfer
+  // under live load and then satisfy the same invariants as everyone.
+  bool join_under_load = false;
   // Default fault schedule: transient multicast drops, transient apply
   // deadlocks, and validation stalls — all recoverable faults that must
   // never cost an acknowledged commit.
@@ -85,12 +90,16 @@ bool ParseOptions(int argc, char** argv, HarnessOptions* opt) {
       }
     } else if (ParseFlag(argv[i], "--failpoints", &v)) {
       opt->failpoints = v;
+    } else if (std::strcmp(argv[i], "--join-under-load") == 0) {
+      opt->join_under_load = true;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
       return false;
     }
   }
-  return opt->rounds >= 0 && opt->clients > 0 && opt->duration_ms > 0;
+  // --join-under-load needs at least one traffic round to join during.
+  return opt->rounds >= 0 && opt->clients > 0 && opt->duration_ms > 0 &&
+         (!opt->join_under_load || opt->rounds > 0);
 }
 
 /// Seeded counter-increment traffic (same shape as tests/chaos_test.cc):
@@ -135,18 +144,38 @@ long long RunTraffic(Cluster& cluster, uint64_t seed, int clients,
 
 /// Online restart with bounded retry: the fault schedule stays armed
 /// during recovery, so the recovery protocol's own multicasts can eat a
-/// transient injected drop. That is a scenario to survive, not a
-/// harness failure — retry until the schedule lets the join through.
-bool RestartWithRetry(Cluster& cluster, size_t index) {
-  Status last = Status::OK();
-  for (int attempt = 0; attempt < 50; ++attempt) {
+/// transient injected drop (or the donor itself can be a crash-
+/// failpoint victim). That is a scenario to survive, not a harness
+/// failure — retry with exponential backoff plus seeded jitter under an
+/// overall deadline until the schedule lets the join through. On final
+/// failure, prints every attempt's status so the failing seed's replay
+/// starts from the full error history, not just the last code.
+bool RestartWithRetry(Cluster& cluster, size_t index, uint64_t seed,
+                      std::chrono::milliseconds deadline_ms =
+                          std::chrono::milliseconds(30000)) {
+  const auto deadline = std::chrono::steady_clock::now() + deadline_ms;
+  Prng jitter(seed * 77003 + index * 131 + 7);
+  auto backoff = std::chrono::milliseconds(5);
+  std::vector<Status> attempts;
+  for (;;) {
     if (cluster.replica(index)->IsAlive()) return true;
-    last = cluster.RestartReplica(index);
+    Status last = cluster.RestartReplica(index);
     if (last.ok()) return true;
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    attempts.push_back(last);
+    const auto sleep =
+        backoff + std::chrono::milliseconds(
+                      jitter.Uniform(static_cast<uint64_t>(backoff.count())));
+    if (std::chrono::steady_clock::now() + sleep > deadline) break;
+    std::this_thread::sleep_for(sleep);
+    backoff = std::min(backoff * 2, std::chrono::milliseconds(250));
   }
-  std::fprintf(stderr, "restart of replica %zu kept failing: %s\n", index,
-               last.ToString().c_str());
+  std::fprintf(stderr,
+               "restart of replica %zu kept failing (%zu attempts):\n",
+               index, attempts.size());
+  for (size_t a = 0; a < attempts.size(); ++a) {
+    std::fprintf(stderr, "  attempt %zu: %s\n", a,
+                 attempts[a].ToString().c_str());
+  }
   return false;
 }
 
@@ -274,30 +303,72 @@ int Run(const HarnessOptions& opt) {
   }
 
   // Each round: traffic under the fault schedule with one seeded
-  // whole-replica crash in the middle, then an online restart. Always
-  // >= 3 replicas stay alive so recovery has donors.
+  // whole-replica crash in the middle, then an online restart. A medic
+  // thread sweeps for collateral deaths (crash-failpoints can fell any
+  // replica, not just the scheduled victim) so the cluster never bleeds
+  // out of donors even with unbounded crash schedules.
   Prng chaos(opt.seed * 40503 + 11);
   long long committed = 0;
   const auto window = std::chrono::milliseconds(opt.duration_ms);
+  std::atomic<bool> join_ok{!opt.join_under_load};
+  std::thread joiner;
   for (int round = 0; round < opt.rounds; ++round) {
     const size_t victim = chaos.Uniform(cluster.size());
+    std::atomic<bool> medic_stop{false};
+    std::thread medic([&] {
+      while (!medic_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        for (size_t r = 0; r < cluster.size(); ++r) {
+          if (r == victim) continue;  // the victim belongs to the killer
+          if (!cluster.replica(r)->IsAlive()) {
+            // Best-effort: a failure here is retried on the next sweep,
+            // and the final restart pass is the backstop.
+            (void)cluster.RestartReplica(r);
+          }
+        }
+      }
+    });
+    if (opt.join_under_load && round == 0) {
+      // Grow the cluster mid-traffic: the joiner full-copies the kv
+      // table in chunks while the drivers keep committing against it.
+      joiner = std::thread([&] {
+        std::this_thread::sleep_for(window / 4);
+        for (int attempt = 0; attempt < 5; ++attempt) {
+          auto added = cluster.AddReplica([](engine::Database* db) {
+            return db
+                ->ExecuteAutoCommit(
+                    "CREATE TABLE kv (k INT, v INT, PRIMARY KEY (k))")
+                .status();
+          });
+          if (added.ok()) {
+            std::printf("joined replica %zu under load\n", added.value());
+            join_ok.store(true);
+            return;
+          }
+          std::fprintf(stderr, "join attempt %d failed: %s\n", attempt,
+                       added.status().ToString().c_str());
+        }
+      });
+    }
     std::thread killer([&] {
       std::this_thread::sleep_for(window / 3);
       if (!cluster.replica(victim)->IsAlive()) return;
       cluster.CrashReplica(victim);
       std::this_thread::sleep_for(window / 3);
-      if (!RestartWithRetry(cluster, victim)) {
+      if (!RestartWithRetry(cluster, victim, opt.seed)) {
         std::fprintf(stderr, "restart of replica %zu failed\n", victim);
       }
     });
     committed +=
         RunTraffic(cluster, opt.seed * 131 + round, opt.clients, window);
     killer.join();
+    medic_stop.store(true);
+    medic.join();
     if (!cluster.replica(victim)->IsAlive()) {
       // Crash landed after the killer's liveness check elsewhere (e.g.
       // self-expulsion from an injected reset): restart it now so the
       // convergence check sees a full complement.
-      if (!RestartWithRetry(cluster, victim)) {
+      if (!RestartWithRetry(cluster, victim, opt.seed)) {
         std::fprintf(stderr, "late restart of replica %zu failed\n",
                      victim);
         DumpFailureArtifacts(cluster, opt.seed, "late restart failed");
@@ -307,6 +378,12 @@ int Run(const HarnessOptions& opt) {
     std::printf("round %d: victim=%zu committed(total)=%lld\n", round,
                 victim, committed);
   }
+  if (joiner.joinable()) joiner.join();
+  if (!join_ok.load()) {
+    std::fprintf(stderr, "FAIL: join under load never completed\n");
+    DumpFailureArtifacts(cluster, opt.seed, "join under load failed");
+    return 1;
+  }
 
   // Snapshot counters before disarming — Disarm() drops them.
   const auto fault_points = failpoint::Snapshot();
@@ -314,7 +391,7 @@ int Run(const HarnessOptions& opt) {
   // Anything self-expelled by socket-level faults must be brought back
   // before convergence is judged.
   for (size_t r = 0; r < cluster.size(); ++r) {
-    if (!RestartWithRetry(cluster, r)) {
+    if (!RestartWithRetry(cluster, r, opt.seed)) {
       std::fprintf(stderr, "final restart of replica %zu failed\n", r);
       DumpFailureArtifacts(cluster, opt.seed, "final restart failed");
       return 2;
@@ -351,7 +428,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s [--seed=N] [--rounds=N] [--clients=N] "
                  "[--duration-ms=N] [--transport=inproc|tcp] "
-                 "[--failpoints=LIST]\n",
+                 "[--failpoints=LIST] [--join-under-load]\n",
                  argv[0]);
     return 2;
   }

@@ -1,5 +1,6 @@
 #include "cluster/cluster.h"
 
+#include <algorithm>
 #include <chrono>
 #include <iomanip>
 #include <sstream>
@@ -75,6 +76,63 @@ std::vector<middleware::SrcaRepReplica*> Cluster::Discover() {
   return out;
 }
 
+namespace {
+
+bool RecoveryRetryable(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kTimedOut;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<middleware::SrcaRepReplica>>
+Cluster::RecoverIncarnation(engine::Database* db, uint64_t from_tid) {
+  const RecoveryRetryPolicy& policy = options_.recovery_retry;
+  const auto deadline = std::chrono::steady_clock::now() + policy.deadline;
+  std::chrono::milliseconds backoff = policy.initial_backoff;
+  middleware::ReplicaOptions ropt = options_.replica;
+  ropt.start_recovering = true;
+
+  std::unique_ptr<middleware::SrcaRepReplica> incarnation;
+  Status recovered = Status::Unavailable("recovery never attempted");
+  for (size_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(backoff);
+      backoff = std::min(backoff * 2, policy.max_backoff);
+      if (std::chrono::steady_clock::now() > deadline) break;
+    }
+    if (incarnation == nullptr || !incarnation->IsAlive()) {
+      // First attempt, or the joining incarnation crashed mid-recovery
+      // (e.g. expelled by a view change): rebuild it. A crashed
+      // incarnation has already detached from the group, so destroying
+      // it is safe — it was never published to clients.
+      incarnation = std::make_unique<middleware::SrcaRepReplica>(
+          db, group_.get(), ropt);
+      Status started = incarnation->Start();
+      if (!started.ok()) {
+        recovered = started;
+        incarnation->Crash();
+        incarnation.reset();
+        if (!RecoveryRetryable(started)) return started;
+        continue;
+      }
+    }
+    recovered = incarnation->Recover(from_tid);
+    if (recovered.ok()) return incarnation;
+    if (!RecoveryRetryable(recovered)) break;
+    // Retryable: a live incarnation re-enters Recover() directly (its
+    // buffered delivery mode is still armed); a dead one is rebuilt at
+    // the top of the loop.
+  }
+  if (incarnation != nullptr) {
+    // The incarnation may have joined the group; detach it before the
+    // object dies, or the delivery thread would keep invoking a
+    // dangling listener on the next view change.
+    incarnation->Crash();
+  }
+  return recovered;
+}
+
 Status Cluster::RestartReplica(size_t index) {
   middleware::SrcaRepReplica* old = nullptr;
   {
@@ -92,25 +150,54 @@ Status Cluster::RestartReplica(size_t index) {
   // The database "process" restarts: committed data survives, in-flight
   // transactions of the dead incarnation roll back implicitly.
   nodes_[index]->db()->engine().SimulateRestart();
-  middleware::ReplicaOptions ropt = options_.replica;
-  ropt.start_recovering = true;
-  auto incarnation = std::make_unique<middleware::SrcaRepReplica>(
-      nodes_[index]->db(), group_.get(), ropt);
-  SIREP_RETURN_IF_ERROR(incarnation->Start());
-  Status recovered = incarnation->Recover(from_tid);
-  if (!recovered.ok()) {
-    // The incarnation already joined the group; detach it before the
-    // object dies, or the delivery thread would keep invoking a
-    // dangling listener on the next view change.
-    incarnation->Crash();
-    return recovered;
+
+  // Full-cluster outage: online recovery needs a live donor, and there
+  // is none. Commits apply in delivery order and an acknowledgement
+  // follows the delegate's local commit, so the replica holding the
+  // longest stable prefix contains every acknowledged commit — it alone
+  // may cold-start as the new epoch's seed; everyone else keeps failing
+  // with a retryable status until it is up, then recovers from it.
+  bool any_alive = false;
+  uint64_t max_prefix = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(replicas_mu_);
+    for (const auto& replica : replicas_) {
+      if (replica->IsAlive()) any_alive = true;
+      max_prefix = std::max(max_prefix, replica->StableCommitPrefix());
+    }
   }
+  if (!any_alive && from_tid >= max_prefix) {
+    middleware::ReplicaOptions ropt = options_.replica;
+    ropt.start_recovering = false;
+    ropt.bootstrap_prefix = from_tid;  // 0 (nothing ever committed) is
+                                       // simply a normal live start
+    auto seed = std::make_unique<middleware::SrcaRepReplica>(
+        nodes_[index]->db(), group_.get(), ropt);
+    Status started = seed->Start();
+    if (!started.ok()) {
+      seed->Crash();
+      return started;
+    }
+    std::unique_lock<std::shared_mutex> lock(replicas_mu_);
+    retired_.push_back(std::move(replicas_[index]));
+    replicas_[index] = std::move(seed);
+    return Status::OK();
+  }
+  if (!any_alive) {
+    return Status::Unavailable(
+        "cluster is down and replica " + std::to_string(index) +
+        " does not hold the longest stable prefix; cold-start the "
+        "longest-prefix replica first");
+  }
+
+  auto incarnation = RecoverIncarnation(nodes_[index]->db(), from_tid);
+  if (!incarnation.ok()) return incarnation.status();
   {
     // Park (don't destroy) the dead incarnation: clients may still hold
     // raw pointers to it mid-failover.
     std::unique_lock<std::shared_mutex> lock(replicas_mu_);
     retired_.push_back(std::move(replicas_[index]));
-    replicas_[index] = std::move(incarnation);
+    replicas_[index] = std::move(incarnation.value());
   }
   return Status::OK();
 }
@@ -121,19 +208,13 @@ Result<size_t> Cluster::AddReplica(
       "replica" + std::to_string(size()), options_.workers_per_replica,
       options_.cost);
   SIREP_RETURN_IF_ERROR(schema_loader(node->db()));
-  middleware::ReplicaOptions ropt = options_.replica;
-  ropt.start_recovering = true;
-  auto replica = std::make_unique<middleware::SrcaRepReplica>(
-      node->db(), group_.get(), ropt);
-  SIREP_RETURN_IF_ERROR(replica->Start());
-  Status recovered = replica->Recover(/*from_tid=*/0);
-  if (!recovered.ok()) {
-    replica->Crash();  // detach the joined listener before destruction
-    return recovered;
-  }
+  // Re-attempts reuse the same database: recovery replay is idempotent,
+  // so data a failed attempt already imported is simply overwritten.
+  auto replica = RecoverIncarnation(node->db(), /*from_tid=*/0);
+  if (!replica.ok()) return replica.status();
   std::unique_lock<std::shared_mutex> lock(replicas_mu_);
   nodes_.push_back(std::move(node));
-  replicas_.push_back(std::move(replica));
+  replicas_.push_back(std::move(replica.value()));
   return nodes_.size() - 1;
 }
 

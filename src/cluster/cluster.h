@@ -1,6 +1,7 @@
 #ifndef SIREP_CLUSTER_CLUSTER_H_
 #define SIREP_CLUSTER_CLUSTER_H_
 
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -18,6 +19,19 @@
 
 namespace sirep::cluster {
 
+/// How RestartReplica/AddReplica retry a failed online recovery.
+/// Recover() itself already fails over across donors; this outer loop
+/// covers the cases it cannot — every donor momentarily dead, the
+/// joining incarnation expelled mid-recovery — by rebuilding the
+/// incarnation and re-entering with exponential backoff.
+struct RecoveryRetryPolicy {
+  size_t max_attempts = 5;
+  std::chrono::milliseconds initial_backoff{10};
+  std::chrono::milliseconds max_backoff{400};
+  /// Overall cap across all attempts (backoff sleeps included).
+  std::chrono::milliseconds deadline{60000};
+};
+
 struct ClusterOptions {
   size_t num_replicas = 3;
   middleware::ReplicaOptions replica;
@@ -26,6 +40,7 @@ struct ClusterOptions {
   size_t workers_per_replica = 4;
   /// All-zero by default: no service-time emulation.
   CostModel cost;
+  RecoveryRetryPolicy recovery_retry;
 };
 
 /// Wires up a full SI-Rep deployment in one process (paper Fig. 3c): N
@@ -150,6 +165,14 @@ class Cluster : public client::ReplicaDirectory {
   std::vector<middleware::SrcaRepReplica*> Discover() override;
 
  private:
+  /// Builds a recovering middleware incarnation over `db` and drives
+  /// Recover(from_tid) to success under options_.recovery_retry:
+  /// retryable failures (kUnavailable/kTimedOut) back off and re-enter,
+  /// rebuilding the incarnation if it died; hard failures and deadline
+  /// exhaustion return the last status with the incarnation crashed.
+  Result<std::unique_ptr<middleware::SrcaRepReplica>> RecoverIncarnation(
+      engine::Database* db, uint64_t from_tid);
+
   ClusterOptions options_;
   std::unique_ptr<gcs::Group> group_;
   /// Guards nodes_/replicas_ against concurrent structural changes:

@@ -147,6 +147,22 @@ class HoleTracker {
     NotifyChange();
   }
 
+  /// Adopts a committed prefix from a recovery state transfer: every
+  /// validated tid <= `tid` is committed at this replica (the recoverer
+  /// replayed the donor's log suffix outside RecordCommit), so
+  /// StablePrefix() must reflect it — a crash right after recovery then
+  /// restarts incrementally instead of forcing a full copy. Never moves
+  /// the prefix backwards; the outstanding set is untouched (recovery
+  /// completes with nothing validated-but-uncommitted).
+  void AdoptCommittedPrefix(uint64_t tid) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (tid > max_committed_) max_committed_ = tid;
+      cv_.notify_all();
+    }
+    NotifyChange();
+  }
+
   /// Drops a validated transaction that will never commit here (replica
   /// shutting down / crashed mid-pipeline) so waiters are not stranded.
   void Discard(uint64_t tid) {

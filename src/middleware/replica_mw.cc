@@ -1,6 +1,7 @@
 #include "middleware/replica_mw.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <set>
 #include <thread>
 
@@ -9,11 +10,49 @@
 
 namespace sirep::middleware {
 
+namespace {
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value) return fallback;
+  return static_cast<uint64_t>(parsed);
+}
+
+/// Applies the SIREP_RECOVERY_* environment overrides (see
+/// ReplicaOptions) once at construction.
+ReplicaOptions ResolveRecoveryEnv(ReplicaOptions options) {
+  options.recovery_timeout = std::chrono::milliseconds(EnvU64(
+      "SIREP_RECOVERY_TIMEOUT_MS",
+      static_cast<uint64_t>(options.recovery_timeout.count())));
+  options.recovery_chunk_timeout = std::chrono::milliseconds(EnvU64(
+      "SIREP_RECOVERY_CHUNK_TIMEOUT_MS",
+      static_cast<uint64_t>(options.recovery_chunk_timeout.count())));
+  options.recovery_chunk_rows = static_cast<size_t>(
+      EnvU64("SIREP_RECOVERY_CHUNK_ROWS", options.recovery_chunk_rows));
+  if (options.recovery_chunk_rows == 0) options.recovery_chunk_rows = 1;
+  options.recovery_buffer_high_water = static_cast<size_t>(EnvU64(
+      "SIREP_RECOVERY_BUFFER_HWM", options.recovery_buffer_high_water));
+  if (options.recovery_buffer_high_water == 0) {
+    options.recovery_buffer_high_water = 1;
+  }
+  return options;
+}
+
+/// Deadline-scaling floor: the effective recovery deadline grows by the
+/// time the received bytes would take at this (very conservative) rate,
+/// so a transfer is never killed merely for being large.
+constexpr uint64_t kRecoveryMinBytesPerMs = 512;
+
+}  // namespace
+
 SrcaRepReplica::SrcaRepReplica(engine::Database* db, gcs::Group* group,
                                ReplicaOptions options)
     : db_(db),
       group_(group),
-      options_(options),
+      options_(ResolveRecoveryEnv(options)),
       ws_index_(options.ws_list_window, options.validation_shards),
       holes_(options.mode == ReplicaMode::kSrcaRep) {
   stage_hists_ = obs::StageHistograms::FromRegistry(&registry_);
@@ -34,6 +73,15 @@ SrcaRepReplica::SrcaRepReplica(engine::Database* db, gcs::Group* group,
   g_ws_list_size_ = registry_.GetGauge("mw.wslist.size");
   g_holes_outstanding_ = registry_.GetGauge("mw.holes.outstanding");
   g_clock_offset_ns_ = registry_.GetGauge("mw.clock.offset_estimate_ns");
+  c_rec_chunks_sent_ = registry_.GetCounter("mw.recovery.chunks_sent");
+  c_rec_bytes_sent_ = registry_.GetCounter("mw.recovery.bytes_sent");
+  c_rec_chunks_received_ =
+      registry_.GetCounter("mw.recovery.chunks_received");
+  c_rec_bytes_received_ = registry_.GetCounter("mw.recovery.bytes_received");
+  c_rec_retries_ = registry_.GetCounter("mw.recovery.retries");
+  c_rec_donor_switches_ = registry_.GetCounter("mw.recovery.donor_switches");
+  c_rec_buffer_spills_ = registry_.GetCounter("mw.recovery.buffer_spills");
+  g_rec_buffered_msgs_ = registry_.GetGauge("mw.recovery.buffered_msgs");
   holes_.SetWaitHistogram(
       registry_.GetLatencyHistogram("mw.begin.hole_wait_us"));
   if (options_.start_recovering) {
@@ -42,7 +90,12 @@ SrcaRepReplica::SrcaRepReplica(engine::Database* db, gcs::Group* group,
   }
 }
 
-SrcaRepReplica::~SrcaRepReplica() { Shutdown(); }
+SrcaRepReplica::~SrcaRepReplica() {
+  Shutdown();
+  // Shutdown() already joined the streamers it saw; catch any spawned
+  // in the race window before the delivery thread observed shutdown_.
+  JoinStreamers();
+}
 
 Status SrcaRepReplica::Start() {
   // Byte-shipping transports (TCP sequencer) need these to serialize our
@@ -54,6 +107,19 @@ Status SrcaRepReplica::Start() {
   // Re-run the dispatch scan whenever the hole gate may have opened
   // (a commit, a discard, or a waiting start proceeding).
   holes_.SetChangeListener([this] { ScheduleAppliers(); });
+  if (options_.bootstrap_prefix > 0) {
+    if (options_.start_recovering) {
+      return Status::InvalidArgument(
+          "bootstrap_prefix and start_recovering are mutually exclusive");
+    }
+    // Cold start over a surviving database: the data is already here, so
+    // validation bookkeeping resumes at the adopted prefix. The writeset
+    // log stays empty — as a donor we can only offer full copies until
+    // new deliveries refill it, which the donor floor logic handles.
+    std::lock_guard<std::mutex> lock(wsmutex_);
+    lastvalidated_tid_ = options_.bootstrap_prefix;
+    holes_.AdoptCommittedPrefix(options_.bootstrap_prefix);
+  }
   const gcs::MemberId id = group_->Join(this);
   if (id == gcs::kInvalidMember) {
     return Status::Unavailable("group is shut down");
@@ -371,9 +437,38 @@ void SrcaRepReplica::OnDeliver(const gcs::Message& message) {
   {
     std::lock_guard<std::mutex> lock(buffer_mu_);
     if (delivery_mode_ == DeliveryMode::kBuffering) {
-      // Before our own recovery marker the donor's package covers the
+      // Before our own recovery marker the donor's stream covers the
       // message; after it, we replay it ourselves once caught up.
-      if (fence_seen_) buffered_.push_back(message);
+      if (fence_seen_) {
+        buffered_.push_back(message);
+        const size_t depth = buffered_.size();
+        g_rec_buffered_msgs_->Set(static_cast<int64_t>(depth));
+        if (spill_enabled_ && depth >= buffer_hwm_) {
+          // Backpressure: instead of growing without bound under heavy
+          // live traffic, drop the buffer and the fence wholesale. The
+          // recoverer observes buffer_spilled_ and re-anchors at a
+          // fresh marker whose donation covers everything dropped here
+          // — nothing is lost, only the transfer tail is repeated.
+          // Each spill doubles the allowance for the next attempt:
+          // under sustained delivery pressure a fixed mark could spill
+          // every re-anchor forever, so the bound escalates until one
+          // transfer outruns the live stream (memory stays bounded —
+          // the mark at most doubles per attempt, and attempts are
+          // capped).
+          buffered_.clear();
+          fence_seen_ = false;
+          buffer_spilled_ = true;
+          buffer_hwm_ *= 2;
+          c_rec_buffer_spills_->Increment();
+          g_rec_buffered_msgs_->Set(0);
+          flight_.Record(obs::FlightEventType::kQueueHighWater,
+                         member_id(), depth, buffer_hwm_,
+                         "mw.recovery.buffer");
+          flight_.Record(obs::FlightEventType::kRecovery, member_id(),
+                         current_transfer_id_, depth, "buffer_spill");
+          buffer_cv_.notify_all();
+        }
+      }
       return;
     }
   }
@@ -677,84 +772,388 @@ void SrcaRepReplica::HandleRecoveryRequest(const gcs::Message& message) {
   const auto* req = message.As<RecoveryRequest>();
   if (req->requester == member_id()) {
     // Our own marker: everything delivered from here on is ours to
-    // replay; everything before is covered by the donor's package.
+    // replay; everything before is covered by the donor's stream. Only
+    // the current attempt's marker arms the fence — a marker from an
+    // abandoned attempt delivered late must not, or pre-marker messages
+    // of the live attempt would be double-validated after adoption.
     std::lock_guard<std::mutex> lock(buffer_mu_);
-    fence_seen_ = true;
+    if (req->transfer_id == current_transfer_id_) {
+      fence_seen_ = true;
+      buffer_cv_.notify_all();
+    }
     return;
   }
   if (req->donor != member_id() || req->channel == nullptr) return;
 
-  // Donor side: snapshot the validation state exactly at the marker
-  // point of the total order (we are on the delivery thread, so every
-  // earlier message has been fully validated).
-  RecoveryPackage package;
+  const auto refuse = [&](Status status) {
+    RecoveryChunk chunk;
+    chunk.status = std::move(status);
+    chunk.transfer_id = req->transfer_id;
+    {
+      std::lock_guard<std::mutex> lock(req->channel->mu);
+      req->channel->chunks.push_back(std::move(chunk));
+      req->channel->closed = true;
+    }
+    req->channel->cv.notify_all();
+  };
   if (!IsAcceptingClients()) {
     // A replica that is itself recovering (or shutting down) has stale
     // state and must not donate.
-    package.status = Status::Unavailable("chosen donor is not live");
-    {
-      std::lock_guard<std::mutex> lock(req->channel->mu);
-      req->channel->package = std::move(package);
-      req->channel->ready = true;
-    }
-    req->channel->cv.notify_all();
+    refuse(Status::Unavailable("chosen donor is not live"));
     return;
   }
+  if (options_.ws_log_capacity == 0) {
+    refuse(Status::NotSupported("this replica keeps no writeset log"));
+    return;
+  }
+
+  // Donor side: snapshot the donation plan exactly at the marker point
+  // of the total order (we are on the delivery thread, so every earlier
+  // message has been fully validated). Chunk materialization happens on
+  // a streamer thread; the dump transaction pins the marker-consistent
+  // MVCC snapshot, so its lazy table scans still observe marker state.
+  auto plan = std::make_shared<DonorPlan>();
+  plan->transfer_id = req->transfer_id;
+  plan->channel = req->channel;
   {
     std::lock_guard<std::mutex> lock(wsmutex_);
-    package.lastvalidated = lastvalidated_tid_;
-    package.ws_window = ws_index_.Snapshot();
-    if (options_.ws_log_capacity == 0) {
-      package.status =
-          Status::NotSupported("this replica keeps no writeset log");
-    } else if (!ws_log_.empty() && req->from_tid + 1 < ws_log_.front().tid) {
-      // The log no longer reaches back to the recoverer's prefix: fall
-      // back to a full-state transfer (the paper's "complete database
-      // copy", done online at the marker). The copy includes every
-      // commit up to our stable prefix; the log tail covers the
+    plan->lastvalidated = lastvalidated_tid_;
+    plan->ws_window = ws_index_.Snapshot();
+    // The tid floor our log must reach back to. While the requester has
+    // a full copy in flight we must keep serving that copy's base: its
+    // finished tables are consistent only against that base, whoever
+    // dumped them.
+    const uint64_t floor =
+        req->cursor.full_copy_started
+            ? req->cursor.full_copy_base
+            : std::max(req->from_tid, req->cursor.applied_tid);
+    // An empty log covers nothing: it "reaches" the floor only when
+    // there is nothing after the floor to send at all. (A bootstrapped
+    // replica has lastvalidated > 0 with an empty log, so the old
+    // `empty == reaches-everything` shortcut would silently skip the
+    // suffix and diverge the requester.)
+    const bool reaches = ws_log_.empty()
+                             ? floor >= lastvalidated_tid_
+                             : floor + 1 >= ws_log_.front().tid;
+    if (reaches && req->cursor.full_copy_started) {
+      // Resume the previous donor's copy: same base, remaining tables;
+      // idempotent full-row replay of (base, now] reconciles whatever
+      // the earlier snapshot and ours disagree on.
+      plan->full_copy = true;
+      plan->full_copy_base = req->cursor.full_copy_base;
+    } else if (reaches) {
+      // Incremental catch-up: the log suffix alone suffices.
+    } else {
+      // The log no longer reaches back to the requester's floor: fall
+      // back to a fresh full-state transfer (the paper's "complete
+      // database copy", done online at the marker). The copy includes
+      // every commit up to our stable prefix; the log tail covers the
       // validated-but-uncommitted remainder (idempotent to re-apply).
       const uint64_t stable = holes_.StablePrefix();
-      if (stable + 1 < ws_log_.front().tid) {
-        package.status = Status::Internal(
+      const bool log_covers_tail = ws_log_.empty()
+                                       ? stable >= lastvalidated_tid_
+                                       : stable + 1 >= ws_log_.front().tid;
+      if (!log_covers_tail) {
+        refuse(Status::Internal(
             "writeset log smaller than the commit pipeline; increase "
-            "ws_log_capacity");
-      } else {
-        package.status = Status::OK();
-        package.has_full_copy = true;
-        auto dump_txn = db_->Begin();
-        for (const auto& table : db_->engine().TableNames()) {
-          TableDump dump;
-          dump.table = table;
-          dump.schema = db_->engine().GetTable(table)->schema();
-          Status scan = db_->engine().Scan(
-              dump_txn, table,
-              [&](const sql::Key&, const sql::Row& row) {
-                dump.rows.push_back(row);
-              });
-          if (!scan.ok()) {
-            package.status = scan;
-            break;
-          }
-          package.full_copy.push_back(std::move(dump));
-        }
-        db_->Abort(dump_txn);
-        for (const auto& entry : ws_log_) {
-          if (entry.tid > stable) package.log_suffix.push_back(entry);
-        }
+            "ws_log_capacity"));
+        return;
       }
-    } else {
-      package.status = Status::OK();
-      for (const auto& entry : ws_log_) {
-        if (entry.tid > req->from_tid) package.log_suffix.push_back(entry);
+      plan->full_copy = true;
+      plan->full_copy_restart = req->cursor.full_copy_started;
+      plan->full_copy_base = stable;
+    }
+    const uint64_t log_floor =
+        plan->full_copy
+            ? plan->full_copy_base
+            : std::max(req->from_tid, req->cursor.applied_tid);
+    for (const auto& entry : ws_log_) {
+      if (entry.tid > log_floor) plan->log_suffix.push_back(entry);
+    }
+    if (plan->full_copy) {
+      std::set<std::string> done(req->cursor.tables_done.begin(),
+                                 req->cursor.tables_done.end());
+      if (plan->full_copy_restart) done.clear();
+      for (const auto& table : db_->engine().TableNames()) {
+        if (done.count(table) == 0) plan->tables.push_back(table);
       }
+      plan->dump_txn = db_->Begin();
     }
   }
+  flight_.Record(obs::FlightEventType::kRecovery, member_id(),
+                 plan->transfer_id, req->requester, "donate");
   {
-    std::lock_guard<std::mutex> lock(req->channel->mu);
-    req->channel->package = std::move(package);
-    req->channel->ready = true;
+    std::lock_guard<std::mutex> lock(streamers_mu_);
+    if (shutdown_.load(std::memory_order_acquire)) {
+      if (plan->dump_txn != nullptr) db_->Abort(plan->dump_txn);
+      refuse(Status::Unavailable("donor shutting down"));
+      return;
+    }
+    streamers_.emplace_back(
+        [this, plan] { StreamRecoveryChunks(std::move(plan)); });
   }
-  req->channel->cv.notify_all();
+}
+
+void SrcaRepReplica::StreamRecoveryChunks(std::shared_ptr<DonorPlan> plan) {
+  const auto channel = plan->channel;
+  // Abort the dump snapshot whichever way this thread exits.
+  struct DumpGuard {
+    engine::Database* db;
+    storage::TransactionPtr txn;
+    ~DumpGuard() {
+      if (txn != nullptr) db->Abort(txn);
+    }
+  } dump_guard{db_, plan->dump_txn};
+
+  const auto close = [&] {
+    {
+      std::lock_guard<std::mutex> lock(channel->mu);
+      channel->closed = true;
+    }
+    channel->cv.notify_all();
+  };
+  uint32_t index = 0;
+  bool silent_stop = false;
+  // Pushes one chunk, honoring the queue bound and the recoverer's
+  // abandonment; returning false stops the stream.
+  const auto send = [&](RecoveryChunk chunk) -> bool {
+    // "mw.recovery.stall" stretches the inter-chunk gap (delay-only
+    // hook); "mw.recovery.chunk_drop" loses this chunk and everything
+    // after it *without* closing the channel, so the recoverer must
+    // detect the stall through its per-chunk deadline.
+    SIREP_FAILPOINT_HIT("mw.recovery.stall");
+    if (SIREP_FAILPOINT_HIT("mw.recovery.chunk_drop").fired) {
+      silent_stop = true;
+      return false;
+    }
+    chunk.transfer_id = plan->transfer_id;
+    chunk.index = index++;
+    const size_t bytes = chunk.approx_bytes;
+    {
+      std::unique_lock<std::mutex> lock(channel->mu);
+      while (channel->chunks.size() >= channel->capacity &&
+             !channel->abandoned) {
+        if (shutdown_.load(std::memory_order_acquire) || !IsAlive()) {
+          return false;
+        }
+        channel->cv.wait_for(lock, std::chrono::milliseconds(50));
+      }
+      if (channel->abandoned) return false;
+      channel->chunks.push_back(std::move(chunk));
+    }
+    channel->cv.notify_all();
+    c_rec_chunks_sent_->Increment();
+    c_rec_bytes_sent_->Add(bytes);
+    // Crash *after* the chunk is out: the recoverer observes a genuine
+    // partial transfer and must fail over to another donor.
+    if (SIREP_FAILPOINT_HIT("mw.recovery.donor_crash_mid_transfer").fired) {
+      close();
+      Crash();
+      silent_stop = true;  // channel already closed
+      return false;
+    }
+    return true;
+  };
+
+  bool ok;
+  {
+    RecoveryChunk meta;
+    meta.has_meta = true;
+    meta.lastvalidated = plan->lastvalidated;
+    meta.ws_window = std::move(plan->ws_window);
+    meta.full_copy = plan->full_copy;
+    meta.full_copy_restart = plan->full_copy_restart;
+    meta.full_copy_base = plan->full_copy_base;
+    meta.approx_bytes = 64 + meta.ws_window.size() * 128;
+    ok = send(std::move(meta));
+  }
+  // Table dumps (full copy), one table at a time: streamer memory is
+  // bounded by the largest table, not the whole database.
+  for (size_t t = 0; ok && t < plan->tables.size(); ++t) {
+    const std::string& table = plan->tables[t];
+    storage::MvccTable* mvcc = db_->engine().GetTable(table);
+    if (mvcc == nullptr) continue;
+    const sql::Schema schema = mvcc->schema();
+    std::vector<sql::Row> rows;
+    Status scan = db_->engine().Scan(
+        plan->dump_txn, table,
+        [&](const sql::Key&, const sql::Row& row) { rows.push_back(row); });
+    if (!scan.ok()) {
+      RecoveryChunk failed;
+      failed.status = scan;
+      failed.transfer_id = plan->transfer_id;
+      {
+        // Error chunks bypass the capacity bound (at most one extra
+        // entry) so a failing scan is always reported.
+        std::lock_guard<std::mutex> lock(channel->mu);
+        channel->chunks.push_back(std::move(failed));
+      }
+      channel->cv.notify_all();
+      ok = false;
+      break;
+    }
+    size_t offset = 0;
+    bool first = true;
+    do {
+      const size_t n =
+          std::min(options_.recovery_chunk_rows, rows.size() - offset);
+      RecoveryChunk chunk;
+      chunk.table = table;
+      chunk.schema = schema;
+      chunk.table_begin = first;
+      chunk.table_complete = offset + n == rows.size();
+      chunk.rows.assign(rows.begin() + static_cast<long>(offset),
+                        rows.begin() + static_cast<long>(offset + n));
+      chunk.approx_bytes = 32 + chunk.rows.size() * 64;
+      first = false;
+      offset += n;
+      ok = send(std::move(chunk));
+    } while (ok && offset < rows.size());
+  }
+  // Log suffix.
+  for (size_t offset = 0; ok && offset < plan->log_suffix.size();
+       offset += options_.recovery_chunk_rows) {
+    const size_t n = std::min(options_.recovery_chunk_rows,
+                              plan->log_suffix.size() - offset);
+    RecoveryChunk chunk;
+    chunk.log.assign(plan->log_suffix.begin() + static_cast<long>(offset),
+                     plan->log_suffix.begin() + static_cast<long>(offset + n));
+    chunk.approx_bytes = chunk.log.size() * 160;
+    ok = send(std::move(chunk));
+  }
+  if (ok) {
+    RecoveryChunk fin;
+    fin.final_chunk = true;
+    ok = send(std::move(fin));
+  }
+  if (!silent_stop) close();
+}
+
+Status SrcaRepReplica::ApplyRecoveryLogEntry(const LogEntry& entry) {
+  if (entry.ws == nullptr) {
+    // Replicated DDL at this position. AlreadyExists is fine (a
+    // restarted replica's schema survived the crash, or an earlier
+    // donor's chunks already shipped it).
+    auto r = db_->ExecuteAutoCommit(entry.ddl);
+    if (!r.ok() && r.status().code() != StatusCode::kAlreadyExists) {
+      return Status::Internal("recovery DDL replay failed: " +
+                              r.status().ToString());
+    }
+    return Status::OK();
+  }
+  while (true) {
+    auto txn = db_->Begin();
+    Status st = db_->ApplyWriteSet(txn, *entry.ws);
+    if (st.ok()) st = db_->Commit(txn);
+    if (st.ok()) break;
+    db_->Abort(txn);
+    if (!st.IsTransactionFailure()) {
+      return Status::Internal("recovery replay failed at tid " +
+                              std::to_string(entry.tid) + ": " +
+                              st.ToString());
+    }
+  }
+  RecordOutcome(entry.gid, /*committed=*/true);
+  MarkLocallyCommitted(entry.gid);
+  return Status::OK();
+}
+
+Status SrcaRepReplica::ApplyRecoveryChunk(const RecoveryChunk& chunk,
+                                          RecoveryProgress* progress) {
+  if (chunk.has_meta) {
+    progress->have_meta = true;
+    progress->lastvalidated = chunk.lastvalidated;
+    progress->ws_window = chunk.ws_window;
+    if (chunk.full_copy) {
+      if (chunk.full_copy_restart ||
+          (progress->cursor.full_copy_started &&
+           progress->cursor.full_copy_base != chunk.full_copy_base)) {
+        // This donor could not resume the previous copy: its dump uses
+        // a new base, so partially transferred tables and adopted log
+        // entries against the old base are discarded. The database
+        // rows themselves need no undo — the new dump plus the
+        // delete-sweep overwrites them.
+        progress->cursor.tables_done.clear();
+        progress->adopted_log.clear();
+      }
+      progress->cursor.full_copy_started = true;
+      progress->cursor.full_copy_base = chunk.full_copy_base;
+    }
+    progress->table_active = false;
+    return Status::OK();
+  }
+  if (chunk.final_chunk) return Status::OK();
+
+  if (!chunk.table.empty()) {
+    // Full-copy table rows: overwrite every dumped row; at
+    // table_complete delete everything local the donor no longer has.
+    storage::MvccTable* table = db_->engine().GetTable(chunk.table);
+    if (chunk.table_begin) {
+      if (table == nullptr) {
+        // The table was created via replicated DDL we never saw: create
+        // it from the shipped schema.
+        SIREP_RETURN_IF_ERROR(
+            db_->engine().CreateTable(chunk.table, chunk.schema));
+        table = db_->engine().GetTable(chunk.table);
+      }
+      progress->table_active = true;
+      progress->table = chunk.table;
+      progress->leftover_keys.clear();
+      auto view_txn = db_->Begin();
+      Status scan = db_->engine().Scan(
+          view_txn, chunk.table,
+          [&](const sql::Key& key, const sql::Row&) {
+            progress->leftover_keys.insert(key);
+          });
+      db_->Abort(view_txn);
+      if (!scan.ok()) return scan;
+    }
+    if (table == nullptr || !progress->table_active ||
+        progress->table != chunk.table) {
+      return Status::Internal("recovery table chunk out of order for '" +
+                              chunk.table + "'");
+    }
+    storage::WriteSet sync;
+    for (const auto& row : chunk.rows) {
+      const sql::Key key = table->schema().KeyOf(row);
+      progress->leftover_keys.erase(key);
+      sync.Record({chunk.table, key}, storage::WriteOp::kUpdate, row);
+    }
+    if (chunk.table_complete) {
+      for (const auto& key : progress->leftover_keys) {
+        sync.Record({chunk.table, key}, storage::WriteOp::kDelete, {});
+      }
+    }
+    if (!sync.empty()) {
+      auto txn = db_->Begin();
+      Status st = db_->ApplyWriteSet(txn, sync);
+      if (st.ok()) st = db_->Commit(txn);
+      if (!st.ok()) {
+        db_->Abort(txn);
+        return Status::Internal("full-copy import failed for table '" +
+                                chunk.table + "': " + st.ToString());
+      }
+    }
+    if (chunk.table_complete) {
+      progress->table_active = false;
+      progress->leftover_keys.clear();
+      progress->cursor.tables_done.push_back(chunk.table);
+    }
+    return Status::OK();
+  }
+
+  // Log-suffix entries: apply the ones we have not applied yet (nobody
+  // else touches this DB — no clients, no appliers — and re-applying
+  // writesets a previous incarnation committed is idempotent), record
+  // all of them for ws_log_ adoption.
+  for (const auto& entry : chunk.log) {
+    if (entry.tid > progress->cursor.applied_tid) {
+      SIREP_RETURN_IF_ERROR(ApplyRecoveryLogEntry(entry));
+      progress->cursor.applied_tid = entry.tid;
+    }
+    progress->adopted_log[entry.tid] = entry;
+  }
+  return Status::OK();
 }
 
 Status SrcaRepReplica::Recover(uint64_t from_tid,
@@ -766,166 +1165,329 @@ Status SrcaRepReplica::Recover(uint64_t from_tid,
       return Status::InvalidArgument(
           "Recover() requires start_recovering = true");
     }
+    buffer_hwm_ = options_.recovery_buffer_high_water;
   }
+  if (timeout.count() <= 0) timeout = options_.recovery_timeout;
 
-  // Try each live member as donor until one that is fully live answers.
-  // Before every attempt the fence and buffer reset: only the messages
-  // after the *successful* marker may be replayed from the buffer, or
-  // they would be double-counted against the donor's package.
-  RecoveryPackage package;
-  package.status = Status::Unavailable("no donor available for recovery");
-  for (gcs::MemberId donor : group_->CurrentView().members) {
-    if (donor == member_id()) continue;
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  uint64_t total_bytes = 0;
+  // The effective deadline stretches with the bytes received: a
+  // transfer still making progress is never killed for being large.
+  const auto deadline = [&] {
+    return start + timeout +
+           std::chrono::milliseconds(total_bytes / kRecoveryMinBytesPerMs);
+  };
+
+  RecoveryProgress progress;
+  progress.cursor.applied_tid = from_tid;
+
+  // Deterministic per-replica jitter for the retry backoff (xorshift;
+  // recovery runs on one thread, no shared RNG needed).
+  uint64_t jitter_state = 0x9e3779b97f4a7c15ull ^
+                          (static_cast<uint64_t>(member_id()) << 32) ^
+                          (from_tid + 1);
+  const auto next_jitter = [&](uint64_t bound_ms) -> uint64_t {
+    jitter_state ^= jitter_state << 13;
+    jitter_state ^= jitter_state >> 7;
+    jitter_state ^= jitter_state << 17;
+    return bound_ms == 0 ? 0 : jitter_state % bound_ms;
+  };
+
+  Status last_error =
+      Status::Unavailable("no donor available for recovery");
+  size_t donor_idx = 0;
+  std::chrono::milliseconds backoff(5);
+  gcs::MemberId prev_donor = gcs::kInvalidMember;
+  bool prev_donor_started = false;
+
+  for (size_t attempt = 0; attempt < options_.recovery_max_attempts;
+       ++attempt) {
+    if (!IsAlive()) return Status::Unavailable("replica crashed");
+    if (shutdown_.load(std::memory_order_acquire)) {
+      return Status::Unavailable("replica shutting down");
+    }
+    if (attempt > 0) {
+      c_rec_retries_->Increment();
+      std::this_thread::sleep_for(
+          backoff +
+          std::chrono::milliseconds(
+              next_jitter(static_cast<uint64_t>(backoff.count()))));
+      backoff = std::min(backoff * 2, std::chrono::milliseconds(200));
+      if (Clock::now() > deadline()) {
+        return Status::TimedOut(
+            "recovery deadline exceeded after " + std::to_string(attempt) +
+            " attempts; last error: " + last_error.ToString());
+      }
+    }
+
+    // Donor election: rotate over the other live members of the
+    // current view; the index only advances on a donor fault, so a
+    // buffer-spill re-anchor keeps its (healthy) donor.
+    std::vector<gcs::MemberId> candidates;
+    for (gcs::MemberId member : group_->CurrentView().members) {
+      if (member != member_id() && group_->IsAlive(member)) {
+        candidates.push_back(member);
+      }
+    }
+    if (candidates.empty()) continue;
+    const gcs::MemberId donor = candidates[donor_idx % candidates.size()];
+    const uint64_t transfer_id =
+        (static_cast<uint64_t>(member_id()) + 1) << 32 |
+        (transfer_seq_.fetch_add(1, std::memory_order_relaxed) + 1);
+
+    // Arm the fence for this attempt only: marker, buffer, and spill
+    // state of any abandoned attempt are dead from here on. The
+    // high-water mark is NOT reset — spills escalate it across attempts
+    // (see OnDeliver) so re-anchoring converges under sustained load.
     {
       std::lock_guard<std::mutex> lock(buffer_mu_);
       fence_seen_ = false;
       buffered_.clear();
+      buffer_spilled_ = false;
+      spill_enabled_ = true;
+      current_transfer_id_ = transfer_id;
+      g_rec_buffered_msgs_->Set(0);
     }
+
     auto channel = std::make_shared<RecoveryChannel>();
-    auto payload = std::make_shared<const RecoveryRequest>(
-        RecoveryRequest{member_id(), donor, from_tid, channel});
-    Status mc = group_->Multicast(member_id(), kRecoveryRequestType, payload);
+    RecoveryRequest request;
+    request.requester = member_id();
+    request.donor = donor;
+    request.from_tid = from_tid;
+    request.transfer_id = transfer_id;
+    request.cursor = progress.cursor;
+    request.channel = channel;
+    auto payload =
+        std::make_shared<const RecoveryRequest>(std::move(request));
+    Status mc =
+        group_->Multicast(member_id(), kRecoveryRequestType, payload);
     if (!mc.ok()) return mc;
-    {
-      std::unique_lock<std::mutex> lock(channel->mu);
-      if (!channel->cv.wait_for(lock, timeout,
-                                [&] { return channel->ready; })) {
-        return Status::TimedOut("recovery donor did not respond");
-      }
-      package = std::move(channel->package);
+    if (prev_donor != gcs::kInvalidMember && donor != prev_donor &&
+        prev_donor_started) {
+      c_rec_donor_switches_->Increment();
+      flight_.Record(obs::FlightEventType::kRecovery, member_id(),
+                     transfer_id, donor, "donor_switch");
+    } else {
+      flight_.Record(obs::FlightEventType::kRecovery, member_id(),
+                     transfer_id, donor, "request");
     }
-    if (package.status.ok() ||
-        package.status.code() != StatusCode::kUnavailable) {
-      break;  // success, or a hard error worth reporting
-    }
-  }
-  SIREP_RETURN_IF_ERROR(package.status);
-  SIREP_ILOG << "replica " << member_id() << " recovering: "
-             << (package.has_full_copy ? "full copy + " : "")
-             << package.log_suffix.size() << " writesets to replay, "
-             << "resuming validation at tid " << package.lastvalidated;
+    prev_donor = donor;
+    prev_donor_started = false;
 
-  // Phase 0 (full-copy fallback): synchronize our committed state with
-  // the donor's dump — overwrite every dumped row, delete everything the
-  // donor no longer has.
-  if (package.has_full_copy) {
-    for (const auto& dump : package.full_copy) {
-      storage::MvccTable* table = db_->engine().GetTable(dump.table);
-      if (table == nullptr) {
-        // The table was created via replicated DDL we never saw: create
-        // it from the shipped schema.
-        SIREP_RETURN_IF_ERROR(
-            db_->engine().CreateTable(dump.table, dump.schema));
-        table = db_->engine().GetTable(dump.table);
+    bool donor_fault = false;
+    bool transfer_done = false;
+    bool re_anchor = false;
+    auto last_chunk_time = Clock::now();
+    while (!transfer_done && !donor_fault && !re_anchor) {
+      RecoveryChunk chunk;
+      bool got = false;
+      bool closed = false;
+      {
+        std::unique_lock<std::mutex> lock(channel->mu);
+        channel->cv.wait_for(lock, std::chrono::milliseconds(25), [&] {
+          return !channel->chunks.empty() || channel->closed;
+        });
+        if (!channel->chunks.empty()) {
+          chunk = std::move(channel->chunks.front());
+          channel->chunks.pop_front();
+          got = true;
+        } else {
+          closed = channel->closed;
+        }
       }
-      storage::WriteSet sync;
-      auto view_txn = db_->Begin();
-      std::set<sql::Key> local_keys;
-      Status scan = db_->engine().Scan(
-          view_txn, dump.table,
-          [&](const sql::Key& key, const sql::Row&) {
-            local_keys.insert(key);
-          });
-      db_->Abort(view_txn);
-      if (!scan.ok()) return scan;
-      for (const auto& row : dump.rows) {
-        const sql::Key key = table->schema().KeyOf(row);
-        local_keys.erase(key);
-        sync.Record({dump.table, key}, storage::WriteOp::kUpdate, row);
+      if (got) channel->cv.notify_all();  // free a producer slot
+      if (!got) {
+        if (!IsAlive()) return Status::Unavailable("replica crashed");
+        if (shutdown_.load(std::memory_order_acquire)) {
+          return Status::Unavailable("replica shutting down");
+        }
+        const auto now = Clock::now();
+        if (closed) {
+          last_error = Status::Unavailable("donor closed mid-transfer");
+          donor_fault = true;
+        } else if (!group_->IsAlive(donor)) {
+          // View-change fast path: no need to wait out the chunk
+          // deadline when the group already expelled the donor.
+          last_error = Status::Unavailable("donor crashed mid-transfer");
+          donor_fault = true;
+        } else if (now - last_chunk_time >
+                   options_.recovery_chunk_timeout) {
+          last_error = Status::TimedOut("donor stalled mid-transfer");
+          donor_fault = true;
+        } else if (now > deadline()) {
+          return Status::TimedOut("recovery deadline exceeded");
+        }
+        continue;
       }
-      for (const auto& key : local_keys) {
-        sync.Record({dump.table, key}, storage::WriteOp::kDelete, {});
+      last_chunk_time = Clock::now();
+      if (chunk.transfer_id != transfer_id) continue;  // stale attempt
+      if (!chunk.status.ok()) {
+        last_error = chunk.status;
+        const StatusCode code = chunk.status.code();
+        if (code != StatusCode::kUnavailable &&
+            code != StatusCode::kNotSupported &&
+            code != StatusCode::kTimedOut) {
+          return chunk.status;  // hard error: config or replay failure
+        }
+        donor_fault = true;
+        continue;
       }
-      if (sync.empty()) continue;
-      auto txn = db_->Begin();
-      Status st = db_->ApplyWriteSet(txn, sync);
-      if (st.ok()) st = db_->Commit(txn);
-      if (!st.ok()) {
-        db_->Abort(txn);
-        return Status::Internal("full-copy import failed for table '" +
-                                dump.table + "': " + st.ToString());
+      prev_donor_started = true;
+      total_bytes += chunk.approx_bytes;
+      c_rec_chunks_received_->Increment();
+      c_rec_bytes_received_->Add(static_cast<uint64_t>(chunk.approx_bytes));
+      SIREP_RETURN_IF_ERROR(ApplyRecoveryChunk(chunk, &progress));
+      // A buffer spill invalidated this marker: re-anchor at a fresh
+      // one. The cursor keeps everything already applied, so the retry
+      // transfers only the tail.
+      {
+        std::lock_guard<std::mutex> lock(buffer_mu_);
+        if (buffer_spilled_) {
+          last_error =
+              Status::Unavailable("recovery buffer spilled; re-anchoring");
+          re_anchor = true;
+          continue;
+        }
+      }
+      if (chunk.final_chunk) {
+        if (!progress.have_meta) {
+          last_error = Status::Unavailable("donor stream missing meta");
+          donor_fault = true;
+          continue;
+        }
+        transfer_done = true;
       }
     }
-  }
-
-  // Phase 1: replay the missed writesets into our database. Nobody else
-  // touches this DB (no clients, no appliers), and re-applying writesets
-  // our previous incarnation already committed is idempotent.
-  for (const auto& entry : package.log_suffix) {
-    if (entry.ws == nullptr) {
-      // Replicated DDL at this position. AlreadyExists is fine (a
-      // restarted replica's schema survived the crash).
-      auto r = db_->ExecuteAutoCommit(entry.ddl);
-      if (!r.ok() && r.status().code() != StatusCode::kAlreadyExists) {
-        return Status::Internal("recovery DDL replay failed: " +
-                                r.status().ToString());
+    if (!transfer_done) {
+      // Tell a still-running streamer to quit, then rotate donors on a
+      // fault (a re-anchor keeps the same, healthy donor).
+      {
+        std::lock_guard<std::mutex> lock(channel->mu);
+        channel->abandoned = true;
       }
+      channel->cv.notify_all();
+      if (donor_fault) ++donor_idx;
       continue;
     }
-    while (true) {
-      auto txn = db_->Begin();
-      Status st = db_->ApplyWriteSet(txn, *entry.ws);
-      if (st.ok()) st = db_->Commit(txn);
-      if (st.ok()) break;
-      db_->Abort(txn);
-      if (!st.IsTransactionFailure()) {
-        return Status::Internal("recovery replay failed at tid " +
-                                std::to_string(entry.tid) + ": " +
-                                st.ToString());
-      }
-    }
-    RecordOutcome(entry.gid, /*committed=*/true);
-    MarkLocallyCommitted(entry.gid);
-  }
 
-  // Phase 2: adopt the donor's validation state so our future decisions
-  // match every other replica's.
-  {
-    std::lock_guard<std::mutex> lock(wsmutex_);
-    lastvalidated_tid_ = package.lastvalidated;
-    ws_index_.Load(package.ws_window);
-    ws_log_.assign(package.log_suffix.begin(), package.log_suffix.end());
-  }
-
-  // Phase 3: drain the buffered post-marker messages through normal
-  // validation. First a few passes without blocking delivery (bulk of
-  // the backlog); then a final pass holding buffer_mu_, during which the
-  // delivery thread briefly blocks — that makes the flip to live
-  // atomic and bounds the drain even under heavy concurrent traffic.
-  for (int pass = 0; pass < 16; ++pass) {
-    std::vector<gcs::Message> batch;
+    // Final chunk received. Wait for our own marker: the donor
+    // snapshotted at its delivery of the request, and our delivery
+    // thread may still be catching up to that position in the total
+    // order — adopting before the fence is armed would double-validate
+    // the pre-marker messages it is about to buffer. Then atomically
+    // confirm no spill raced the transfer tail and disable further
+    // spills for the drain.
+    bool fence_ok = false;
     {
-      std::lock_guard<std::mutex> lock(buffer_mu_);
-      if (buffered_.size() < 64) break;
-      batch.swap(buffered_);
-    }
-    for (const auto& message : batch) {
-      if (message.type == kDdlMessageType) {
-        ProcessDdl(message);
-      } else {
-        ProcessWriteSet(message);
+      std::unique_lock<std::mutex> lock(buffer_mu_);
+      buffer_cv_.wait_until(lock, deadline(), [&] {
+        return fence_seen_ || buffer_spilled_ ||
+               shutdown_.load(std::memory_order_acquire) || !IsAlive();
+      });
+      if (buffer_spilled_) {
+        last_error =
+            Status::Unavailable("recovery buffer spilled; re-anchoring");
+      } else if (fence_seen_) {
+        spill_enabled_ = false;
+        fence_ok = true;
       }
     }
-  }
-  {
-    std::unique_lock<std::mutex> lock(buffer_mu_);
-    while (!buffered_.empty()) {
+    if (!IsAlive()) return Status::Unavailable("replica crashed");
+    if (shutdown_.load(std::memory_order_acquire)) {
+      return Status::Unavailable("replica shutting down");
+    }
+    if (!fence_ok) {
+      if (Clock::now() > deadline()) {
+        return Status::TimedOut("recovery marker never delivered");
+      }
+      continue;  // spilled: re-anchor with the same donor
+    }
+
+    SIREP_ILOG << "replica " << member_id() << " recovered via transfer "
+               << transfer_id << ": " << progress.adopted_log.size()
+               << " log entries, " << progress.cursor.tables_done.size()
+               << " tables copied, resuming validation at tid "
+               << progress.lastvalidated;
+
+    // Phase 2: adopt the donor's validation state so our future
+    // decisions match every other replica's, and teach the hole
+    // tracker the committed prefix so a later restart of *this*
+    // replica recovers incrementally instead of forcing a full copy.
+    {
+      std::lock_guard<std::mutex> lock(wsmutex_);
+      lastvalidated_tid_ = progress.lastvalidated;
+      ws_index_.Load(progress.ws_window);
+      ws_log_.clear();
+      for (auto& [tid, entry] : progress.adopted_log) {
+        ws_log_.push_back(std::move(entry));
+      }
+      while (ws_log_.size() > options_.ws_log_capacity) {
+        ws_log_.pop_front();
+      }
+    }
+    holes_.AdoptCommittedPrefix(progress.lastvalidated);
+    flight_.Record(obs::FlightEventType::kRecovery, member_id(),
+                   transfer_id, progress.lastvalidated, "cutover");
+
+    // Phase 3: drain the buffered post-marker messages through normal
+    // validation. First a few passes without blocking delivery (bulk
+    // of the backlog); then a final pass holding buffer_mu_, during
+    // which the delivery thread briefly blocks — that makes the flip
+    // to live atomic and bounds the drain even under heavy concurrent
+    // traffic.
+    for (int pass = 0; pass < 16; ++pass) {
       std::vector<gcs::Message> batch;
-      batch.swap(buffered_);
-      // Intentionally processed under buffer_mu_: new deliveries wait.
-      for (const auto& message : batch) {
-        if (message.type == kDdlMessageType) {
-          ProcessDdl(message);
+      {
+        std::lock_guard<std::mutex> lock(buffer_mu_);
+        if (buffered_.size() < 64) break;
+        batch.swap(buffered_);
+      }
+      for (const auto& buffered_message : batch) {
+        if (buffered_message.type == kDdlMessageType) {
+          ProcessDdl(buffered_message);
         } else {
-          ProcessWriteSet(message);
+          ProcessWriteSet(buffered_message);
         }
       }
     }
-    delivery_mode_ = DeliveryMode::kLive;
+    {
+      std::unique_lock<std::mutex> lock(buffer_mu_);
+      while (!buffered_.empty()) {
+        std::vector<gcs::Message> batch;
+        batch.swap(buffered_);
+        // Intentionally processed under buffer_mu_: new deliveries wait.
+        for (const auto& buffered_message : batch) {
+          if (buffered_message.type == kDdlMessageType) {
+            ProcessDdl(buffered_message);
+          } else {
+            ProcessWriteSet(buffered_message);
+          }
+        }
+      }
+      delivery_mode_ = DeliveryMode::kLive;
+      g_rec_buffered_msgs_->Set(0);
+    }
+    accepting_.store(true, std::memory_order_release);
+    flight_.Record(obs::FlightEventType::kRecovery, member_id(),
+                   transfer_id, progress.lastvalidated, "complete");
+    SIREP_ILOG << "replica " << member_id() << " recovery complete";
+    return Status::OK();
   }
-  accepting_.store(true, std::memory_order_release);
-  SIREP_ILOG << "replica " << member_id() << " recovery complete";
-  return Status::OK();
+  // Attempts exhausted: by construction last_error is retryable
+  // (kUnavailable or kTimedOut) — the caller can back off and re-enter.
+  return last_error;
+}
+
+void SrcaRepReplica::JoinStreamers() {
+  std::vector<std::thread> streamers;
+  {
+    std::lock_guard<std::mutex> lock(streamers_mu_);
+    streamers.swap(streamers_);
+  }
+  for (auto& streamer : streamers) {
+    if (streamer.joinable()) streamer.join();
+  }
 }
 
 void SrcaRepReplica::RecordOutcome(const GlobalTxnId& gid, bool committed) {
@@ -1002,9 +1564,11 @@ void SrcaRepReplica::Crash() {
                  "middleware crash");
   group_->Crash(member_id());
   // Release clients blocked waiting for holes to close — those commits
-  // will never happen now — and quiescence waiters watching our queue.
+  // will never happen now — and quiescence waiters watching our queue,
+  // plus a Recover() caller waiting on its marker fence.
   holes_.Cancel();
   tocommit_queue_.Poke();
+  buffer_cv_.notify_all();
   // Fail every in-flight local commit: their clients will run in-doubt
   // resolution against another replica.
   std::unordered_map<GlobalTxnId, std::shared_ptr<PendingLocal>,
@@ -1050,6 +1614,11 @@ void SrcaRepReplica::Shutdown() {
     std::lock_guard<std::mutex> lock(outcomes_mu_);
     outcomes_cv_.notify_all();
   }
+  // Release a Recover() caller waiting on the fence, then collect any
+  // donor streamer threads (they observe shutdown_ within one wait
+  // slice).
+  buffer_cv_.notify_all();
+  JoinStreamers();
 }
 
 SrcaRepReplica::Stats SrcaRepReplica::stats() const {

@@ -7,9 +7,12 @@
 #include <cstdint>
 #include <deque>
 #include <limits>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -50,6 +53,16 @@ struct ReplicaOptions {
   /// Recover() completes. Used when restarting a crashed replica or
   /// adding a new one while the cluster keeps processing transactions.
   bool start_recovering = false;
+  /// Cold-start seed after a full-cluster outage: join live immediately
+  /// and adopt this tid as the already-validated prefix (the database
+  /// under this replica holds every commit up to it). Online recovery
+  /// needs a live donor, so when every replica is down the one holding
+  /// the longest stable prefix — which, by in-order apply, contains
+  /// every acknowledged commit — restarts with this set; everyone else
+  /// then recovers from it normally (its empty writeset log forces a
+  /// fresh full copy). 0 disables. Mutually exclusive with
+  /// `start_recovering`.
+  uint64_t bootstrap_prefix = 0;
   /// Width of the remote-apply pipeline (see ApplyPipeline): 1 selects
   /// the strict serial path, >1 a sharded worker pool applying
   /// non-conflicting writesets in parallel. Should be > 1 or blocked
@@ -65,6 +78,29 @@ struct ReplicaOptions {
   /// disjoint shards never contend. Purely a concurrency knob — the
   /// validation verdicts are shard-count independent.
   size_t validation_shards = 16;
+  /// Base deadline for a whole Recover() run. The effective deadline
+  /// grows with the bytes actually received so a large full-copy
+  /// transfer does not spuriously time out (see Recover()). The
+  /// SIREP_RECOVERY_TIMEOUT_MS environment variable, when set,
+  /// overrides this value.
+  std::chrono::milliseconds recovery_timeout{30000};
+  /// Donor silence longer than this counts as a donor fault: the
+  /// recoverer abandons the transfer and re-requests from the next
+  /// donor, resuming at its cursor. SIREP_RECOVERY_CHUNK_TIMEOUT_MS
+  /// overrides.
+  std::chrono::milliseconds recovery_chunk_timeout{2000};
+  /// Rows (or log entries) per recovery chunk — the streaming unit of
+  /// state transfer and the resume granularity within a table.
+  /// SIREP_RECOVERY_CHUNK_ROWS overrides.
+  size_t recovery_chunk_rows = 512;
+  /// Recovery attempts (initial + retries across donors / re-anchors)
+  /// before Recover() gives up with a retryable error.
+  size_t recovery_max_attempts = 8;
+  /// Buffered post-marker deliveries above this high-water mark trigger
+  /// backpressure: the buffer is dropped and the transfer re-anchored at
+  /// a fresh marker instead of growing without bound.
+  /// SIREP_RECOVERY_BUFFER_HWM overrides.
+  size_t recovery_buffer_high_water = 4096;
 };
 
 /// Validation/commit outcome of a transaction as known at this replica.
@@ -116,6 +152,9 @@ class SrcaRepReplica : public gcs::GroupListener {
     return member_id_.load(std::memory_order_acquire);
   }
   engine::Database* db() const { return db_; }
+  /// Effective options after environment overrides (SIREP_RECOVERY_*,
+  /// see ReplicaOptions).
+  const ReplicaOptions& options() const { return options_; }
 
   // ---- session API ----
 
@@ -180,18 +219,27 @@ class SrcaRepReplica : public gcs::GroupListener {
   /// Catches this replica up while the rest of the cluster keeps
   /// committing ("online recovery"):
   ///  1. multicasts a recovery marker in total order;
-  ///  2. the chosen donor snapshots its validation state and writeset-log
-  ///     suffix after `from_tid` exactly at the marker;
-  ///  3. this replica replays the suffix into its database, adopts the
-  ///     validation state, drains the messages buffered past the marker,
-  ///     and goes live.
+  ///  2. the chosen donor snapshots its validation state exactly at the
+  ///     marker and *streams* the payload (full-copy table dumps and/or
+  ///     the writeset-log suffix after `from_tid`) in bounded chunks;
+  ///  3. this replica applies chunks as they arrive, adopts the
+  ///     validation state at the final chunk, drains the messages
+  ///     buffered past the marker, and goes live.
+  /// The transfer is resumable: if the donor crashes or stalls
+  /// mid-stream, the request is re-multicast carrying a cursor (applied
+  /// log prefix, finished tables) and any surviving replica takes over
+  /// as donor without restarting from scratch. A `timeout` <= 0 selects
+  /// options().recovery_timeout; either way the effective deadline
+  /// scales up with the bytes received so large transfers are not cut
+  /// short. Failure returns a retryable status (kUnavailable /
+  /// kTimedOut) — never a hang — so callers can back off and re-enter.
   /// `from_tid` is the stable commit prefix of a restarting replica
   /// (StableCommitPrefix() of its previous incarnation), or 0 for a
   /// brand-new node whose schema has been created. Requires the replica
   /// to have been constructed with `start_recovering = true`.
   Status Recover(uint64_t from_tid,
                  std::chrono::milliseconds timeout =
-                     std::chrono::milliseconds(30000));
+                     std::chrono::milliseconds(0));
 
   /// Durable prefix a restarted incarnation can recover from: every
   /// validated tid <= this value has committed at this replica, and
@@ -272,33 +320,112 @@ class SrcaRepReplica : public gcs::GroupListener {
     std::vector<sql::Row> rows;
   };
 
-  /// What a donor hands a recovering replica at the marker point. Either
-  /// `log_suffix` alone suffices (incremental catch-up), or `full_copy`
-  /// carries the complete committed state (the paper's "complete database
-  /// copy", produced online when the writeset log no longer reaches back
-  /// to the recoverer's prefix) plus the log tail for the transactions
-  /// validated but not yet committed at dump time.
-  struct RecoveryPackage {
-    Status status;
+  /// Resume point of a chunked state transfer, multicast back to the
+  /// group when the recoverer re-requests after a donor fault so the
+  /// next donor continues instead of restarting. Covers both transfer
+  /// phases: `applied_tid` for log replay, `tables_done` +
+  /// `full_copy_base` for an in-progress full copy. Resume granularity
+  /// for the copy is a whole table — row positions within a table are
+  /// donor-snapshot-specific and not comparable across donors, finished
+  /// tables are (idempotent full-row writesets reconcile the rest).
+  struct RecoveryCursor {
+    uint64_t applied_tid = 0;  ///< every log tid <= this is applied here
+    bool full_copy_started = false;
+    uint64_t full_copy_base = 0;  ///< stable prefix of the copy's donor
+    std::vector<std::string> tables_done;  ///< fully received + swept
+  };
+
+  /// One bounded unit of the recovery stream, tagged with the transfer
+  /// id so a chunk from an abandoned attempt is discarded instead of
+  /// corrupting the next one. At most one section (meta / table rows /
+  /// log entries) is populated per chunk.
+  struct RecoveryChunk {
+    Status status;  ///< non-OK chunk aborts this donation
+    uint64_t transfer_id = 0;
+    uint32_t index = 0;        ///< donor-side sequence within the transfer
+    bool final_chunk = false;  ///< transfer complete after this chunk
+
+    // Meta section (first chunk of every donation): the validation state
+    // snapshotted at the marker, and the shape of what follows.
+    bool has_meta = false;
     uint64_t lastvalidated = 0;
     std::vector<std::pair<uint64_t,
                           std::shared_ptr<const storage::WriteSet>>>
         ws_window;
-    std::vector<LogEntry> log_suffix;
-    bool has_full_copy = false;
-    std::vector<TableDump> full_copy;
+    bool full_copy = false;  ///< table dumps follow before the log
+    /// The cursor's partial copy is unusable (this donor's log does not
+    /// reach its base): recoverer must drop tables_done and start over.
+    bool full_copy_restart = false;
+    uint64_t full_copy_base = 0;
+
+    // Table-rows section (full copy only).
+    std::string table;
+    sql::Schema schema;
+    bool table_begin = false;     ///< first chunk of this table
+    bool table_complete = false;  ///< last chunk: run the delete-sweep
+    std::vector<sql::Row> rows;
+
+    // Log-suffix section.
+    std::vector<LogEntry> log;
+
+    size_t approx_bytes = 0;  ///< payload estimate (metrics + deadline)
   };
+
+  /// Bounded chunk queue between the donor's streamer thread and the
+  /// recoverer. Like the request it rides the in-process stash, so it
+  /// works on every transport (all replicas share the process).
   struct RecoveryChannel {
     std::mutex mu;
     std::condition_variable cv;
-    bool ready = false;
-    RecoveryPackage package;
+    std::deque<RecoveryChunk> chunks;
+    size_t capacity = 4;     ///< producer backpressure bound
+    bool closed = false;     ///< donor finished, refused, or died
+    bool abandoned = false;  ///< recoverer moved on; streamer must quit
   };
   struct RecoveryRequest {
     gcs::MemberId requester = gcs::kInvalidMember;
     gcs::MemberId donor = gcs::kInvalidMember;
     uint64_t from_tid = 0;
+    uint64_t transfer_id = 0;
+    RecoveryCursor cursor;
     std::shared_ptr<RecoveryChannel> channel;
+  };
+
+  /// Donor-side donation plan, snapshotted under wsmutex_ at the marker
+  /// point; a streamer thread materializes it into chunks off the
+  /// delivery thread (the dump transaction pins the marker-consistent
+  /// MVCC snapshot, so lazy table scans still observe marker state).
+  struct DonorPlan {
+    uint64_t transfer_id = 0;
+    uint64_t lastvalidated = 0;
+    std::vector<std::pair<uint64_t,
+                          std::shared_ptr<const storage::WriteSet>>>
+        ws_window;
+    std::vector<LogEntry> log_suffix;
+    bool full_copy = false;
+    bool full_copy_restart = false;
+    uint64_t full_copy_base = 0;
+    std::vector<std::string> tables;  ///< tables still to dump
+    storage::TransactionPtr dump_txn;
+    std::shared_ptr<RecoveryChannel> channel;
+  };
+
+  /// Recoverer-side transfer state surviving donor switches.
+  struct RecoveryProgress {
+    RecoveryCursor cursor;
+    bool have_meta = false;
+    uint64_t lastvalidated = 0;
+    std::vector<std::pair<uint64_t,
+                          std::shared_ptr<const storage::WriteSet>>>
+        ws_window;
+    /// Log entries received so far, keyed by tid (identical across
+    /// donors by the total order, so accumulating over switches is
+    /// safe); becomes the adopted ws_log_.
+    std::map<uint64_t, LogEntry> adopted_log;
+    // Import state of the table currently streaming in.
+    bool table_active = false;
+    std::string table;
+    std::set<sql::Key> leftover_keys;  ///< local keys the dump lacks so far
   };
 
   void RecordOutcome(const GlobalTxnId& gid, bool committed);
@@ -317,6 +444,25 @@ class SrcaRepReplica : public gcs::GroupListener {
 
   /// Donor/requester handling of a recovery marker.
   void HandleRecoveryRequest(const gcs::Message& message);
+
+  /// Donor streamer-thread body: materializes `plan` into bounded
+  /// chunks on the channel, honoring backpressure, abandonment, and the
+  /// mw.recovery.* failpoints.
+  void StreamRecoveryChunks(std::shared_ptr<DonorPlan> plan);
+
+  /// Recoverer side: applies one received chunk (meta adoption, table
+  /// rows as idempotent upserts + delete-sweep, log-suffix replay) and
+  /// advances the cursor.
+  Status ApplyRecoveryChunk(const RecoveryChunk& chunk,
+                            RecoveryProgress* progress);
+
+  /// Replays one donated log entry (writeset or DDL) into the local
+  /// database; idempotent against what any previous incarnation or
+  /// donor already applied.
+  Status ApplyRecoveryLogEntry(const LogEntry& entry);
+
+  /// Joins finished and in-flight donor streamer threads.
+  void JoinStreamers();
 
   /// Dispatches every queue entry that became eligible (Adjustment 2).
   void ScheduleAppliers();
@@ -339,12 +485,36 @@ class SrcaRepReplica : public gcs::GroupListener {
 
   // Recovery buffering: while kBuffering, delivered writesets after the
   // marker are queued here and replayed by Recover()'s thread; the flip
-  // to kLive happens under buffer_mu_ once the buffer drains.
+  // to kLive happens under buffer_mu_ once the buffer drains. The fence
+  // only arms for the marker of the *current* transfer attempt
+  // (current_transfer_id_) — a marker from an abandoned attempt
+  // delivered late must not re-arm it, or pre-marker messages of the
+  // live attempt would be double-validated after adoption. When the
+  // buffer crosses recovery_buffer_high_water while spills are enabled,
+  // it is dropped wholesale (fence cleared, buffer_spilled_ set) and
+  // the recoverer re-anchors the transfer at a fresh marker.
   enum class DeliveryMode { kLive, kBuffering };
   std::mutex buffer_mu_;
+  std::condition_variable buffer_cv_;
   DeliveryMode delivery_mode_ = DeliveryMode::kLive;
   bool fence_seen_ = false;
+  uint64_t current_transfer_id_ = 0;
+  bool buffer_spilled_ = false;
+  bool spill_enabled_ = true;
+  /// Effective high-water mark of buffered_. Seeded from
+  /// options().recovery_buffer_high_water at each Recover() entry and
+  /// doubled on every spill, so re-anchoring converges even when live
+  /// deliveries outpace the transfer (escalating backpressure).
+  size_t buffer_hwm_ = 1;
   std::vector<gcs::Message> buffered_;
+
+  /// Transfer-id generator (recoverer side; unique per member via the
+  /// member-id high bits).
+  std::atomic<uint64_t> transfer_seq_{0};
+
+  /// Donor streamer threads, joined on Shutdown()/destruction.
+  std::mutex streamers_mu_;
+  std::vector<std::thread> streamers_;
 
   // Fig. 4 state. wsmutex_ protects lastvalidated_tid_ and ws_index_,
   // and serializes validation (steps I.2.c-f and II). ws_index_'s own
@@ -408,6 +578,17 @@ class SrcaRepReplica : public gcs::GroupListener {
   obs::Gauge* g_ws_list_size_ = nullptr;
   obs::Gauge* g_holes_outstanding_ = nullptr;
   obs::Gauge* g_clock_offset_ns_ = nullptr;
+  // Recovery-stage instrumentation ("mw.recovery.*"): donor side
+  // (chunks/bytes sent), recoverer side (chunks/bytes received, retries,
+  // donor switches, buffer spills, live buffered-message depth).
+  obs::Counter* c_rec_chunks_sent_ = nullptr;
+  obs::Counter* c_rec_bytes_sent_ = nullptr;
+  obs::Counter* c_rec_chunks_received_ = nullptr;
+  obs::Counter* c_rec_bytes_received_ = nullptr;
+  obs::Counter* c_rec_retries_ = nullptr;
+  obs::Counter* c_rec_donor_switches_ = nullptr;
+  obs::Counter* c_rec_buffer_spills_ = nullptr;
+  obs::Gauge* g_rec_buffered_msgs_ = nullptr;
 
   /// Per-replica black box (see flight_recorder()).
   obs::FlightRecorder flight_{1024};

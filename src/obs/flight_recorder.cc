@@ -85,6 +85,8 @@ const char* FlightEventTypeName(FlightEventType type) {
       return "invariant";
     case FlightEventType::kCrash:
       return "crash";
+    case FlightEventType::kRecovery:
+      return "recovery";
   }
   return "unknown";
 }

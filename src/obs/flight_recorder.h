@@ -26,6 +26,10 @@ namespace sirep::obs {
 ///                    water, detail = queue name
 ///   kInvariant       a/b free-form, detail = violation summary
 ///   kCrash           a = signal number or 0, detail = origin
+///   kRecovery        a = transfer id, b = stage-specific (donor id,
+///                    tid, chunk count), detail = stage ("request",
+///                    "donate", "donor_switch", "buffer_spill",
+///                    "cutover", "complete")
 enum class FlightEventType : uint8_t {
   kViewChange = 0,
   kValidation,
@@ -34,6 +38,7 @@ enum class FlightEventType : uint8_t {
   kQueueHighWater,
   kInvariant,
   kCrash,
+  kRecovery,
 };
 
 const char* FlightEventTypeName(FlightEventType type);

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "cluster/cluster.h"
+#include "common/failpoint.h"
 
 namespace sirep {
 namespace {
@@ -198,7 +199,10 @@ TEST(RecoveryTest, RecoverWithoutFlagRejected) {
             StatusCode::kInvalidArgument);
 }
 
-TEST(RecoveryTest, NoDonorFails) {
+TEST(RecoveryTest, NoEligibleDonorReturnsRetryable) {
+  // Recover() itself — below the cluster's cold-start logic — must fail
+  // fast and clean when no donor exists: a retryable status within its
+  // attempt budget, never a hang.
   ClusterOptions options;
   options.num_replicas = 1;
   Cluster cluster(options);
@@ -208,7 +212,65 @@ TEST(RecoveryTest, NoDonorFails) {
                       "CREATE TABLE kv (k INT, v INT, PRIMARY KEY (k))")
                   .ok());
   cluster.CrashReplica(0);
-  EXPECT_EQ(cluster.RestartReplica(0).code(), StatusCode::kUnavailable);
+  middleware::ReplicaOptions ropt;
+  ropt.start_recovering = true;
+  ropt.recovery_max_attempts = 3;
+  ropt.recovery_timeout = std::chrono::milliseconds(500);
+  middleware::SrcaRepReplica joiner(cluster.db(0), &cluster.group(), ropt);
+  ASSERT_TRUE(joiner.Start().ok());
+  const auto start = std::chrono::steady_clock::now();
+  const Status st = joiner.Recover(0);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable) << st;
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+  joiner.Crash();  // detach the joined listener before destruction
+}
+
+TEST(RecoveryTest, SoleCrashedReplicaColdStarts) {
+  // With every replica down there is no donor, so online recovery is
+  // impossible — but the replica holding the longest stable prefix may
+  // cold-start over its surviving database and seed the new epoch.
+  ClusterOptions options;
+  options.num_replicas = 1;
+  Cluster cluster(options);
+  ASSERT_TRUE(cluster.Start().ok());
+  ASSERT_TRUE(cluster
+                  .ExecuteEverywhere(
+                      "CREATE TABLE kv (k INT, v INT, PRIMARY KEY (k))")
+                  .ok());
+  ASSERT_TRUE(cluster.ExecuteEverywhere("INSERT INTO kv VALUES (1, 0)").ok());
+  ASSERT_TRUE(CommitUpdate(cluster, 0, 1, 41).ok());
+  cluster.CrashReplica(0);
+  ASSERT_TRUE(cluster.RestartReplica(0).ok());
+  EXPECT_EQ(ReadAt(cluster, 0, 1), 41);
+  // And the cold-started incarnation processes new commits.
+  ASSERT_TRUE(CommitUpdate(cluster, 0, 1, 42).ok());
+  EXPECT_EQ(ReadAt(cluster, 0, 1), 42);
+}
+
+TEST(RecoveryTest, ClusterOutageColdStartsLongestPrefixFirst) {
+  auto cluster = MakeCluster(2);
+  ASSERT_TRUE(CommitUpdate(*cluster, 0, 1, 10).ok());
+  cluster->Quiesce();
+  cluster->CrashReplica(1);
+  ASSERT_TRUE(CommitUpdate(*cluster, 0, 2, 20).ok());
+  cluster->Quiesce();
+  cluster->CrashReplica(0);
+
+  // The shorter-prefix replica may not seed the new epoch: it is missing
+  // an acknowledged commit that only replica 0 holds.
+  EXPECT_EQ(cluster->RestartReplica(1).code(), StatusCode::kUnavailable);
+  // The longest-prefix replica cold-starts...
+  ASSERT_TRUE(cluster->RestartReplica(0).ok());
+  // ...and the rest recover from it normally. Its writeset log is empty,
+  // which must force a fresh full copy rather than silently skipping the
+  // suffix.
+  ASSERT_TRUE(cluster->RestartReplica(1).ok());
+  cluster->Quiesce();
+  EXPECT_EQ(ReadAt(*cluster, 1, 2), 20);
+  ASSERT_TRUE(CommitUpdate(*cluster, 1, 3, 30).ok());
+  cluster->Quiesce();
+  EXPECT_EQ(ReadAt(*cluster, 0, 3), 30);
 }
 
 TEST(RecoveryTest, RestartAfterCrashWithBlockedTransactions) {
@@ -298,6 +360,108 @@ TEST(RecoveryTest, FullCopyFallbackWhenLogTruncated) {
   ASSERT_TRUE(CommitUpdate(cluster, 2, 0, 999).ok());
   cluster.Quiesce();
   EXPECT_EQ(ReadAt(cluster, 0, 0), 999);
+}
+
+// Shared setup for the chunked-transfer tests: a 3-replica cluster with
+// a tiny writeset log, replica 2 crashed, and far more commits than the
+// log window — so its restart is forced through a chunked full copy.
+std::unique_ptr<Cluster> MakeFullCopyCluster(ClusterOptions options) {
+  options.num_replicas = 3;
+  options.replica.ws_log_capacity = 4;
+  auto cluster = std::make_unique<Cluster>(options);
+  EXPECT_TRUE(cluster->Start().ok());
+  EXPECT_TRUE(cluster
+                  ->ExecuteEverywhere(
+                      "CREATE TABLE kv (k INT, v INT, PRIMARY KEY (k))")
+                  .ok());
+  for (int k = 0; k < 10; ++k) {
+    EXPECT_TRUE(cluster
+                    ->ExecuteEverywhere("INSERT INTO kv VALUES (?, 0)",
+                                        {Value::Int(k)})
+                    .ok());
+  }
+  cluster->CrashReplica(2);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_TRUE(CommitUpdate(*cluster, 0, i % 10, i + 1).ok());
+  }
+  cluster->Quiesce();
+  return cluster;
+}
+
+void ExpectConverged(Cluster& cluster, size_t a, size_t b) {
+  auto ra = cluster.db(a)->ExecuteAutoCommit("SELECT * FROM kv ORDER BY k");
+  auto rb = cluster.db(b)->ExecuteAutoCommit("SELECT * FROM kv ORDER BY k");
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_EQ(ra.value().rows, rb.value().rows)
+      << "replicas " << a << " and " << b << " diverged";
+}
+
+TEST(RecoveryTest, ChunkedFullCopyWithTinyChunks) {
+  ClusterOptions options;
+  options.replica.recovery_chunk_rows = 3;  // 10-row table -> 4+ chunks
+  auto cluster = MakeFullCopyCluster(options);
+
+  ASSERT_TRUE(cluster->RestartReplica(2).ok());
+  ExpectConverged(*cluster, 0, 2);
+  // The transfer really was chunked: meta + several table slices.
+  const auto counters = cluster->DumpMetrics().counters;
+  EXPECT_GE(counters.at("mw.recovery.chunks_received"), 5u);
+  ASSERT_TRUE(CommitUpdate(*cluster, 2, 0, 999).ok());
+  cluster->Quiesce();
+  EXPECT_EQ(ReadAt(*cluster, 0, 0), 999);
+}
+
+TEST(RecoveryTest, DonorCrashMidTransferFailsOver) {
+  ClusterOptions options;
+  options.replica.recovery_chunk_rows = 2;
+  auto cluster = MakeFullCopyCluster(options);
+
+  // The first donor crashes right after its first chunk is out; the
+  // recoverer must fail over to the surviving replica and complete the
+  // transfer from its cursor.
+  failpoint::ScopedFailpoint fp("mw.recovery.donor_crash_mid_transfer",
+                                "1in(1,crash)*1");
+  ASSERT_TRUE(cluster->RestartReplica(2).ok());
+  ASSERT_TRUE(cluster->replica(2)->IsAcceptingClients());
+  const auto counters = cluster->DumpMetrics().counters;
+  EXPECT_GE(counters.at("mw.recovery.donor_switches"), 1u);
+
+  // Exactly one donor died mid-donation; the recoverer converged with
+  // the survivor.
+  const size_t survivor = cluster->replica(0)->IsAlive() ? 0 : 1;
+  EXPECT_FALSE(cluster->replica(1 - survivor)->IsAlive());
+  ExpectConverged(*cluster, survivor, 2);
+}
+
+TEST(RecoveryTest, BoundedBufferSpillsAndReanchors) {
+  ClusterOptions options;
+  options.replica.recovery_chunk_rows = 1;
+  options.replica.recovery_buffer_high_water = 4;
+  auto cluster = MakeFullCopyCluster(options);
+
+  // Stretch the chunk stream while live traffic keeps delivering to the
+  // buffering recoverer: the bounded buffer must hit its high-water
+  // mark, spill, and re-anchor the transfer instead of growing without
+  // bound. The stall budget self-disarms so a later attempt finishes.
+  failpoint::ScopedFailpoint stall("mw.recovery.stall", "delay(2ms)*80");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    int i = 0;
+    while (!stop.load()) {
+      (void)CommitUpdate(*cluster, 0, i % 10, 1000 + i);
+      ++i;
+    }
+  });
+  const Status restarted = cluster->RestartReplica(2);
+  stop.store(true);
+  writer.join();
+  ASSERT_TRUE(restarted.ok()) << restarted;
+  cluster->Quiesce();
+
+  const auto counters = cluster->DumpMetrics().counters;
+  EXPECT_GE(counters.at("mw.recovery.buffer_spills"), 1u);
+  ExpectConverged(*cluster, 0, 2);
+  ExpectConverged(*cluster, 1, 2);
 }
 
 TEST(RecoveryTest, VacuumKeepsReplicasUsable) {
