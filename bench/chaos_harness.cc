@@ -52,6 +52,13 @@ struct HarnessOptions {
   // an empty schema): the joiner must complete a chunked state transfer
   // under live load and then satisfy the same invariants as everyone.
   bool join_under_load = false;
+  // Partial replication (cluster::PartitionMap): 0/0 = full
+  // replication. With rf < replicas the traffic threads honor the
+  // routing contract (each burst targets one partition group at one of
+  // its holders) and the invariant check judges each key against its
+  // holder set instead of against every replica.
+  size_t partitions = 0;
+  size_t rf = 0;
   // Default fault schedule: transient multicast drops, transient apply
   // deadlocks, and validation stalls — all recoverable faults that must
   // never cost an acknowledged commit.
@@ -90,12 +97,23 @@ bool ParseOptions(int argc, char** argv, HarnessOptions* opt) {
       }
     } else if (ParseFlag(argv[i], "--failpoints", &v)) {
       opt->failpoints = v;
+    } else if (ParseFlag(argv[i], "--partitions", &v)) {
+      opt->partitions = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--rf", &v)) {
+      opt->rf = std::strtoull(v.c_str(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--join-under-load") == 0) {
       opt->join_under_load = true;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
       return false;
     }
+  }
+  if (opt->join_under_load && opt->rf != 0) {
+    // AddReplica joiners sit outside the founding partition layout and
+    // have no covering donor under partial replication (documented
+    // PartitionMap limitation) — refuse the combination up front.
+    std::fprintf(stderr, "--join-under-load is incompatible with --rf\n");
+    return false;
   }
   // --join-under-load needs at least one traffic round to join during.
   return opt->rounds >= 0 && opt->clients > 0 && opt->duration_ms > 0 &&
@@ -107,6 +125,27 @@ bool ParseOptions(int argc, char** argv, HarnessOptions* opt) {
 /// reconnects, counting only commits the driver acknowledged.
 long long RunTraffic(Cluster& cluster, uint64_t seed, int clients,
                      std::chrono::milliseconds duration) {
+  // Under partial replication each burst honors the routing contract:
+  // pick a partition group, pin the connection to one of its holder
+  // slots, and touch only that group's keys. (Driver fail-over can
+  // still land a retry on a non-holder — the middleware's misroute
+  // guard aborts it unacknowledged, which is safe for the invariants.)
+  const auto map = cluster.partition_map();
+  const bool partial = map != nullptr && map->partial();
+  std::vector<std::vector<int64_t>> group_keys;
+  std::vector<std::vector<size_t>> group_slots;
+  if (partial) {
+    group_keys.resize(map->num_groups());
+    group_slots.resize(map->num_groups());
+    for (int64_t k = 0; k < 16; ++k) {
+      group_keys[map->GroupOfPartition(
+                     map->PartitionOf({"kv", sql::Key{{Value::Int(k)}}}))]
+          .push_back(k);
+    }
+    for (size_t s = 0; s < map->num_slots(); ++s) {
+      group_slots[map->GroupOfSlot(s)].push_back(s);
+    }
+  }
   std::atomic<bool> stop{false};
   std::atomic<long long> committed{0};
   std::vector<std::thread> threads;
@@ -116,6 +155,14 @@ long long RunTraffic(Cluster& cluster, uint64_t seed, int clients,
       while (!stop.load(std::memory_order_relaxed)) {
         client::ConnectionOptions copt;
         copt.seed = prng.Next();
+        size_t group = 0;
+        if (partial) {
+          do {
+            group = prng.Uniform(group_keys.size());
+          } while (group_keys[group].empty());
+          copt.pinned_replica = static_cast<int>(
+              group_slots[group][prng.Uniform(group_slots[group].size())]);
+        }
         auto conn = cluster.Connect(copt);
         if (!conn.ok()) {
           std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -124,7 +171,10 @@ long long RunTraffic(Cluster& cluster, uint64_t seed, int clients,
         auto& connection = *conn.value();
         connection.SetAutoCommit(false);
         for (int t = 0; t < 5 && !stop.load(); ++t) {
-          const int64_t k = static_cast<int64_t>(prng.Uniform(16));
+          const int64_t k =
+              partial ? group_keys[group][prng.Uniform(
+                            group_keys[group].size())]
+                      : static_cast<int64_t>(prng.Uniform(16));
           auto r = connection.Execute("UPDATE kv SET v = v + 1 WHERE k = ?",
                                       {Value::Int(k)});
           if (!r.ok()) {
@@ -151,6 +201,7 @@ long long RunTraffic(Cluster& cluster, uint64_t seed, int clients,
 /// failure, prints every attempt's status so the failing seed's replay
 /// starts from the full error history, not just the last code.
 bool RestartWithRetry(Cluster& cluster, size_t index, uint64_t seed,
+                      bool sweep_on_outage = false,
                       std::chrono::milliseconds deadline_ms =
                           std::chrono::milliseconds(30000)) {
   const auto deadline = std::chrono::steady_clock::now() + deadline_ms;
@@ -162,6 +213,21 @@ bool RestartWithRetry(Cluster& cluster, size_t index, uint64_t seed,
     Status last = cluster.RestartReplica(index);
     if (last.ok()) return true;
     attempts.push_back(last);
+    if (sweep_on_outage) {
+      // A cascading schedule (e.g. donor-crash failpoints felling every
+      // recovery donor) can leave the whole cluster down, and a total
+      // outage has a mandatory cold-start order: only the replica with
+      // the longest stable prefix may seed the new epoch. Sweeping the
+      // *other* dead replicas lets whichever one that is come up, after
+      // which `index` recovers from it normally. Only enabled at call
+      // sites where no medic thread is restarting replicas in parallel
+      // (concurrent restarts of the same index are not supported).
+      for (size_t r = 0; r < cluster.size(); ++r) {
+        if (r != index && !cluster.replica(r)->IsAlive()) {
+          (void)cluster.RestartReplica(r);
+        }
+      }
+    }
     const auto sleep =
         backoff + std::chrono::milliseconds(
                       jitter.Uniform(static_cast<uint64_t>(backoff.count())));
@@ -179,7 +245,91 @@ bool RestartWithRetry(Cluster& cluster, size_t index, uint64_t seed,
   return false;
 }
 
+/// Partial-replication invariants, judged per key against its holder
+/// set: every holder of a key agrees on its value (exactly-once apply
+/// within the group), non-holder copies never ran ahead of the holders
+/// (they stay at the seeded value by design — a non-holder that
+/// *applied* something would be the misroute-safety bug), and the sum
+/// over one authoritative copy per key accounts for every acknowledged
+/// commit.
+///
+/// The sum check carries a bounded slack: `indoubt` commits were
+/// acknowledged through the driver's crash-time inquiry, which under
+/// partial replication attests cluster-wide *certification* (every
+/// replica records the outcome, holders or not) but not *durability* of
+/// the row images — if a fault schedule kills all rf holders of a group
+/// before any of them applied a just-certified writeset, that payload
+/// is gone beyond recovery (the fault budget of rf is exceeded; see
+/// DESIGN.md §7.9). So: every normally-acknowledged commit must be
+/// present exactly, and the total may fall short by at most the
+/// in-doubt count. A shortfall beyond it, or any excess, is a real
+/// exactly-once violation.
+int CheckInvariantsPartial(Cluster& cluster, const cluster::PartitionMap& map,
+                           long long committed, long long indoubt) {
+  int violations = 0;
+  long long total = 0;
+  const size_t slots = std::min(cluster.size(), map.num_slots());
+  for (int64_t k = 0; k < 16; ++k) {
+    const size_t partition =
+        map.PartitionOf({"kv", sql::Key{{Value::Int(k)}}});
+    long long authoritative = -1;
+    for (size_t s = 0; s < slots; ++s) {
+      auto res = cluster.db(s)->ExecuteAutoCommit(
+          "SELECT v FROM kv WHERE k = " + std::to_string(k));
+      const long long v =
+          res.ok() && res.value().NumRows() == 1
+              ? res.value().rows[0][0].AsInt()
+              : -1;
+      if (map.Holds(s, partition)) {
+        if (authoritative == -1) {
+          authoritative = v;
+        } else if (v != authoritative) {
+          std::fprintf(stderr,
+                       "VIOLATION: key %lld holders disagree: replica %zu "
+                       "has %lld, expected %lld\n",
+                       static_cast<long long>(k), s, v, authoritative);
+          ++violations;
+        }
+      } else if (v != 0) {
+        std::fprintf(stderr,
+                     "VIOLATION: key %lld applied at non-holder replica "
+                     "%zu (v=%lld)\n",
+                     static_cast<long long>(k), s, v);
+        ++violations;
+      }
+    }
+    if (authoritative < 0) {
+      std::fprintf(stderr, "VIOLATION: key %lld has no readable holder\n",
+                   static_cast<long long>(k));
+      ++violations;
+    } else {
+      total += authoritative;
+    }
+  }
+  if (total > committed || total < committed - indoubt) {
+    std::fprintf(stderr,
+                 "VIOLATION: authoritative sum(v)=%lld, drivers "
+                 "acknowledged %lld commits (%lld in-doubt)\n",
+                 total, committed, indoubt);
+    ++violations;
+  } else if (total != committed) {
+    std::printf(
+        "note: %lld of %lld acknowledged commits lost to whole-group "
+        "holder outages (within the %lld in-doubt budget)\n",
+        committed - total, committed, indoubt);
+  }
+  return violations;
+}
+
 int CheckInvariants(Cluster& cluster, long long committed) {
+  if (const auto& map = cluster.partition_map();
+      map != nullptr && map->partial()) {
+    auto snap = obs::MetricsRegistry::Default().Snapshot();
+    const auto it = snap.counters.find("client.indoubt_committed");
+    const long long indoubt =
+        it == snap.counters.end() ? 0 : static_cast<long long>(it->second);
+    return CheckInvariantsPartial(cluster, *map, committed, indoubt);
+  }
   int violations = 0;
   for (size_t r = 0; r < cluster.size(); ++r) {
     auto res = cluster.db(r)->ExecuteAutoCommit("SELECT SUM(v) FROM kv");
@@ -270,6 +420,8 @@ int Run(const HarnessOptions& opt) {
   ClusterOptions coptions;
   coptions.num_replicas = 4;
   coptions.gcs.transport = opt.transport;
+  coptions.partitions = opt.partitions;
+  coptions.replication_factor = opt.rf;
   Cluster cluster(coptions);
   if (!cluster.Start().ok()) {
     std::fprintf(stderr, "cluster start failed\n");
@@ -368,7 +520,8 @@ int Run(const HarnessOptions& opt) {
       // Crash landed after the killer's liveness check elsewhere (e.g.
       // self-expulsion from an injected reset): restart it now so the
       // convergence check sees a full complement.
-      if (!RestartWithRetry(cluster, victim, opt.seed)) {
+      if (!RestartWithRetry(cluster, victim, opt.seed,
+                            /*sweep_on_outage=*/true)) {
         std::fprintf(stderr, "late restart of replica %zu failed\n",
                      victim);
         DumpFailureArtifacts(cluster, opt.seed, "late restart failed");
@@ -391,7 +544,7 @@ int Run(const HarnessOptions& opt) {
   // Anything self-expelled by socket-level faults must be brought back
   // before convergence is judged.
   for (size_t r = 0; r < cluster.size(); ++r) {
-    if (!RestartWithRetry(cluster, r, opt.seed)) {
+    if (!RestartWithRetry(cluster, r, opt.seed, /*sweep_on_outage=*/true)) {
       std::fprintf(stderr, "final restart of replica %zu failed\n", r);
       DumpFailureArtifacts(cluster, opt.seed, "final restart failed");
       return 2;
@@ -428,7 +581,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s [--seed=N] [--rounds=N] [--clients=N] "
                  "[--duration-ms=N] [--transport=inproc|tcp] "
-                 "[--failpoints=LIST] [--join-under-load]\n",
+                 "[--failpoints=LIST] [--join-under-load] "
+                 "[--partitions=N] [--rf=N]\n",
                  argv[0]);
     return 2;
   }

@@ -1,0 +1,140 @@
+// Partial replication scale-out: aggregate *write* throughput vs
+// replica count at replication factor 1, 2, and full.
+//
+// Under full replication every replica applies every writeset, so write
+// capacity is pinned at a single machine's apply bandwidth no matter
+// how many replicas join — the classic update-everywhere wall. With the
+// partition map at rf < n, a writeset is applied only by its partition
+// group's rf holders while everyone else certifies against the digest
+// header (no apply work), so aggregate write throughput grows ~n/rf.
+//
+// Clients honor the routing contract: each is pinned to one replica and
+// writes only keys whose partition group that replica holds (disjoint
+// per-client key pools, so certification aborts don't pollute the
+// scaling signal). Cost emulation is on — 2 ms per update statement and
+// an equally priced remote apply against 1 worker per replica — so the
+// numbers reflect the modeled machine capacity, not the test machine.
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace sirep;
+using bench::Fmt;
+
+namespace {
+
+constexpr size_t kPartitions = 16;
+constexpr size_t kClientsPerReplica = 2;
+constexpr size_t kKeysPerClient = 4;
+
+double RunPoint(size_t n, size_t rf, std::chrono::milliseconds window) {
+  cluster::ClusterOptions copt;
+  copt.num_replicas = n;
+  copt.workers_per_replica = 1;
+  copt.partitions = kPartitions;
+  copt.replication_factor = rf;  // 0 = full replication
+  copt.cost.update_service = std::chrono::milliseconds(2);
+  copt.cost.select_service = std::chrono::milliseconds(0);
+  copt.cost.apply_fraction = 1.0;
+  cluster::Cluster cluster(copt);
+  if (!cluster.Start().ok()) return -1;
+  if (!cluster
+           .ExecuteEverywhere(
+               "CREATE TABLE kv (k INT, v INT, PRIMARY KEY (k))")
+           .ok()) {
+    return -1;
+  }
+
+  // Disjoint key pools, each key held by its client's replica.
+  const auto& map = cluster.partition_map();
+  std::vector<std::vector<int64_t>> pools(n * kClientsPerReplica);
+  int64_t probe = 0;
+  for (size_t slot = 0; slot < n; ++slot) {
+    for (size_t c = 0; c < kClientsPerReplica; ++c) {
+      auto& pool = pools[slot * kClientsPerReplica + c];
+      while (pool.size() < kKeysPerClient) {
+        const int64_t k = probe++;
+        if (map != nullptr &&
+            !map->Holds(slot, map->PartitionOf(
+                                  {"kv", sql::Key{{sql::Value::Int(k)}}}))) {
+          continue;
+        }
+        pool.push_back(k);
+        if (!cluster
+                 .ExecuteEverywhere("INSERT INTO kv VALUES (?, 0)",
+                                    {sql::Value::Int(k)})
+                 .ok()) {
+          return -1;
+        }
+      }
+    }
+  }
+  cluster.SetEmulationEnabled(true);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> committed{0};
+  std::vector<std::thread> clients;
+  for (size_t slot = 0; slot < n; ++slot) {
+    for (size_t c = 0; c < kClientsPerReplica; ++c) {
+      clients.emplace_back([&, slot, c] {
+        middleware::SrcaRepReplica* mw = cluster.replica(slot);
+        const auto& pool = pools[slot * kClientsPerReplica + c];
+        size_t i = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const int64_t k = pool[i++ % pool.size()];
+          auto txn = mw->BeginTxn();
+          if (!txn.ok()) continue;
+          auto handle = std::move(txn).value();
+          if (!mw->Execute(handle, "UPDATE kv SET v = v + 1 WHERE k = " +
+                                       std::to_string(k))
+                   .ok()) {
+            mw->RollbackTxn(handle);
+            continue;
+          }
+          if (mw->CommitTxn(handle).ok()) {
+            committed.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+  }
+  const auto start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(window);
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : clients) t.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  cluster.Quiesce();
+  return static_cast<double>(committed.load()) / secs;
+}
+
+}  // namespace
+
+int main() {
+  const auto window = bench::FastMode() ? std::chrono::milliseconds(250)
+                                        : std::chrono::milliseconds(1500);
+  const std::vector<size_t> sweep = bench::FastMode()
+                                        ? std::vector<size_t>{2, 4}
+                                        : std::vector<size_t>{2, 4, 6, 8};
+
+  bench::PrintTableHeader(
+      "Partial replication: aggregate write throughput (tps) vs replicas",
+      {"replicas", "rf", "partitions", "write_tps"});
+
+  for (size_t rf : {size_t{1}, size_t{2}, size_t{0}}) {
+    for (size_t n : sweep) {
+      const double tps = RunPoint(n, rf, window);
+      if (tps < 0) return 1;
+      bench::PrintTableRow({std::to_string(n),
+                            rf == 0 ? "full" : std::to_string(rf),
+                            std::to_string(kPartitions), Fmt(tps, 0)});
+    }
+  }
+  return 0;
+}

@@ -15,14 +15,28 @@ Cluster::Cluster(ClusterOptions options)
     : options_(options),
       group_(std::make_unique<gcs::Group>(options.gcs)),
       driver_(this) {
+  // One shared partition map for the whole deployment (slot i =
+  // replica i); explicit options win over the SIREP_PARTITIONS /
+  // SIREP_REPLICATION_FACTOR environment knobs.
+  if (options_.partitions != 0 || options_.replication_factor != 0) {
+    partition_map_ = std::make_shared<PartitionMap>(
+        options_.num_replicas,
+        options_.partitions == 0 ? size_t{16} : options_.partitions,
+        options_.replication_factor);
+  } else {
+    partition_map_ = PartitionMap::FromEnv(options_.num_replicas);
+  }
+  options_.replica.partition_map = partition_map_;
   nodes_.reserve(options_.num_replicas);
   replicas_.reserve(options_.num_replicas);
   for (size_t i = 0; i < options_.num_replicas; ++i) {
     nodes_.push_back(std::make_unique<ReplicaNode>(
         "replica" + std::to_string(i), options_.workers_per_replica,
         options_.cost));
+    middleware::ReplicaOptions ropt = options_.replica;
+    ropt.partition_slot = i;
     replicas_.push_back(std::make_unique<middleware::SrcaRepReplica>(
-        nodes_.back()->db(), group_.get(), options_.replica));
+        nodes_.back()->db(), group_.get(), ropt));
   }
 }
 
@@ -86,12 +100,14 @@ bool RecoveryRetryable(const Status& status) {
 }  // namespace
 
 Result<std::unique_ptr<middleware::SrcaRepReplica>>
-Cluster::RecoverIncarnation(engine::Database* db, uint64_t from_tid) {
+Cluster::RecoverIncarnation(engine::Database* db, uint64_t from_tid,
+                            size_t slot, bool allow_partial) {
   const RecoveryRetryPolicy& policy = options_.recovery_retry;
   const auto deadline = std::chrono::steady_clock::now() + policy.deadline;
   std::chrono::milliseconds backoff = policy.initial_backoff;
   middleware::ReplicaOptions ropt = options_.replica;
   ropt.start_recovering = true;
+  ropt.partition_slot = slot;
 
   std::unique_ptr<middleware::SrcaRepReplica> incarnation;
   Status recovered = Status::Unavailable("recovery never attempted");
@@ -117,7 +133,8 @@ Cluster::RecoverIncarnation(engine::Database* db, uint64_t from_tid) {
         continue;
       }
     }
-    recovered = incarnation->Recover(from_tid);
+    recovered = incarnation->Recover(from_tid, std::chrono::milliseconds(0),
+                                     allow_partial);
     if (recovered.ok()) return incarnation;
     if (!RecoveryRetryable(recovered)) break;
     // Retryable: a live incarnation re-enters Recover() directly (its
@@ -169,6 +186,7 @@ Status Cluster::RestartReplica(size_t index) {
   if (!any_alive && from_tid >= max_prefix) {
     middleware::ReplicaOptions ropt = options_.replica;
     ropt.start_recovering = false;
+    ropt.partition_slot = index;
     ropt.bootstrap_prefix = from_tid;  // 0 (nothing ever committed) is
                                        // simply a normal live start
     auto seed = std::make_unique<middleware::SrcaRepReplica>(
@@ -190,7 +208,47 @@ Status Cluster::RestartReplica(size_t index) {
         "longest-prefix replica first");
   }
 
-  auto incarnation = RecoverIncarnation(nodes_[index]->db(), from_tid);
+  // Partial replication, whole-group outage: somebody is alive, but
+  // nobody alive covers this replica's partitions (its group peers are
+  // all down — live peers always cover, their held masks are
+  // identical). Rows for those partitions exist nowhere live, so the
+  // group member with the longest stable prefix restarts first,
+  // keeping its own rows and taking only bookkeeping (validation
+  // state + log) from a non-covering donor; while the group is down the
+  // misroute guard aborts every new transaction touching its
+  // partitions, so that member's rows are complete. Everyone else waits
+  // (retryable) until it is up and recovers from it normally.
+  bool allow_partial = false;
+  if (partition_map_ != nullptr && partition_map_->partial()) {
+    const uint64_t needed = partition_map_->HeldMask(index);
+    bool covering_alive = false;
+    uint64_t group_max_prefix = 0;
+    {
+      std::shared_lock<std::shared_mutex> lock(replicas_mu_);
+      for (size_t i = 0; i < replicas_.size(); ++i) {
+        if (i != index && replicas_[i]->IsAlive() &&
+            (needed & ~partition_map_->HeldMask(i)) == 0) {
+          covering_alive = true;
+        }
+        if (partition_map_->HeldMask(i) == needed) {
+          group_max_prefix = std::max(group_max_prefix,
+                                      replicas_[i]->StableCommitPrefix());
+        }
+      }
+    }
+    if (!covering_alive) {
+      if (from_tid < group_max_prefix) {
+        return Status::Unavailable(
+            "partition group of replica " + std::to_string(index) +
+            " is down and this replica does not hold its longest stable "
+            "prefix; restart the longest-prefix group member first");
+      }
+      allow_partial = true;
+    }
+  }
+
+  auto incarnation =
+      RecoverIncarnation(nodes_[index]->db(), from_tid, index, allow_partial);
   if (!incarnation.ok()) return incarnation.status();
   {
     // Park (don't destroy) the dead incarnation: clients may still hold
@@ -204,13 +262,17 @@ Status Cluster::RestartReplica(size_t index) {
 
 Result<size_t> Cluster::AddReplica(
     const std::function<Status(engine::Database*)>& schema_loader) {
+  // A joiner beyond the founding slot range holds the full partition
+  // mask (see PartitionMap::HeldMask): it receives full payloads,
+  // recovers from any donor, and never gets stripped.
+  const size_t slot = size();
   auto node = std::make_unique<ReplicaNode>(
-      "replica" + std::to_string(size()), options_.workers_per_replica,
+      "replica" + std::to_string(slot), options_.workers_per_replica,
       options_.cost);
   SIREP_RETURN_IF_ERROR(schema_loader(node->db()));
   // Re-attempts reuse the same database: recovery replay is idempotent,
   // so data a failed attempt already imported is simply overwritten.
-  auto replica = RecoverIncarnation(node->db(), /*from_tid=*/0);
+  auto replica = RecoverIncarnation(node->db(), /*from_tid=*/0, slot);
   if (!replica.ok()) return replica.status();
   std::unique_lock<std::shared_mutex> lock(replicas_mu_);
   nodes_.push_back(std::move(node));

@@ -11,6 +11,7 @@
 
 #include "client/driver.h"
 #include "cluster/cost_model.h"
+#include "cluster/partition_map.h"
 #include "cluster/replica_node.h"
 #include "common/status.h"
 #include "gcs/group.h"
@@ -41,6 +42,15 @@ struct ClusterOptions {
   /// All-zero by default: no service-time emulation.
   CostModel cost;
   RecoveryRetryPolicy recovery_retry;
+  /// Partial replication (see cluster::PartitionMap): the keyspace is
+  /// hash-partitioned into `partitions` partitions, each owned by a
+  /// disjoint group of `replication_factor` replicas. 0/0 (the default)
+  /// keeps full replication unless the SIREP_PARTITIONS /
+  /// SIREP_REPLICATION_FACTOR environment variables say otherwise.
+  /// replication_factor >= num_replicas also degenerates to full
+  /// replication.
+  size_t partitions = 0;
+  size_t replication_factor = 0;
 };
 
 /// Wires up a full SI-Rep deployment in one process (paper Fig. 3c): N
@@ -116,6 +126,12 @@ class Cluster : public client::ReplicaDirectory {
     return replicas_[index].get();
   }
   gcs::Group& group() { return *group_; }
+  /// The shared partition map (null under full replication). One object
+  /// for the whole cluster — it models the deployment's partition
+  ///-assignment config service.
+  const std::shared_ptr<PartitionMap>& partition_map() const {
+    return partition_map_;
+  }
 
   /// Sum of per-replica stats (for benches).
   middleware::SrcaRepReplica::Stats AggregateStats() const;
@@ -171,10 +187,13 @@ class Cluster : public client::ReplicaDirectory {
   /// rebuilding the incarnation if it died; hard failures and deadline
   /// exhaustion return the last status with the incarnation crashed.
   Result<std::unique_ptr<middleware::SrcaRepReplica>> RecoverIncarnation(
-      engine::Database* db, uint64_t from_tid);
+      engine::Database* db, uint64_t from_tid, size_t slot,
+      bool allow_partial = false);
 
   ClusterOptions options_;
   std::unique_ptr<gcs::Group> group_;
+  /// Shared by every replica's ReplicaOptions (slot i = replica i).
+  std::shared_ptr<PartitionMap> partition_map_;
   /// Guards nodes_/replicas_ against concurrent structural changes:
   /// RestartReplica swaps a replica slot and AddReplica appends while
   /// client threads run Discover() and tests poke accessors. Readers

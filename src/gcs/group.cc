@@ -188,7 +188,7 @@ Group::Staged Group::Stage(MemberId sender, std::string type,
 
 Status Group::Multicast(MemberId sender, std::string type,
                         std::shared_ptr<const void> payload,
-                        obs::TraceContext trace) {
+                        obs::TraceContext trace, MulticastRoute route) {
   if (shutdown_.load(std::memory_order_acquire)) {
     return Status::Unavailable("group is shut down");
   }
@@ -198,6 +198,8 @@ Status Group::Multicast(MemberId sender, std::string type,
   SIREP_FAILPOINT("gcs.send");
   if (!batching_) {
     Staged staged = Stage(sender, std::move(type), std::move(payload), trace);
+    const bool routed =
+        route.strip_members != 0 && route.header_payload != nullptr;
     Frame frame;
     frame.sender = sender;
     frame.message_count = 1;
@@ -209,7 +211,27 @@ Status Group::Multicast(MemberId sender, std::string type,
                               staged.entry.trace,
                               std::move(staged.wire_payload)});
       EncodeWireFrame(wire, &frame.encoded);
+      // Routed sends additionally encode the header-only twin; stashed
+      // payloads (no codec) cannot be routed and fall back to full
+      // delivery everywhere.
+      std::string header_bytes;
+      if (routed && wire.entries[0].stash_id == 0 &&
+          EncodeWithCodec(wire.entries[0].type, route.header_payload.get(),
+                          &header_bytes)) {
+        WireFrame header_wire;
+        header_wire.sender = sender;
+        header_wire.header_variant = true;
+        header_wire.entries.push_back(
+            {wire.entries[0].type, /*stash_id=*/0, staged.entry.enqueue_ns,
+             staged.entry.trace, std::move(header_bytes)});
+        EncodeWireFrame(header_wire, &frame.encoded_header);
+        frame.strip_members = route.strip_members;
+      }
     } else {
+      if (routed) {
+        staged.entry.header_payload = std::move(route.header_payload);
+        frame.strip_members = route.strip_members;
+      }
       frame.entries.push_back(std::move(staged.entry));
     }
     // Count the frame before the transport sees it: once a recipient
@@ -342,6 +364,19 @@ std::shared_ptr<const void> Group::ResolvePayload(const std::string& type,
     return nullptr;
   }
   return decoded.value();
+}
+
+bool Group::EncodeWithCodec(const std::string& type, const void* payload,
+                            std::string* out) {
+  std::optional<PayloadCodec> codec;
+  {
+    std::lock_guard<std::mutex> lock(codec_mu_);
+    auto it = codecs_.find(type);
+    if (it != codecs_.end()) codec = it->second;
+  }
+  if (!codec.has_value()) return false;
+  codec->encode(payload, out);
+  return true;
 }
 
 View Group::CurrentView() const { return transport_->CurrentView(); }

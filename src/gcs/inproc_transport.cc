@@ -94,11 +94,27 @@ class InProcessTransport : public Transport {
         std::chrono::steady_clock::now() + options_.multicast_delay;
     // Enqueue to every live member under the same lock that assigned the
     // sequence numbers: this is what makes the order total and the
-    // delivery uniform.
+    // delivery uniform. Members named in strip_members get the same
+    // slot with each entry's payload swapped for its header-only twin
+    // (partial replication): identical order, lighter body.
     for (const auto& [id, member] : members_) {
       if (member->crashed.load(std::memory_order_acquire)) continue;
       pending_count_.fetch_add(1, std::memory_order_relaxed);
-      if (!member->queue.Push(event)) {
+      const bool stripped = id <= 63 &&
+                            ((event.frame.strip_members >> id) & 1) != 0;
+      bool pushed;
+      if (stripped) {
+        Event header_event = event;
+        for (auto& entry : header_event.frame.entries) {
+          if (entry.header_payload != nullptr) {
+            entry.payload = entry.header_payload;
+          }
+        }
+        pushed = member->queue.Push(std::move(header_event));
+      } else {
+        pushed = member->queue.Push(event);
+      }
+      if (!pushed) {
         pending_count_.fetch_sub(1, std::memory_order_relaxed);
       }
     }

@@ -12,7 +12,13 @@
 // Wire records (all little-endian, `u32 length` prefix over the body):
 //
 //   member -> sequencer
-//     kSend   u32 message_count, string frame      multicast request
+//     kSend   u32 message_count, string frame,     multicast request
+//             u64 strip_members,
+//             string header_frame                  header-only variant
+//                                                  delivered to members
+//                                                  named in strip_members
+//                                                  (partial replication);
+//                                                  empty when unrouted
 //     kAck    u64 stream_index                     "I buffered record i"
 //     kCrash  (empty)                              crash marker; sent
 //                                                  after the member's
@@ -94,6 +100,7 @@ class TcpSequencerTransport : public Transport {
       c_peer_expelled_ = options.registry->GetCounter("gcs.tcp.peers_expelled");
       c_dup_dropped_ = options.registry->GetCounter("gcs.tcp.dup_frames_dropped");
       c_self_expelled_ = options.registry->GetCounter("gcs.tcp.self_expulsions");
+      c_backoff_resets_ = options.registry->GetCounter("gcs.tcp.backoff_resets");
     }
     StartSequencer();
   }
@@ -115,12 +122,23 @@ class TcpSequencerTransport : public Transport {
     auto endpoint = std::make_unique<Endpoint>();
     while (true) {
       if (shutdown_.load(std::memory_order_acquire)) return kInvalidMember;
-      if (TryConnect(endpoint.get())) break;
+      bool connect_accepted = false;
+      if (TryConnect(endpoint.get(), &connect_accepted)) break;
       if (std::chrono::steady_clock::now() + backoff >= deadline) {
         SIREP_WLOG << "GCS/tcp: join failed; connect deadline exhausted";
         return kInvalidMember;
       }
       if (c_reconnects_ != nullptr) c_reconnects_->Increment();
+      if (connect_accepted && backoff > std::chrono::milliseconds(1)) {
+        // The TCP connect was accepted and only the welcome failed: the
+        // sequencer process is reachable again after whatever blip drove
+        // the backoff up. Restart the ladder at its floor — otherwise a
+        // member that survived two blips begins its third recovery at
+        // max backoff and pays ~100ms of join latency for a sequencer
+        // that is already back.
+        backoff = std::chrono::milliseconds(1);
+        if (c_backoff_resets_ != nullptr) c_backoff_resets_->Increment();
+      }
       std::this_thread::sleep_for(backoff);
       backoff = std::min(backoff * 2, std::chrono::milliseconds(100));
     }
@@ -144,7 +162,12 @@ class TcpSequencerTransport : public Transport {
   /// endpoint->fd and endpoint->id and returns true; on any failure
   /// (including the "gcs.tcp.connect" failpoint simulating a transient
   /// network error) cleans up and returns false for the caller to retry.
-  bool TryConnect(Endpoint* endpoint) {
+  /// `connect_accepted` reports the stage the attempt reached: true iff
+  /// the TCP connect itself succeeded and only the welcome handshake
+  /// failed afterwards — the caller's signal that the sequencer is
+  /// reachable and escalated backoff is no longer warranted.
+  bool TryConnect(Endpoint* endpoint, bool* connect_accepted) {
+    *connect_accepted = false;
     if (failpoint::AnyArmed() &&
         !failpoint::EvalStatus("gcs.tcp.connect").ok()) {
       return false;
@@ -160,6 +183,7 @@ class TcpSequencerTransport : public Transport {
       ::close(fd);
       return false;
     }
+    *connect_accepted = true;
     // The first record on a fresh connection is always kWelcome. Bound
     // the wait: a sequencer that accepted the TCP connection but never
     // welcomes us (hung, or injected accept failure) is a failed attempt.
@@ -255,6 +279,8 @@ class TcpSequencerTransport : public Transport {
     std::string body(1, static_cast<char>(kSend));
     sql::EncodeU32(frame.message_count, &body);
     sql::EncodeString(frame.encoded, &body);
+    sql::EncodeU64(frame.strip_members, &body);
+    sql::EncodeString(frame.encoded_header, &body);
     sends_submitted_.fetch_add(1, std::memory_order_acq_rel);
     std::lock_guard<std::mutex> lock(ep->send_mu);
     if (ep->crashed.load(std::memory_order_acquire) ||
@@ -465,8 +491,13 @@ class TcpSequencerTransport : public Transport {
       case kSend: {
         uint32_t count = 0;
         std::string frame;
+        uint64_t strip = 0;
+        std::string header_frame;
         if (!sql::DecodeU32(body, &pos, &count).ok() ||
-            !sql::DecodeString(body, &pos, &frame).ok() || count == 0) {
+            !sql::DecodeString(body, &pos, &frame).ok() ||
+            !sql::DecodeU64(body, &pos, &strip).ok() ||
+            !sql::DecodeString(body, &pos, &header_frame).ok() ||
+            count == 0) {
           SIREP_ELOG << "GCS/tcp: malformed kSend from member " << id;
           *gone = true;
           return;
@@ -475,12 +506,17 @@ class TcpSequencerTransport : public Transport {
         last_index_.store(idx, std::memory_order_release);
         const uint64_t base = seq_next_seqno_ + 1;
         seq_next_seqno_ += count;
-        std::string data(1, static_cast<char>(kData));
-        sql::EncodeU64(idx, &data);
-        sql::EncodeU64(base, &data);
-        sql::EncodeU32(count, &data);
-        sql::EncodeString(frame, &data);
-        BroadcastLocked(idx, data);
+        const std::string data = MakeDataRecord(idx, base, count, frame);
+        if (strip != 0 && !header_frame.empty()) {
+          // Routed multicast: stripped members get the header-only twin
+          // in the SAME stream slot — identical index, base seqno, ack
+          // and stability bookkeeping, lighter body.
+          BroadcastRoutedLocked(
+              idx, data, MakeDataRecord(idx, base, count, header_frame),
+              strip);
+        } else {
+          BroadcastLocked(idx, data);
+        }
         sends_sequenced_.fetch_add(1, std::memory_order_acq_rel);
         NotifyQuiescence();
         break;
@@ -507,18 +543,41 @@ class TcpSequencerTransport : public Transport {
     }
   }
 
+  static std::string MakeDataRecord(uint64_t idx, uint64_t base,
+                                    uint32_t count, const std::string& frame) {
+    std::string data(1, static_cast<char>(kData));
+    sql::EncodeU64(idx, &data);
+    sql::EncodeU64(base, &data);
+    sql::EncodeU32(count, &data);
+    sql::EncodeString(frame, &data);
+    return data;
+  }
+
   /// Broadcasts one stream record to all live members and registers it
   /// for ack tracking. A member whose socket cannot take the record
   /// within the send timeout is hung or gone — it gets expelled (view
   /// change) instead of wedging every future broadcast behind its full
   /// buffer. Caller holds seq_mu_.
   void BroadcastLocked(uint64_t idx, const std::string& body) {
+    BroadcastRoutedLocked(idx, body, body, /*strip=*/0);
+  }
+
+  /// BroadcastLocked with payload routing: members named in `strip`
+  /// (ids < 64) receive `header_body`, everyone else `full_body`. Both
+  /// are encodings of the same stream slot, so acks, the stable
+  /// watermark and view synchrony see exactly one record either way.
+  /// Caller holds seq_mu_.
+  void BroadcastRoutedLocked(uint64_t idx, const std::string& full_body,
+                             const std::string& header_body, uint64_t strip) {
     PendingRecord pending;
     for (const auto& [mid, mfd] : seq_live_) pending.waiting.push_back(mid);
     seq_pending_[idx] = std::move(pending);
     std::vector<MemberId> dead;
     for (const auto& [mid, mfd] : seq_live_) {
-      if (!WriteRecord(mfd, body)) dead.push_back(mid);
+      const bool stripped = mid <= 63 && ((strip >> mid) & 1) != 0;
+      if (!WriteRecord(mfd, stripped ? header_body : full_body)) {
+        dead.push_back(mid);
+      }
     }
     if (seq_live_.empty()) AdvanceStableLocked();
     ExpelLocked(dead);
@@ -872,6 +931,7 @@ class TcpSequencerTransport : public Transport {
   obs::Counter* c_peer_expelled_ = nullptr;
   obs::Counter* c_dup_dropped_ = nullptr;
   obs::Counter* c_self_expelled_ = nullptr;
+  obs::Counter* c_backoff_resets_ = nullptr;
 };
 
 }  // namespace

@@ -15,7 +15,8 @@ constexpr size_t kMinEntryBytesV2 = kMinEntryBytesV1 + 28;
 void EncodeWireFrame(const WireFrame& frame, std::string* out) {
   sql::EncodeU32(kWireMagic, out);
   out->push_back(static_cast<char>(kWireVersion));
-  out->push_back(0);  // flags
+  out->push_back(
+      static_cast<char>(frame.header_variant ? kWireFlagHeaderOnly : 0));
   sql::EncodeU32(frame.sender, out);
   sql::EncodeU32(static_cast<uint32_t>(frame.entries.size()), out);
   for (const auto& entry : frame.entries) {
@@ -46,9 +47,11 @@ Status DecodeWireFrame(const std::string& in, WireFrame* out) {
                                    std::to_string(version));
   }
   const uint8_t flags = static_cast<uint8_t>(in[pos++]);
-  if (flags != 0) {
+  const uint8_t known_flags = version >= 3 ? kWireFlagHeaderOnly : 0;
+  if ((flags & ~known_flags) != 0) {
     return Status::InvalidArgument("unsupported frame flags");
   }
+  out->header_variant = (flags & kWireFlagHeaderOnly) != 0;
   uint32_t sender = 0;
   SIREP_RETURN_IF_ERROR(sql::DecodeU32(in, &pos, &sender));
   uint32_t count = 0;

@@ -61,9 +61,26 @@ Status MetricsHttpServer::Start(uint16_t port) {
   addr.sin_port = htons(port);
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
       0) {
-    ::close(fd);
-    return Status::Internal("metrics server: cannot bind 127.0.0.1:" +
-                            std::to_string(port));
+    // The requested port can be transiently unbindable — most commonly a
+    // predecessor incarnation's socket lingering in TIME_WAIT across a
+    // replica restart (SO_REUSEADDR covers TIME_WAIT but not a listener
+    // that has not fully closed yet, nor an unrelated squatter). Fall
+    // back to an ephemeral port rather than failing the restart: the
+    // caller reads the actual port from port() either way.
+    if (port != 0) {
+      SIREP_WLOG << "metrics server: cannot bind 127.0.0.1:" << port
+                 << "; retrying on an ephemeral port";
+      addr.sin_port = 0;
+      if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) ==
+          0) {
+        port = 0;
+      }
+    }
+    if (port != 0) {
+      ::close(fd);
+      return Status::Internal("metrics server: cannot bind 127.0.0.1:" +
+                              std::to_string(port));
+    }
   }
   if (::listen(fd, 16) != 0) {
     ::close(fd);

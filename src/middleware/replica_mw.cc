@@ -82,6 +82,20 @@ SrcaRepReplica::SrcaRepReplica(engine::Database* db, gcs::Group* group,
   c_rec_donor_switches_ = registry_.GetCounter("mw.recovery.donor_switches");
   c_rec_buffer_spills_ = registry_.GetCounter("mw.recovery.buffer_spills");
   g_rec_buffered_msgs_ = registry_.GetGauge("mw.recovery.buffered_msgs");
+  c_partial_header_commits_ =
+      registry_.GetCounter("mw.partial.header_commits");
+  c_partial_filtered_applies_ =
+      registry_.GetCounter("mw.partial.filtered_applies");
+  c_partial_misroutes_ = registry_.GetCounter("mw.partial.misroutes");
+  c_partial_stripped_sends_ =
+      registry_.GetCounter("mw.partial.stripped_sends");
+  g_partial_held_ = registry_.GetGauge("mw.partial.held_partitions");
+  if (options_.partition_map != nullptr) {
+    uint64_t held = options_.partition_map->HeldMask(options_.partition_slot);
+    int64_t count = 0;
+    for (; held != 0; held &= held - 1) ++count;
+    g_partial_held_->Set(count);
+  }
   holes_.SetWaitHistogram(
       registry_.GetLatencyHistogram("mw.begin.hole_wait_us"));
   if (options_.start_recovering) {
@@ -129,6 +143,13 @@ Status SrcaRepReplica::Start() {
   // kInvalidMember, which is benign — nothing in the stream can carry
   // our id before we have multicast anything.
   member_id_.store(id, std::memory_order_release);
+  // Publish our slot binding only when starting live: senders strip
+  // payloads from bound members, and a recovering incarnation must keep
+  // receiving full payloads while it buffers (Recover() binds at the
+  // end of a successful catch-up).
+  if (options_.partition_map != nullptr && !options_.start_recovering) {
+    options_.partition_map->BindSlot(options_.partition_slot, id);
+  }
   return Status::OK();
 }
 
@@ -294,6 +315,31 @@ Status SrcaRepReplica::CommitTxn(const TxnHandle& txn, bool* had_writes) {
     return st;
   }
 
+  // Partial replication: tag the writeset with its partition mask (and
+  // compute the per-tuple digests the header-only twin will carry). A
+  // transaction that wrote a partition this replica does not hold was
+  // misrouted by the client — abort it *before* dissemination. The abort
+  // is always safe (nothing was multicast, nothing applied); committing
+  // would be unsound, since no holder of those partitions executed the
+  // reads and this replica's rows for them are stale.
+  const cluster::PartitionMap* const pmap = options_.partition_map.get();
+  uint64_t partition_mask = 0;
+  std::vector<uint64_t> digests;
+  if (pmap != nullptr && pmap->partial()) {
+    partition_mask = pmap->MaskOf(*ws, &digests);
+    if (!pmap->HoldsAll(options_.partition_slot, partition_mask)) {
+      db_->Abort(txn.db_txn);
+      RecordOutcome(txn.gid, /*committed=*/false);
+      c_partial_misroutes_->Increment();
+      flight_.Record(obs::FlightEventType::kValidation, member_id(),
+                     txn.gid.seq, txn.gid.replica, "misroute: not a holder");
+      return Status::InvalidArgument(
+          "transaction " + txn.gid.ToString() +
+          " writes partitions this replica does not hold; route it to a "
+          "holder of its partition group");
+    }
+  }
+
   auto pending = std::make_shared<PendingLocal>();
   pending->db_txn = txn.db_txn;
   pending->trace = txn.trace;
@@ -346,10 +392,43 @@ Status SrcaRepReplica::CommitTxn(const TxnHandle& txn, bool* had_writes) {
     trace->SetContext(ctx);
     trace->Begin(obs::Stage::kMulticast);
   }
-  auto payload = std::make_shared<const WriteSetMessage>(
-      WriteSetMessage{txn.gid, cert, ws, ctx});
-  Status mc =
-      group_->Multicast(member_id(), kWriteSetMessageType, payload, ctx);
+  WriteSetMessage full;
+  full.gid = txn.gid;
+  full.cert = cert;
+  full.ws = ws;
+  full.trace = ctx;
+  if (pmap != nullptr) {
+    full.epoch = pmap->epoch();
+    full.partition_mask = partition_mask;
+  }
+  auto payload = std::make_shared<const WriteSetMessage>(std::move(full));
+  // Route: members holding none of the touched partitions get the
+  // header-only twin (digests, no rows). Best-effort — an empty strip
+  // set, batching, or an unbound member all degrade to full payloads.
+  gcs::MulticastRoute route;
+  if (pmap != nullptr && pmap->partial() && partition_mask != 0) {
+    uint64_t strip = pmap->StripMembers(partition_mask);
+    // Never strip ourselves: the origin must see its own full payload.
+    if (member_id() <= cluster::PartitionMap::kMaxStrippableMember) {
+      strip &= ~(uint64_t{1} << member_id());
+    }
+    if (strip != 0) {
+      WriteSetMessage header;
+      header.gid = txn.gid;
+      header.cert = cert;
+      header.trace = ctx;
+      header.epoch = pmap->epoch();
+      header.partition_mask = partition_mask;
+      header.header_only = true;
+      header.digests = digests;
+      route.strip_members = strip;
+      route.header_payload =
+          std::make_shared<const WriteSetMessage>(std::move(header));
+      c_partial_stripped_sends_->Increment();
+    }
+  }
+  Status mc = group_->Multicast(member_id(), kWriteSetMessageType, payload,
+                                ctx, std::move(route));
   if (!mc.ok()) {
     {
       std::lock_guard<std::mutex> plock(pending_mu_);
@@ -520,9 +599,51 @@ void SrcaRepReplica::ProcessWriteSet(const gcs::Message& message) {
                                : 0);
   }
 
+  // Partial replication: decide up front whether this replica applies
+  // the writeset or only certifies it. The decision keys on the
+  // partition mask against our held set — not on payload presence:
+  // batching (and epoch-conservative senders) may deliver full payloads
+  // to non-holders, and those must still take the bookkeeping path so
+  // non-held rows stay untouched (the misroute-abort safety argument
+  // depends on them being stale, never deleted, never updated).
+  const cluster::PartitionMap* const pmap = options_.partition_map.get();
+  const bool have_payload = msg->ws != nullptr;
+  bool holds_any = true;
+  bool holds_all = true;
+  uint64_t held_mask = ~uint64_t{0};
+  if (pmap != nullptr && pmap->partial() && msg->partition_mask != 0 &&
+      msg->epoch == pmap->epoch()) {
+    // An epoch-mismatched mask was computed under a different layout and
+    // is not trusted: the defaults above mean full-payload semantics
+    // (apply whatever rows arrived). Extra rows at a "non-holder" are
+    // harmless — exactly the stale copies non-held rows are allowed to
+    // be; skipping an apply we actually hold would be the unsafe
+    // direction.
+    held_mask = pmap->HeldMask(options_.partition_slot);
+    holds_any = (msg->partition_mask & held_mask) != 0;
+    holds_all = (msg->partition_mask & ~held_mask) == 0;
+  }
+  if (!have_payload && holds_any && pmap != nullptr &&
+      msg->epoch == pmap->epoch()) {
+    // We hold a partition of this writeset but the sender stripped our
+    // payload: the shared routing directory and our held mask disagree,
+    // which only a mid-flight Resize() race can produce. We can certify
+    // but not apply — continuing would silently diverge this replica's
+    // rows from its co-holders', so crash instead (recovery re-seeds
+    // us; non-holders advanced past this message unharmed).
+    SIREP_ELOG << "replica " << member_id()
+               << " received header-only writeset " << msg->gid.ToString()
+               << " for held partitions (mask " << msg->partition_mask
+               << ", held " << held_mask << "); crashing self";
+    Crash();
+    return;
+  }
+  const bool apply_here = have_payload && holds_any;
+
   bool conflict;
   uint64_t tid = 0;
   storage::TupleId conflict_key;
+  uint64_t conflict_digest = 0;
   size_t ws_list_size = 0;
   {
     // Step II: global validation, in delivery order (the total order makes
@@ -537,14 +658,32 @@ void SrcaRepReplica::ProcessWriteSet(const gcs::Message& message) {
                  << " (cert " << msg->cert << " < min retained "
                  << ws_index_.MinRetainedTid() << ")";
       conflict = true;
-    } else {
+    } else if (have_payload) {
       conflict = ws_index_.ConflictsAfter(msg->cert, *msg->ws, &conflict_key);
+    } else {
+      // Header-only variant: the digest probe is decision-equivalent to
+      // the tuple probe (the index keys on digests either way), so
+      // holders and non-holders reach the same verdict.
+      conflict = ws_index_.ConflictsAfterDigests(msg->cert, msg->digests,
+                                                 &conflict_digest);
     }
     if (!conflict) {
       tid = ++lastvalidated_tid_;
-      ws_index_.Append(tid, msg->ws);
+      // Every replica appends the digests of every validated message —
+      // windows, MinRetainedTid and future verdicts stay identical
+      // cluster-wide whether or not the rows are here.
+      std::vector<uint64_t> digests = have_payload
+                                          ? ShardedWsIndex::DigestsOf(*msg->ws)
+                                          : msg->digests;
+      ws_index_.AppendDigests(tid, digests, msg->ws);
       if (options_.ws_log_capacity > 0) {
-        ws_log_.push_back(LogEntry{tid, msg->gid, msg->ws});
+        LogEntry log_entry;
+        log_entry.tid = tid;
+        log_entry.gid = msg->gid;
+        log_entry.ws = msg->ws;  // null for header-only entries
+        log_entry.digests = std::move(digests);
+        log_entry.partition_mask = msg->partition_mask;
+        ws_log_.push_back(std::move(log_entry));
         while (ws_log_.size() > options_.ws_log_capacity) {
           ws_log_.pop_front();
         }
@@ -557,16 +696,40 @@ void SrcaRepReplica::ProcessWriteSet(const gcs::Message& message) {
         rtrace->Add(obs::Stage::kGlobalValidate,
                     obs::MonotonicNanos() - arrival_ns);
       }
-      ToCommitEntry entry;
-      entry.tid = tid;
-      entry.gid = msg->gid;
-      entry.local = is_local;
-      entry.ws = msg->ws;
-      // Local entries are committed by the waiting client thread.
-      entry.dispatched = is_local;
-      entry.delivered_ns = arrival_ns;
-      entry.trace = rtrace;
-      tocommit_queue_.Append(std::move(entry));
+      if (is_local || apply_here) {
+        ToCommitEntry entry;
+        entry.tid = tid;
+        entry.gid = msg->gid;
+        entry.local = is_local;
+        entry.ws = msg->ws;
+        if (!is_local && !holds_all) {
+          // Partially held (a cross-group writeset from a full-mask
+          // origin): apply only the sub-writeset that lands in our
+          // partitions. The rest belongs to other groups and must stay
+          // untouched here.
+          auto filtered = std::make_shared<storage::WriteSet>();
+          for (const auto& we : msg->ws->entries()) {
+            const uint64_t digest =
+                cluster::PartitionMap::TupleDigest(we.tuple);
+            const size_t partition = pmap->PartitionOfDigest(digest);
+            if ((held_mask >> partition) & 1) {
+              filtered->Record(we.tuple, we.op, we.after);
+            }
+          }
+          entry.ws = std::move(filtered);
+          c_partial_filtered_applies_->Increment();
+        }
+        // Local entries are committed by the waiting client thread.
+        entry.dispatched = is_local;
+        entry.delivered_ns = arrival_ns;
+        entry.trace = rtrace;
+        tocommit_queue_.Append(std::move(entry));
+      } else {
+        // Non-holder: certification done, nothing to apply. Commit the
+        // tid slot instantly (mirrors ProcessDdl) so the hole tracker
+        // and stable prefix advance exactly as at holders.
+        holes_.RecordCommit(tid, [] { return 0; });
+      }
     }
     ws_list_size = ws_index_.size();
   }
@@ -590,8 +753,11 @@ void SrcaRepReplica::ProcessWriteSet(const gcs::Message& message) {
   if (conflict) {
     flight_.Record(obs::FlightEventType::kValidation, member_id(),
                    msg->gid.seq, msg->gid.replica,
-                   conflict_key.table.empty() ? "cert window underrun"
-                                              : conflict_key.ToString());
+                   !conflict_key.table.empty()
+                       ? conflict_key.ToString()
+                       : conflict_digest != 0
+                             ? "digest " + std::to_string(conflict_digest)
+                             : "cert window underrun");
   }
 
   RecordOutcome(msg->gid, /*committed=*/!conflict);
@@ -651,8 +817,16 @@ void SrcaRepReplica::ProcessWriteSet(const gcs::Message& message) {
         rtrace->Add(obs::Stage::kGlobalValidate, validate_ns);
         rtrace->Flush(stage_hists_);
       }
-    } else {
+    } else if (apply_here) {
       ScheduleAppliers();
+    } else {
+      // Non-holder bookkeeping commit: the tid slot was closed under
+      // wsmutex_ (which already re-ran the dispatch scan via the hole
+      // listener); finish the outcome record so fail-over inquiries
+      // terminate here too.
+      MarkLocallyCommitted(msg->gid);
+      c_partial_header_commits_->Increment();
+      if (rtrace != nullptr) rtrace->Flush(stage_hists_);
     }
   }
 }
@@ -806,6 +980,28 @@ void SrcaRepReplica::HandleRecoveryRequest(const gcs::Message& message) {
     refuse(Status::NotSupported("this replica keeps no writeset log"));
     return;
   }
+  // Partial replication: a donor can only re-seed rows it holds. When it
+  // does not cover everything the requester needs, it refuses — unless
+  // the requester explicitly accepts a partial (bookkeeping-only)
+  // donation, which cluster::Cluster only authorizes for the
+  // longest-prefix member of a whole-down group (its own rows are
+  // already complete for the unserved partitions).
+  uint64_t served_mask = ~uint64_t{0};
+  if (options_.partition_map != nullptr &&
+      options_.partition_map->partial()) {
+    const cluster::PartitionMap& map = *options_.partition_map;
+    const uint64_t donor_held = map.HeldMask(options_.partition_slot);
+    const uint64_t needed =
+        req->needed_mask != 0
+            ? req->needed_mask
+            : cluster::PartitionMap::FullMask(map.num_partitions());
+    if ((needed & ~donor_held) != 0 && !req->allow_partial) {
+      refuse(Status::Unavailable(
+          "chosen donor does not hold the requester's partitions"));
+      return;
+    }
+    served_mask = donor_held & needed;
+  }
 
   // Donor side: snapshot the donation plan exactly at the marker point
   // of the total order (we are on the delivery thread, so every earlier
@@ -815,6 +1011,7 @@ void SrcaRepReplica::HandleRecoveryRequest(const gcs::Message& message) {
   auto plan = std::make_shared<DonorPlan>();
   plan->transfer_id = req->transfer_id;
   plan->channel = req->channel;
+  plan->served_mask = served_mask;
   {
     std::lock_guard<std::mutex> lock(wsmutex_);
     plan->lastvalidated = lastvalidated_tid_;
@@ -961,6 +1158,7 @@ void SrcaRepReplica::StreamRecoveryChunks(std::shared_ptr<DonorPlan> plan) {
     meta.has_meta = true;
     meta.lastvalidated = plan->lastvalidated;
     meta.ws_window = std::move(plan->ws_window);
+    meta.served_mask = plan->served_mask;
     meta.full_copy = plan->full_copy;
     meta.full_copy_restart = plan->full_copy_restart;
     meta.full_copy_base = plan->full_copy_base;
@@ -975,9 +1173,21 @@ void SrcaRepReplica::StreamRecoveryChunks(std::shared_ptr<DonorPlan> plan) {
     if (mvcc == nullptr) continue;
     const sql::Schema schema = mvcc->schema();
     std::vector<sql::Row> rows;
+    // Partial donation: dump only the rows of the served partitions.
+    // The donor's rows for other partitions are stale non-held copies
+    // and must never be presented as authoritative.
+    const cluster::PartitionMap* const pmap = options_.partition_map.get();
+    const bool filter_rows = plan->served_mask != ~uint64_t{0} &&
+                             pmap != nullptr;
     Status scan = db_->engine().Scan(
         plan->dump_txn, table,
-        [&](const sql::Key&, const sql::Row& row) { rows.push_back(row); });
+        [&](const sql::Key& key, const sql::Row& row) {
+          if (filter_rows) {
+            const size_t partition = pmap->PartitionOf({table, key});
+            if (((plan->served_mask >> partition) & 1) == 0) return;
+          }
+          rows.push_back(row);
+        });
     if (!scan.ok()) {
       RecoveryChunk failed;
       failed.status = scan;
@@ -1030,7 +1240,7 @@ void SrcaRepReplica::StreamRecoveryChunks(std::shared_ptr<DonorPlan> plan) {
 }
 
 Status SrcaRepReplica::ApplyRecoveryLogEntry(const LogEntry& entry) {
-  if (entry.ws == nullptr) {
+  if (!entry.ddl.empty()) {
     // Replicated DDL at this position. AlreadyExists is fine (a
     // restarted replica's schema survived the crash, or an earlier
     // donor's chunks already shipped it).
@@ -1041,9 +1251,32 @@ Status SrcaRepReplica::ApplyRecoveryLogEntry(const LogEntry& entry) {
     }
     return Status::OK();
   }
-  while (true) {
+  // A null writeset on a non-DDL entry is a header-only certification
+  // the donor itself never held rows for: replaying it is pure
+  // bookkeeping (the outcome records below), exactly as it was at every
+  // non-holder when the message was live.
+  std::shared_ptr<const storage::WriteSet> to_apply = entry.ws;
+  const cluster::PartitionMap* const pmap = options_.partition_map.get();
+  if (to_apply != nullptr && pmap != nullptr && pmap->partial() &&
+      entry.partition_mask != 0) {
+    // Replay only our held sub-writeset, mirroring the live apply
+    // decision — a full-payload entry in a donor's log may span
+    // partitions this replica does not hold.
+    const uint64_t held = pmap->HeldMask(options_.partition_slot);
+    if ((entry.partition_mask & held) == 0) {
+      to_apply = nullptr;
+    } else if ((entry.partition_mask & ~held) != 0) {
+      auto filtered = std::make_shared<storage::WriteSet>();
+      for (const auto& we : to_apply->entries()) {
+        const size_t partition = pmap->PartitionOf(we.tuple);
+        if ((held >> partition) & 1) filtered->Record(we.tuple, we.op, we.after);
+      }
+      to_apply = filtered->empty() ? nullptr : std::move(filtered);
+    }
+  }
+  while (to_apply != nullptr) {
     auto txn = db_->Begin();
-    Status st = db_->ApplyWriteSet(txn, *entry.ws);
+    Status st = db_->ApplyWriteSet(txn, *to_apply);
     if (st.ok()) st = db_->Commit(txn);
     if (st.ok()) break;
     db_->Abort(txn);
@@ -1064,6 +1297,7 @@ Status SrcaRepReplica::ApplyRecoveryChunk(const RecoveryChunk& chunk,
     progress->have_meta = true;
     progress->lastvalidated = chunk.lastvalidated;
     progress->ws_window = chunk.ws_window;
+    progress->served_mask = chunk.served_mask;
     if (chunk.full_copy) {
       if (chunk.full_copy_restart ||
           (progress->cursor.full_copy_started &&
@@ -1120,7 +1354,20 @@ Status SrcaRepReplica::ApplyRecoveryChunk(const RecoveryChunk& chunk,
       sync.Record({chunk.table, key}, storage::WriteOp::kUpdate, row);
     }
     if (chunk.table_complete) {
+      // Delete-sweep, restricted to the partitions this donation served:
+      // local rows of unserved partitions were deliberately absent from
+      // the dump, and non-held rows (kept stale by design — the
+      // misroute-abort guard depends on them existing) must survive
+      // every recovery untouched.
+      const cluster::PartitionMap* const pmap =
+          options_.partition_map.get();
+      const bool filter_sweep = progress->served_mask != ~uint64_t{0};
       for (const auto& key : progress->leftover_keys) {
+        if (filter_sweep) {
+          if (pmap == nullptr) continue;  // cannot attribute: keep the row
+          const size_t partition = pmap->PartitionOf({chunk.table, key});
+          if (((progress->served_mask >> partition) & 1) == 0) continue;
+        }
         sync.Record({chunk.table, key}, storage::WriteOp::kDelete, {});
       }
     }
@@ -1157,7 +1404,8 @@ Status SrcaRepReplica::ApplyRecoveryChunk(const RecoveryChunk& chunk,
 }
 
 Status SrcaRepReplica::Recover(uint64_t from_tid,
-                               std::chrono::milliseconds timeout) {
+                               std::chrono::milliseconds timeout,
+                               bool allow_partial) {
   if (!IsAlive()) return Status::Unavailable("replica crashed");
   {
     std::lock_guard<std::mutex> lock(buffer_mu_);
@@ -1223,14 +1471,38 @@ Status SrcaRepReplica::Recover(uint64_t from_tid,
 
     // Donor election: rotate over the other live members of the
     // current view; the index only advances on a donor fault, so a
-    // buffer-spill re-anchor keeps its (healthy) donor.
+    // buffer-spill re-anchor keeps its (healthy) donor. Under partial
+    // replication, members covering our held partitions (our group
+    // peers) come first; non-covering members are candidates only when
+    // the caller authorized a partial (bookkeeping-only) donation.
+    const cluster::PartitionMap* const pmap = options_.partition_map.get();
+    const uint64_t needed_mask =
+        (pmap != nullptr && pmap->partial())
+            ? pmap->HeldMask(options_.partition_slot)
+            : 0;
+    std::vector<uint32_t> covering;
+    if (needed_mask != 0) covering = pmap->CoveringMembers(needed_mask);
     std::vector<gcs::MemberId> candidates;
+    std::vector<gcs::MemberId> partial_donors;
     for (gcs::MemberId member : group_->CurrentView().members) {
-      if (member != member_id() && group_->IsAlive(member)) {
+      if (member == member_id() || !group_->IsAlive(member)) continue;
+      if (needed_mask == 0 ||
+          std::find(covering.begin(), covering.end(), member) !=
+              covering.end()) {
         candidates.push_back(member);
+      } else if (allow_partial) {
+        partial_donors.push_back(member);
       }
     }
-    if (candidates.empty()) continue;
+    candidates.insert(candidates.end(), partial_donors.begin(),
+                      partial_donors.end());
+    if (candidates.empty()) {
+      last_error = Status::Unavailable(
+          needed_mask != 0
+              ? "no live donor covers this replica's partitions"
+              : "no donor available for recovery");
+      continue;
+    }
     const gcs::MemberId donor = candidates[donor_idx % candidates.size()];
     const uint64_t transfer_id =
         (static_cast<uint64_t>(member_id()) + 1) << 32 |
@@ -1256,6 +1528,8 @@ Status SrcaRepReplica::Recover(uint64_t from_tid,
     request.donor = donor;
     request.from_tid = from_tid;
     request.transfer_id = transfer_id;
+    request.needed_mask = needed_mask;
+    request.allow_partial = allow_partial;
     request.cursor = progress.cursor;
     request.channel = channel;
     auto payload =
@@ -1469,6 +1743,12 @@ Status SrcaRepReplica::Recover(uint64_t from_tid,
       g_rec_buffered_msgs_->Set(0);
     }
     accepting_.store(true, std::memory_order_release);
+    // Live now: publish the slot binding so senders may start shipping
+    // us header-only frames for partitions we do not hold.
+    if (options_.partition_map != nullptr) {
+      options_.partition_map->BindSlot(options_.partition_slot,
+                                       member_id());
+    }
     flight_.Record(obs::FlightEventType::kRecovery, member_id(),
                    transfer_id, progress.lastvalidated, "complete");
     SIREP_ILOG << "replica " << member_id() << " recovery complete";
@@ -1562,6 +1842,12 @@ void SrcaRepReplica::Crash() {
   }
   flight_.Record(obs::FlightEventType::kCrash, member_id(), 0, 0,
                  "middleware crash");
+  // Retract the routing binding first: a dead member must not keep
+  // influencing strip sets or covering-donor election.
+  if (options_.partition_map != nullptr &&
+      member_id() != gcs::kInvalidMember) {
+    options_.partition_map->UnbindMember(member_id());
+  }
   group_->Crash(member_id());
   // Release clients blocked waiting for holes to close — those commits
   // will never happen now — and quiescence waiters watching our queue,
@@ -1605,6 +1891,10 @@ void SrcaRepReplica::Shutdown() {
   if (!shutdown_.compare_exchange_strong(expected, true,
                                          std::memory_order_acq_rel)) {
     return;
+  }
+  if (options_.partition_map != nullptr &&
+      member_id() != gcs::kInvalidMember) {
+    options_.partition_map->UnbindMember(member_id());
   }
   holes_.SetChangeListener(nullptr);
   holes_.Cancel();

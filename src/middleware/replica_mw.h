@@ -17,6 +17,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "cluster/partition_map.h"
 #include "common/status.h"
 #include "engine/database.h"
 #include "engine/query_result.h"
@@ -101,6 +102,14 @@ struct ReplicaOptions {
   /// a fresh marker instead of growing without bound.
   /// SIREP_RECOVERY_BUFFER_HWM overrides.
   size_t recovery_buffer_high_water = 4096;
+  /// Partial replication (null = full replication everywhere). All
+  /// replicas of a cluster share one map (it models the cluster's
+  /// partition-assignment config); `partition_slot` is this replica's
+  /// stable slot in it, which determines the partitions it holds. A
+  /// replica holding a partition applies its writesets; non-holders
+  /// certify against writeset digests alone and keep only bookkeeping.
+  std::shared_ptr<cluster::PartitionMap> partition_map;
+  size_t partition_slot = 0;
 };
 
 /// Validation/commit outcome of a transaction as known at this replica.
@@ -237,9 +246,16 @@ class SrcaRepReplica : public gcs::GroupListener {
   /// (StableCommitPrefix() of its previous incarnation), or 0 for a
   /// brand-new node whose schema has been created. Requires the replica
   /// to have been constructed with `start_recovering = true`.
+  /// `allow_partial` (partial replication, whole-group outage): accept a
+  /// donor that holds none/some of this replica's partitions — it serves
+  /// bookkeeping (validation state + log) while this replica keeps its
+  /// own rows for the unserved partitions. Only safe when this replica
+  /// holds the longest stable prefix of its partition group, which the
+  /// caller (cluster::Cluster::RestartReplica) establishes.
   Status Recover(uint64_t from_tid,
                  std::chrono::milliseconds timeout =
-                     std::chrono::milliseconds(0));
+                     std::chrono::milliseconds(0),
+                 bool allow_partial = false);
 
   /// Durable prefix a restarted incarnation can recover from: every
   /// validated tid <= this value has committed at this replica, and
@@ -307,8 +323,16 @@ class SrcaRepReplica : public gcs::GroupListener {
   struct LogEntry {
     uint64_t tid = 0;
     GlobalTxnId gid;
-    std::shared_ptr<const storage::WriteSet> ws;  ///< null for DDL entries
-    std::string ddl;                              ///< set for DDL entries
+    /// Null for DDL entries *and* for header-only entries a partial
+    /// replica validated without holding the payload's partitions.
+    std::shared_ptr<const storage::WriteSet> ws;
+    std::string ddl;  ///< set for DDL entries
+    /// Per-tuple certification digests and the partition mask (partial
+    /// replication). Populated for every writeset entry so a donated log
+    /// reproduces identical validation state at the recoverer even when
+    /// ws is null.
+    std::vector<uint64_t> digests;
+    uint64_t partition_mask = 0;
   };
 
   /// One table's committed contents in a full-state transfer. The schema
@@ -349,9 +373,12 @@ class SrcaRepReplica : public gcs::GroupListener {
     // snapshotted at the marker, and the shape of what follows.
     bool has_meta = false;
     uint64_t lastvalidated = 0;
-    std::vector<std::pair<uint64_t,
-                          std::shared_ptr<const storage::WriteSet>>>
-        ws_window;
+    std::vector<WsWindowEntry> ws_window;
+    /// Partitions whose rows this donation actually carries (~0 when the
+    /// donor covers everything the requester asked for). Rows outside it
+    /// come from log bookkeeping only; the requester must not delete-sweep
+    /// them.
+    uint64_t served_mask = ~0ull;
     bool full_copy = false;  ///< table dumps follow before the log
     /// The cursor's partial copy is unusable (this donor's log does not
     /// reach its base): recoverer must drop tables_done and start over.
@@ -387,6 +414,12 @@ class SrcaRepReplica : public gcs::GroupListener {
     gcs::MemberId donor = gcs::kInvalidMember;
     uint64_t from_tid = 0;
     uint64_t transfer_id = 0;
+    /// Partitions the requester needs rows for (its held mask; 0 = all).
+    /// A donor that holds none of them refuses; one that holds a subset
+    /// serves it only when `allow_partial` (whole-group-outage
+    /// bookkeeping recovery — the requester keeps its own rows).
+    uint64_t needed_mask = 0;
+    bool allow_partial = false;
     RecoveryCursor cursor;
     std::shared_ptr<RecoveryChannel> channel;
   };
@@ -398,9 +431,8 @@ class SrcaRepReplica : public gcs::GroupListener {
   struct DonorPlan {
     uint64_t transfer_id = 0;
     uint64_t lastvalidated = 0;
-    std::vector<std::pair<uint64_t,
-                          std::shared_ptr<const storage::WriteSet>>>
-        ws_window;
+    std::vector<WsWindowEntry> ws_window;
+    uint64_t served_mask = ~0ull;  ///< row filter for the table dumps
     std::vector<LogEntry> log_suffix;
     bool full_copy = false;
     bool full_copy_restart = false;
@@ -415,9 +447,8 @@ class SrcaRepReplica : public gcs::GroupListener {
     RecoveryCursor cursor;
     bool have_meta = false;
     uint64_t lastvalidated = 0;
-    std::vector<std::pair<uint64_t,
-                          std::shared_ptr<const storage::WriteSet>>>
-        ws_window;
+    std::vector<WsWindowEntry> ws_window;
+    uint64_t served_mask = ~0ull;  ///< from the current donor's meta
     /// Log entries received so far, keyed by tid (identical across
     /// donors by the total order, so accumulating over switches is
     /// safe); becomes the adopted ws_log_.
@@ -589,6 +620,16 @@ class SrcaRepReplica : public gcs::GroupListener {
   obs::Counter* c_rec_donor_switches_ = nullptr;
   obs::Counter* c_rec_buffer_spills_ = nullptr;
   obs::Gauge* g_rec_buffered_msgs_ = nullptr;
+  // Partial replication ("mw.partial.*"): header-only certifications
+  // committed without a payload, sub-writeset applies at partially-held
+  // replicas, commit attempts rejected because this replica holds none
+  // of the writeset's partitions, payloads the GCS stripped on our
+  // behalf, and the number of partitions this replica holds.
+  obs::Counter* c_partial_header_commits_ = nullptr;
+  obs::Counter* c_partial_filtered_applies_ = nullptr;
+  obs::Counter* c_partial_misroutes_ = nullptr;
+  obs::Counter* c_partial_stripped_sends_ = nullptr;
+  obs::Gauge* g_partial_held_ = nullptr;
 
   /// Per-replica black box (see flight_recorder()).
   obs::FlightRecorder flight_{1024};

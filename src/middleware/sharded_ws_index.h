@@ -9,28 +9,53 @@
 #include <utility>
 #include <vector>
 
+#include "cluster/partition_map.h"
 #include "storage/types.h"
 #include "storage/write_set.h"
 
 namespace sirep::middleware {
 
+/// One retained certification-window entry: the validation tid, the
+/// per-tuple digests (always present — they are what certification
+/// actually keys on), and the row images (null when this replica only
+/// ever saw the header-only variant of the message). Recovery snapshots
+/// ship these verbatim so the recovering replica's verdicts match the
+/// donor's bit for bit.
+struct WsWindowEntry {
+  uint64_t tid = 0;
+  std::shared_ptr<const storage::WriteSet> ws;
+  std::vector<uint64_t> digests;
+};
+
 /// Drop-in replacement for WsList (the paper's `ws_list`) that turns the
 /// certification probe from an O(window-suffix x writeset) scan into an
-/// O(writeset) hash lookup, sharded by tuple-key hash range so probes and
+/// O(writeset) hash lookup, sharded by digest range so probes and
 /// appends touching disjoint shards never contend.
 ///
 /// The insight: validation of Ti only asks "does any Tj with tid >
 /// Ti.cert write a tuple Ti writes?". Appends are tid-monotone, so the
 /// per-tuple *last* writer tid answers that exactly — if the newest
 /// writer of a tuple is <= cert, every older writer is too. The index
-/// therefore keeps, per shard, a map tuple -> last-writer tid; a window
-/// deque of (tid, writeset) entries drives pruning, MinRetainedTid() and
-/// recovery snapshots, exactly mirroring WsList's sliding window.
+/// keeps, per shard, a map digest -> last-writer tid; a window deque of
+/// WsWindowEntry drives pruning, MinRetainedTid() and recovery
+/// snapshots, exactly mirroring WsList's sliding window.
+///
+/// **Why digests, not tuples.** Under partial replication a non-holder
+/// receives only the 64-bit FNV-1a digest of each written tuple
+/// (cluster::PartitionMap::TupleDigest), never the tuple itself. Keying
+/// the index on digests lets holders (which hash their full tuples) and
+/// non-holders (which replay shipped digests) run the *same* probe over
+/// the *same* keys — the cluster-wide verdict identity that 1-copy-SI
+/// certification requires. A digest collision between distinct tuples
+/// can only manufacture a conflict that is not there, i.e. a spurious
+/// abort — always safe under SI, and vanishingly rare at 64 bits.
 ///
 /// Decision-equivalence with WsList (relied on by recovery and by the
 /// cross-replica determinism argument): for any append sequence and any
 /// (cert, ws) probe, ConflictsAfter() returns the same verdict as
-/// WsList::ConflictsAfter — see middleware_unit_test's differential test.
+/// WsList::ConflictsAfter — see middleware_unit_test's differential
+/// tests, including the prune/snapshot/load boundary sweep around
+/// MinRetainedTid.
 ///
 /// Threading: appends and window pruning are serialized by the caller
 /// (the replica's wsmutex / single delivery thread, as in the paper's
@@ -47,19 +72,37 @@ class ShardedWsIndex {
   ShardedWsIndex(const ShardedWsIndex&) = delete;
   ShardedWsIndex& operator=(const ShardedWsIndex&) = delete;
 
-  void Append(uint64_t tid, std::shared_ptr<const storage::WriteSet> ws) {
-    for (const auto& we : ws->entries()) {
-      Shard& shard = ShardFor(we.tuple);
-      std::lock_guard<std::mutex> lock(shard.mu);
-      shard.last_writer[we.tuple] = tid;
+  static std::vector<uint64_t> DigestsOf(const storage::WriteSet& ws) {
+    std::vector<uint64_t> digests;
+    digests.reserve(ws.entries().size());
+    for (const auto& we : ws.entries()) {
+      digests.push_back(cluster::PartitionMap::TupleDigest(we.tuple));
     }
-    window_.push_back(Entry{tid, std::move(ws)});
+    return digests;
+  }
+
+  void Append(uint64_t tid, std::shared_ptr<const storage::WriteSet> ws) {
+    std::vector<uint64_t> digests = DigestsOf(*ws);
+    AppendDigests(tid, std::move(digests), std::move(ws));
+  }
+
+  /// The header-only form: every replica — holder or not — appends the
+  /// digests of every validated message, so windows, MinRetainedTid and
+  /// verdicts stay identical cluster-wide. `ws` may be null.
+  void AppendDigests(uint64_t tid, std::vector<uint64_t> digests,
+                     std::shared_ptr<const storage::WriteSet> ws) {
+    for (const uint64_t digest : digests) {
+      Shard& shard = ShardFor(digest);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.last_writer[digest] = tid;
+    }
+    window_.push_back(WsWindowEntry{tid, std::move(ws), std::move(digests)});
     while (window_.size() > max_entries_) {
-      const Entry& evicted = window_.front();
-      for (const auto& we : evicted.ws->entries()) {
-        Shard& shard = ShardFor(we.tuple);
+      const WsWindowEntry& evicted = window_.front();
+      for (const uint64_t digest : evicted.digests) {
+        Shard& shard = ShardFor(digest);
         std::lock_guard<std::mutex> lock(shard.mu);
-        auto it = shard.last_writer.find(we.tuple);
+        auto it = shard.last_writer.find(digest);
         // Only drop the map entry if no younger writeset in the window
         // overwrote it; a stale smaller tid can never be present because
         // appends are tid-monotone.
@@ -77,11 +120,23 @@ class ShardedWsIndex {
   bool ConflictsAfter(uint64_t cert, const storage::WriteSet& ws,
                       storage::TupleId* first_conflict = nullptr) const {
     for (const auto& we : ws.entries()) {
-      const Shard& shard = ShardFor(we.tuple);
-      std::lock_guard<std::mutex> lock(shard.mu);
-      auto it = shard.last_writer.find(we.tuple);
-      if (it != shard.last_writer.end() && it->second > cert) {
+      if (LastWriterAfter(cluster::PartitionMap::TupleDigest(we.tuple),
+                          cert)) {
         if (first_conflict != nullptr) *first_conflict = we.tuple;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// The non-holder probe: identical verdict from digests alone.
+  /// `first_conflict`, if non-null, receives the conflicting digest.
+  bool ConflictsAfterDigests(uint64_t cert,
+                             const std::vector<uint64_t>& digests,
+                             uint64_t* first_conflict = nullptr) const {
+    for (const uint64_t digest : digests) {
+      if (LastWriterAfter(digest, cert)) {
+        if (first_conflict != nullptr) *first_conflict = digest;
         return true;
       }
     }
@@ -99,7 +154,7 @@ class ShardedWsIndex {
 
   size_t num_shards() const { return shards_.size(); }
 
-  /// Distinct tuples currently indexed in `shard` (per-shard gauges).
+  /// Distinct digests currently indexed in `shard` (per-shard gauges).
   size_t ShardSize(size_t shard) const {
     const Shard& s = shards_[shard % shards_.size()];
     std::lock_guard<std::mutex> lock(s.mu);
@@ -107,50 +162,49 @@ class ShardedWsIndex {
   }
 
   /// State transfer for online recovery: export the retained window...
-  std::vector<std::pair<uint64_t, std::shared_ptr<const storage::WriteSet>>>
-  Snapshot() const {
-    std::vector<std::pair<uint64_t, std::shared_ptr<const storage::WriteSet>>>
-        out;
-    out.reserve(window_.size());
-    for (const auto& e : window_) out.emplace_back(e.tid, e.ws);
-    return out;
+  std::vector<WsWindowEntry> Snapshot() const {
+    return std::vector<WsWindowEntry>(window_.begin(), window_.end());
   }
 
   /// ...and adopt a donor's window verbatim (replaces current content),
   /// so the recovering replica's validation decisions match the donor's.
-  void Load(
-      const std::vector<
-          std::pair<uint64_t, std::shared_ptr<const storage::WriteSet>>>&
-          snapshot) {
+  /// Re-appending entry by entry re-runs the normal prune, so a snapshot
+  /// wider than this index's own window converges to the same retained
+  /// suffix (and the same MinRetainedTid) a live replica would hold.
+  void Load(const std::vector<WsWindowEntry>& snapshot) {
     window_.clear();
     for (auto& shard : shards_) {
       std::lock_guard<std::mutex> lock(shard.mu);
       shard.last_writer.clear();
     }
-    for (const auto& [tid, ws] : snapshot) Append(tid, ws);
+    for (const auto& entry : snapshot) {
+      AppendDigests(entry.tid, entry.digests, entry.ws);
+    }
   }
 
  private:
-  struct Entry {
-    uint64_t tid;
-    std::shared_ptr<const storage::WriteSet> ws;
-  };
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<storage::TupleId, uint64_t, storage::TupleIdHash>
-        last_writer;
+    std::unordered_map<uint64_t, uint64_t> last_writer;
   };
 
-  Shard& ShardFor(const storage::TupleId& tuple) {
-    return shards_[storage::TupleIdHash()(tuple) % shards_.size()];
+  bool LastWriterAfter(uint64_t digest, uint64_t cert) const {
+    const Shard& shard = ShardFor(digest);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.last_writer.find(digest);
+    return it != shard.last_writer.end() && it->second > cert;
   }
-  const Shard& ShardFor(const storage::TupleId& tuple) const {
-    return shards_[storage::TupleIdHash()(tuple) % shards_.size()];
+
+  Shard& ShardFor(uint64_t digest) {
+    return shards_[digest % shards_.size()];
+  }
+  const Shard& ShardFor(uint64_t digest) const {
+    return shards_[digest % shards_.size()];
   }
 
   size_t max_entries_;
   /// Sliding window in tid order; mutated only by the (single) appender.
-  std::deque<Entry> window_;
+  std::deque<WsWindowEntry> window_;
   /// Fixed shard array — never resized, so ShardFor stays stable.
   std::vector<Shard> shards_;
 };

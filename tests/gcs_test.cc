@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
+
 #include <atomic>
 #include <cstring>
 #include <memory>
@@ -435,6 +437,43 @@ TEST(GcsTest, StashCarriesUncodedPayloadsOverTcp) {
   auto delivered = b.payloads();
   ASSERT_EQ(delivered.size(), 1u);
   EXPECT_EQ(delivered[0].get(), raw);
+}
+
+TEST(GcsTest, TcpJoinBackoffResetsOnceSequencerIsReachable) {
+  // A joiner whose first connects fail outright (network blip) climbs
+  // the exponential-backoff ladder: 1ms, 2ms, 4ms, ... When a connect
+  // is then *accepted* and only the welcome handshake dies, the
+  // sequencer is demonstrably back — the ladder must restart at its
+  // floor instead of carrying the escalated delay into the next
+  // attempt.
+  GroupOptions options;
+  options.transport = TransportKind::kTcp;
+  Group group(options);
+  RecordingListener a;
+  ASSERT_NE(group.Join(&a), kInvalidMember);  // sequencer is up
+
+  failpoint::ScopedFailpoint connect_fp("gcs.tcp.connect",
+                                        "error(unavailable)*3");
+  failpoint::ScopedFailpoint accept_fp("gcs.tcp.accept",
+                                       "error(unavailable)*1");
+  RecordingListener b;
+  const MemberId mb = group.Join(&b);
+  ASSERT_NE(mb, kInvalidMember);
+  // Three refused connects drove the backoff to 8ms; the fourth attempt
+  // reached the sequencer (welcome torn down by the accept failpoint),
+  // which must have reset the ladder exactly once; the fifth joined.
+  EXPECT_EQ(failpoint::Fires("gcs.tcp.connect"), 3u);
+  EXPECT_EQ(failpoint::Fires("gcs.tcp.accept"), 1u);
+  const obs::MetricsSnapshot snap = group.metrics().Snapshot();
+  ASSERT_TRUE(snap.counters.count("gcs.tcp.backoff_resets"));
+  EXPECT_EQ(snap.counters.at("gcs.tcp.backoff_resets"), 1u);
+  ASSERT_TRUE(snap.counters.count("gcs.tcp.connect_retries"));
+  EXPECT_GE(snap.counters.at("gcs.tcp.connect_retries"), 4u);
+
+  // The joined member is fully functional after the bumpy join.
+  ASSERT_TRUE(group.Multicast(mb, "m", Payload(1)).ok());
+  group.WaitForQuiescence();
+  EXPECT_GE(a.seqnos().size(), 1u);
 }
 
 }  // namespace

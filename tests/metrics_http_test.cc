@@ -89,6 +89,37 @@ TEST(MetricsHttpServerTest, HandlerEvaluatedPerRequest) {
   EXPECT_FALSE(server.running());
 }
 
+TEST(MetricsHttpServerTest, OccupiedPortFallsBackToEphemeral) {
+  // A restarting replica can find its old exposition port still held —
+  // a predecessor listener not fully closed, or an unrelated squatter.
+  // Start() must not fail the restart over a scrape port: it retries on
+  // a kernel-assigned ephemeral port and reports the real one via
+  // port().
+  middleware::MetricsHttpServer squatter;
+  squatter.AddEndpoint("/ping", "text/plain", [] { return "old"; });
+  ASSERT_TRUE(squatter.Start().ok());
+  const uint16_t taken = squatter.port();
+  ASSERT_NE(taken, 0);
+
+  middleware::MetricsHttpServer server;
+  server.AddEndpoint("/ping", "text/plain", [] { return "new"; });
+  ASSERT_TRUE(server.Start(taken).ok());
+  EXPECT_NE(server.port(), 0);
+  EXPECT_NE(server.port(), taken);
+  EXPECT_NE(HttpGet(server.port(), "/ping").find("\r\n\r\nnew"),
+            std::string::npos);
+  // The squatter is untouched.
+  EXPECT_NE(HttpGet(taken, "/ping").find("\r\n\r\nold"), std::string::npos);
+
+  // Once the squatter is gone the original port is bindable again (the
+  // listener sets SO_REUSEADDR, so TIME_WAIT remnants don't block it).
+  squatter.Stop();
+  middleware::MetricsHttpServer reclaimer;
+  reclaimer.AddEndpoint("/ping", "text/plain", [] { return "back"; });
+  ASSERT_TRUE(reclaimer.Start(taken).ok());
+  EXPECT_EQ(reclaimer.port(), taken);
+}
+
 TEST(ClusterMetricsEndpointsTest, ScrapeDuringTraffic) {
   cluster::ClusterOptions options;
   options.num_replicas = 2;

@@ -167,6 +167,77 @@ TEST(ShardedWsIndexTest, DifferentialAgainstWsList) {
   }
 }
 
+// The window-pruning / snapshot-load boundary, exhaustively: a donor
+// snapshot taken at every possible window fill level, loaded into
+// joiners whose own window is narrower, equal, and wider, then both
+// oracle and joiner keep appending past the eviction edge. Every probe
+// sweeps certs straddling MinRetainedTid - 1 (the conservative-abort
+// boundary) — the exact off-by-one territory where a pruning bug would
+// let a joiner reach a different verdict than a live replica.
+TEST(ShardedWsIndexTest, DifferentialAtSnapshotLoadPruneBoundary) {
+  constexpr size_t kDonorWindow = 8;
+  std::mt19937 rng(8008);
+  std::uniform_int_distribution<int64_t> key(0, 9);
+
+  auto ws_for = [&](int64_t k) {
+    auto ws = std::make_shared<WriteSet>();
+    ws->Record({"t", sql::Key{{sql::Value::Int(k)}}}, WriteOp::kUpdate,
+               {sql::Value::Int(0)});
+    return ws;
+  };
+
+  for (size_t fill = 1; fill <= 2 * kDonorWindow; ++fill) {
+    ShardedWsIndex donor(kDonorWindow, /*num_shards=*/4);
+    for (uint64_t tid = 1; tid <= fill; ++tid) {
+      donor.Append(tid, ws_for(key(rng)));
+    }
+    const auto snapshot = donor.Snapshot();
+    ASSERT_EQ(snapshot.size(), std::min(fill, kDonorWindow));
+
+    for (size_t joiner_window : {kDonorWindow / 2, kDonorWindow,
+                                 2 * kDonorWindow}) {
+      // The oracle replays the *retained suffix the joiner keeps* —
+      // loading re-runs the normal prune, so a snapshot wider than the
+      // joiner's window must converge to exactly the suffix a live
+      // WsList of that width would hold.
+      WsList oracle(joiner_window);
+      for (const auto& entry : snapshot) oracle.Append(entry.tid, entry.ws);
+
+      ShardedWsIndex joiner(joiner_window, /*num_shards=*/4);
+      joiner.Load(snapshot);
+      ASSERT_EQ(joiner.size(), oracle.size());
+      ASSERT_EQ(joiner.MinRetainedTid(), oracle.MinRetainedTid());
+
+      // Both keep running: append past the eviction edge post-load.
+      for (uint64_t tid = fill + 1; tid <= fill + kDonorWindow; ++tid) {
+        auto ws = ws_for(key(rng));
+        oracle.Append(tid, ws);
+        joiner.Append(tid, ws);
+        ASSERT_EQ(joiner.MinRetainedTid(), oracle.MinRetainedTid());
+
+        const uint64_t min_tid = oracle.MinRetainedTid();
+        for (int64_t k = 0; k <= 9; ++k) {
+          auto probe = ws_for(k);
+          const auto digests = ShardedWsIndex::DigestsOf(*probe);
+          // Certs pinned to the boundary: min-2 .. min+1, plus the head.
+          for (uint64_t cert :
+               {min_tid >= 2 ? min_tid - 2 : 0, min_tid - 1, min_tid,
+                min_tid + 1, tid - 1, tid}) {
+            ASSERT_EQ(oracle.ConflictsAfter(cert, *probe),
+                      joiner.ConflictsAfter(cert, *probe))
+                << "fill=" << fill << " jw=" << joiner_window
+                << " tid=" << tid << " cert=" << cert << " key=" << k;
+            // The digest probe (the non-holder path) must agree too.
+            ASSERT_EQ(joiner.ConflictsAfter(cert, *probe),
+                      joiner.ConflictsAfterDigests(cert, digests))
+                << "fill=" << fill << " cert=" << cert << " key=" << k;
+          }
+        }
+      }
+    }
+  }
+}
+
 // ---- ToCommitQueue ----
 
 TEST(ToCommitQueueTest, ConflictsWithRemoteOnly) {

@@ -1,0 +1,197 @@
+// Unit suite for cluster::PartitionMap: deterministic tuple hashing,
+// the contiguous-group holder model, payload-strip / covering-donor
+// directory queries, epoch bumps on Resize, and the SIREP_PARTITIONS /
+// SIREP_REPLICATION_FACTOR environment knobs.
+
+#include "cluster/partition_map.h"
+
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sql/value.h"
+#include "storage/types.h"
+#include "storage/write_set.h"
+
+namespace sirep {
+namespace {
+
+using cluster::PartitionMap;
+
+storage::TupleId Tuple(const std::string& table, int64_t key) {
+  return {table, sql::Key{{sql::Value::Int(key)}}};
+}
+
+TEST(PartitionMapTest, TupleDigestIsDeterministicAndSeparatorSensitive) {
+  const storage::TupleId a = Tuple("accounts", 7);
+  // Same logical tuple, fresh objects: digests must be bit-identical —
+  // this is the property that lets non-holders certify against shipped
+  // digests and reach the same verdicts as holders hashing full tuples.
+  EXPECT_EQ(PartitionMap::TupleDigest(a),
+            PartitionMap::TupleDigest(Tuple("accounts", 7)));
+  EXPECT_NE(PartitionMap::TupleDigest(a),
+            PartitionMap::TupleDigest(Tuple("accounts", 8)));
+  EXPECT_NE(PartitionMap::TupleDigest(a),
+            PartitionMap::TupleDigest(Tuple("account", 7)));
+  // Known value, pinned: FNV-1a 64 over "accounts" + 0x1f + Key{7}. A
+  // change here silently breaks mixed-version clusters (digests are a
+  // wire-level contract), so the constant is asserted, not derived.
+  uint64_t expected = 1469598103934665603ull;
+  auto mix = [&expected](const std::string& s) {
+    for (unsigned char c : s) {
+      expected ^= c;
+      expected *= 1099511628211ull;
+    }
+  };
+  mix("accounts");
+  expected ^= 0x1f;
+  expected *= 1099511628211ull;
+  mix(sql::Key{{sql::Value::Int(7)}}.ToString());
+  EXPECT_EQ(PartitionMap::TupleDigest(a), expected);
+}
+
+TEST(PartitionMapTest, DegenerateConfigsAreFullReplication) {
+  // rf == 0 and rf >= num_slots both collapse to one group.
+  for (size_t rf : {size_t{0}, size_t{4}, size_t{9}}) {
+    PartitionMap map(/*num_slots=*/4, /*num_partitions=*/16, rf);
+    EXPECT_FALSE(map.partial()) << "rf=" << rf;
+    EXPECT_EQ(map.num_groups(), 1u);
+    for (size_t slot = 0; slot < 4; ++slot) {
+      EXPECT_EQ(map.HeldMask(slot), PartitionMap::FullMask(16));
+    }
+    EXPECT_EQ(map.StripMembers(0x3), 0u);
+  }
+}
+
+TEST(PartitionMapTest, GroupModelPartitionsSlotsDisjointly) {
+  // 5 slots, rf 2 -> 2 groups: {0,1} and {2,3,4} (last absorbs the
+  // remainder). Every partition is held by exactly one group, and group
+  // peers hold identical masks (the covering-donor property).
+  PartitionMap map(/*num_slots=*/5, /*num_partitions=*/16,
+                   /*replication_factor=*/2);
+  ASSERT_TRUE(map.partial());
+  ASSERT_EQ(map.num_groups(), 2u);
+  EXPECT_EQ(map.GroupOfSlot(0), 0u);
+  EXPECT_EQ(map.GroupOfSlot(1), 0u);
+  EXPECT_EQ(map.GroupOfSlot(2), 1u);
+  EXPECT_EQ(map.GroupOfSlot(4), 1u);
+  EXPECT_EQ(map.HeldMask(0), map.HeldMask(1));
+  EXPECT_EQ(map.HeldMask(2), map.HeldMask(3));
+  EXPECT_EQ(map.HeldMask(2), map.HeldMask(4));
+  // Disjoint and jointly exhaustive.
+  EXPECT_EQ(map.HeldMask(0) & map.HeldMask(2), 0u);
+  EXPECT_EQ(map.HeldMask(0) | map.HeldMask(2), PartitionMap::FullMask(16));
+  // Every partition's group agrees with the holder masks.
+  for (size_t p = 0; p < 16; ++p) {
+    const size_t group = map.GroupOfPartition(p);
+    const size_t holder_slot = group == 0 ? 0 : 2;
+    const size_t other_slot = group == 0 ? 2 : 0;
+    EXPECT_TRUE(map.Holds(holder_slot, p)) << "partition " << p;
+    EXPECT_FALSE(map.Holds(other_slot, p)) << "partition " << p;
+  }
+  // Slots beyond the founding layout hold everything.
+  EXPECT_EQ(map.HeldMask(7), PartitionMap::FullMask(16));
+}
+
+TEST(PartitionMapTest, MaskOfMatchesPerTupleDigests) {
+  PartitionMap map(/*num_slots=*/4, /*num_partitions=*/8,
+                   /*replication_factor=*/2);
+  auto ws = std::make_shared<storage::WriteSet>();
+  for (int64_t k = 0; k < 20; ++k) {
+    ws->Record(Tuple("t", k), storage::WriteOp::kUpdate, sql::Row{});
+  }
+  std::vector<uint64_t> digests;
+  const uint64_t mask = map.MaskOf(*ws, &digests);
+  ASSERT_EQ(digests.size(), 20u);
+  uint64_t rebuilt = 0;
+  for (size_t i = 0; i < digests.size(); ++i) {
+    EXPECT_EQ(digests[i],
+              PartitionMap::TupleDigest(ws->entries()[i].tuple));
+    rebuilt |= uint64_t{1} << map.PartitionOfDigest(digests[i]);
+  }
+  EXPECT_EQ(mask, rebuilt);
+  EXPECT_NE(mask, 0u);
+  // HoldsAll/HoldsAny agree with the mask algebra.
+  for (size_t slot = 0; slot < 4; ++slot) {
+    EXPECT_EQ(map.HoldsAll(slot, mask),
+              (mask & ~map.HeldMask(slot)) == 0);
+    EXPECT_EQ(map.HoldsAny(slot, mask),
+              (mask & map.HeldMask(slot)) != 0);
+  }
+}
+
+TEST(PartitionMapTest, ResizeBumpsEpochAndRemapsPartitions) {
+  PartitionMap map(/*num_slots=*/4, /*num_partitions=*/16,
+                   /*replication_factor=*/2);
+  const uint64_t epoch0 = map.epoch();
+  EXPECT_EQ(epoch0, 1u);
+  map.Resize(32);
+  EXPECT_EQ(map.epoch(), epoch0 + 1);
+  EXPECT_EQ(map.num_partitions(), 32u);
+  map.Resize(200);  // clamped to the 64-partition mask width
+  EXPECT_EQ(map.epoch(), epoch0 + 2);
+  EXPECT_EQ(map.num_partitions(), PartitionMap::kMaxPartitions);
+}
+
+TEST(PartitionMapTest, DirectoryStripsOnlyBoundNonHolders) {
+  PartitionMap map(/*num_slots=*/4, /*num_partitions=*/16,
+                   /*replication_factor=*/2);
+  const uint64_t group0 = map.HeldMask(0);
+  // Nobody bound yet: unknown members default to full payloads.
+  EXPECT_EQ(map.StripMembers(group0), 0u);
+  map.BindSlot(0, /*member=*/10);
+  map.BindSlot(1, /*member=*/11);
+  map.BindSlot(2, /*member=*/12);
+  // Slot 3 stays unbound (a joiner mid-recovery): never stripped.
+  EXPECT_EQ(map.StripMembers(group0), uint64_t{1} << 12);
+  // A cross-group mask overlaps every group: nobody can be stripped.
+  EXPECT_EQ(map.StripMembers(PartitionMap::FullMask(16)), 0u);
+  // An empty mask strips nobody (empty writesets go everywhere).
+  EXPECT_EQ(map.StripMembers(0), 0u);
+  // Member ids beyond the mask width are never strippable.
+  map.BindSlot(3, /*member=*/77);
+  EXPECT_EQ(map.StripMembers(group0),
+            (uint64_t{1} << 12));
+
+  // Covering donors for group 0's mask are exactly group 0's bound
+  // members; rebinding a slot to a new incarnation replaces the old.
+  std::set<uint32_t> covering;
+  for (uint32_t m : map.CoveringMembers(group0)) covering.insert(m);
+  EXPECT_EQ(covering, (std::set<uint32_t>{10, 11}));
+  map.UnbindMember(11);
+  covering.clear();
+  for (uint32_t m : map.CoveringMembers(group0)) covering.insert(m);
+  EXPECT_EQ(covering, (std::set<uint32_t>{10}));
+  map.BindSlot(1, /*member=*/21);  // restarted incarnation, new id
+  EXPECT_EQ(map.SlotOfMember(21), std::optional<size_t>{1});
+  EXPECT_EQ(map.MemberOfSlot(1), std::optional<uint32_t>{21});
+  EXPECT_EQ(map.SlotOfMember(11), std::nullopt);
+}
+
+TEST(PartitionMapTest, FromEnvHonorsKnobsAndDefaults) {
+  ::unsetenv("SIREP_PARTITIONS");
+  ::unsetenv("SIREP_REPLICATION_FACTOR");
+  EXPECT_EQ(PartitionMap::FromEnv(4), nullptr);
+
+  ::setenv("SIREP_REPLICATION_FACTOR", "2", 1);
+  auto map = PartitionMap::FromEnv(4);
+  ASSERT_NE(map, nullptr);
+  EXPECT_EQ(map->num_partitions(), 16u);  // default partition count
+  EXPECT_EQ(map->replication_factor(), 2u);
+  EXPECT_TRUE(map->partial());
+
+  ::setenv("SIREP_PARTITIONS", "8", 1);
+  map = PartitionMap::FromEnv(6);
+  ASSERT_NE(map, nullptr);
+  EXPECT_EQ(map->num_partitions(), 8u);
+  EXPECT_EQ(map->num_groups(), 3u);
+
+  ::unsetenv("SIREP_PARTITIONS");
+  ::unsetenv("SIREP_REPLICATION_FACTOR");
+}
+
+}  // namespace
+}  // namespace sirep

@@ -426,12 +426,20 @@ TEST(WireFrameTest, RejectsCorruptHeader) {
     EXPECT_EQ(gcs::DecodeWireFrame(bad, &decoded).code(),
               StatusCode::kInvalidArgument);
   }
-  {  // reserved flags must be zero (offset 5)
+  {  // reserved flags must be zero (offset 5; bit 0 is claimed by
+     // version 3 as the header-only variant, so probe the next bit)
     std::string bad = good;
-    bad[5] = 0x01;
+    bad[5] = 0x02;
     gcs::WireFrame decoded;
     EXPECT_EQ(gcs::DecodeWireFrame(bad, &decoded).code(),
               StatusCode::kInvalidArgument);
+  }
+  {  // flags bit 0 is valid on version-3 frames: header-only variant
+    std::string variant = good;
+    variant[5] = 0x01;
+    gcs::WireFrame decoded;
+    ASSERT_TRUE(gcs::DecodeWireFrame(variant, &decoded).ok());
+    EXPECT_TRUE(decoded.header_variant);
   }
   {  // entry count larger than the buffer can hold (offsets 10..13)
     std::string bad = good;
