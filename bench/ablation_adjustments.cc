@@ -21,7 +21,8 @@ using bench::Fmt;
 namespace {
 
 void RunPoint(const char* label, middleware::ReplicaMode mode,
-              size_t applier_threads, double load) {
+              size_t applier_threads, double load,
+              bench::BenchReport& report) {
   cluster::ClusterOptions copt;
   copt.num_replicas = 5;
   copt.workers_per_replica = 2;
@@ -54,11 +55,22 @@ void RunPoint(const char* label, middleware::ReplicaMode mode,
   bench::PrintTableRow({label, std::to_string(applier_threads),
                         Fmt(load, 0), Fmt(m.update_ms.Mean()),
                         Fmt(m.achieved_tps), Fmt(delayed_pct, 2)});
+  const std::string point = std::string(label) + "-" +
+                            std::to_string(applier_threads) + "app@" +
+                            Fmt(load, 0);
+  report.AddScalar(point + ".update_ms", m.update_ms.Mean(), "ms",
+                   bench::Direction::kLowerIsBetter);
+  report.AddScalar(point + ".tps", m.achieved_tps, "tps",
+                   bench::Direction::kHigherIsBetter);
+  report.AddScalar(point + ".delayed_starts_pct", delayed_pct, "%",
+                   bench::Direction::kInfo);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitBench("ablation_adjustments", &argc, argv);
+  bench::BenchReport report("ablation_adjustments");
   const std::vector<double> loads =
       bench::FastMode() ? std::vector<double>{100}
                         : std::vector<double>{60, 120};
@@ -70,9 +82,10 @@ int main() {
        "delayed_starts%"});
 
   for (double load : loads) {
-    RunPoint("srca-rep", middleware::ReplicaMode::kSrcaRep, 8, load);
-    RunPoint("srca-rep", middleware::ReplicaMode::kSrcaRep, 1, load);
-    RunPoint("srca-opt", middleware::ReplicaMode::kSrcaOpt, 8, load);
+    RunPoint("srca-rep", middleware::ReplicaMode::kSrcaRep, 8, load, report);
+    RunPoint("srca-rep", middleware::ReplicaMode::kSrcaRep, 1, load, report);
+    RunPoint("srca-opt", middleware::ReplicaMode::kSrcaOpt, 8, load, report);
   }
+  bench::FinishReport(report);
   return 0;
 }

@@ -14,7 +14,9 @@
 using namespace sirep;
 using bench::Fmt;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitBench("ablation_gcs_delay", &argc, argv);
+  bench::BenchReport report("ablation_gcs_delay");
   const std::vector<int> delays_ms =
       bench::FastMode() ? std::vector<int>{0, 3, 10}
                         : std::vector<int>{0, 1, 3, 10, 25};
@@ -51,6 +53,13 @@ int main() {
                           Fmt(m.achieved_tps),
                           Fmt(100.0 * m.abort_rate(), 2)});
     cluster.Quiesce();
+    const std::string point = "delay" + std::to_string(delay) + "ms";
+    report.AddScalar(point + ".update_ms", m.update_ms.Mean(), "ms",
+                     bench::Direction::kLowerIsBetter);
+    report.AddScalar(point + ".tps", m.achieved_tps, "tps",
+                     bench::Direction::kHigherIsBetter);
   }
+  report.SetKnob("load_tps", uint64_t{60});
+  bench::FinishReport(report);
   return 0;
 }

@@ -12,7 +12,9 @@
 using namespace sirep;
 using bench::Fmt;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitBench("abort_rate", &argc, argv);
+  bench::BenchReport report("abort_rate");
   cluster::ClusterOptions copt;
   copt.num_replicas = 5;
   copt.workers_per_replica = 1;
@@ -52,6 +54,18 @@ int main() {
          std::to_string(stats.local_val_aborts),
          std::to_string(stats.global_val_aborts)});
     cluster.Quiesce();
+    const std::string point = "tpcw@" + Fmt(load, 0);
+    report.AddScalar(point + ".tps", m.achieved_tps, "tps",
+                     bench::Direction::kHigherIsBetter);
+    // The claim under test: abort rate stays far below 1 %.
+    report.AddScalar(point + ".abort_pct", 100.0 * m.abort_rate(), "%",
+                     bench::Direction::kLowerIsBetter);
+    report.AddScalar(point + ".global_val_aborts",
+                     static_cast<double>(stats.global_val_aborts), "txns",
+                     bench::Direction::kInfo);
   }
+  report.AttachClusterMetrics(cluster.DumpMetrics());
+  report.SetKnob("replicas", uint64_t{5});
+  bench::FinishReport(report);
   return 0;
 }

@@ -1,6 +1,10 @@
 #include "bench_common.h"
 
+#include <chrono>
 #include <cstdlib>
+#include <cstring>
+
+#include "obs/profiler.h"
 
 namespace sirep::bench {
 
@@ -9,10 +13,75 @@ bool FastMode() {
   return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
 
+uint64_t BenchSeed() {
+  const char* env = std::getenv("SIREP_BENCH_SEED");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end != env) return static_cast<uint64_t>(parsed);
+  }
+  return 7;  // LoadOptions' historical default
+}
+
+void InitBench(const std::string& name, int* argc, char** argv) {
+  // Extract --seed before google-benchmark (gcs_micro, validation_micro)
+  // sees argv — it rejects flags it doesn't know.
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--seed") == 0 && i + 1 < *argc) {
+      ::setenv("SIREP_BENCH_SEED", argv[++i], /*overwrite=*/1);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      ::setenv("SIREP_BENCH_SEED", arg + 7, /*overwrite=*/1);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  argv[out] = nullptr;
+  obs::Profiler::Global().StartSampling(std::chrono::microseconds(2000));
+  std::printf("%s: mode=%s seed=%llu\n", name.c_str(),
+              FastMode() ? "fast" : "full",
+              static_cast<unsigned long long>(BenchSeed()));
+  std::fflush(stdout);
+}
+
+void FinishReport(BenchReport& report) {
+  report.SetSeed(BenchSeed());
+  for (const char* knob :
+       {"SIREP_APPLY_THREADS", "SIREP_PARTITIONS",
+        "SIREP_REPLICATION_FACTOR", "SIREP_METRICS"}) {
+    const char* value = std::getenv(knob);
+    if (value != nullptr && *value != '\0') report.SetKnob(knob, value);
+  }
+  obs::Profiler::Global().StopSampling();
+  report.AttachProfile();
+  Result<std::string> path = report.WriteJsonFile();
+  if (path.ok()) {
+    std::printf("\nwrote %s\n", path.value().c_str());
+  } else {
+    std::fprintf(stderr, "bench report write failed: %s\n",
+                 path.status().message().c_str());
+  }
+  std::fflush(stdout);
+}
+
+obs::HistogramSnapshot::Percentiles SamplePercentiles(const SampleStats& s) {
+  obs::HistogramSnapshot::Percentiles p;
+  p.count = s.count();
+  if (p.count == 0) return p;
+  p.mean = s.Mean();
+  p.p50 = s.Percentile(50);
+  p.p95 = s.Percentile(95);
+  p.p99 = s.Percentile(99);
+  return p;
+}
+
 workload::LoadOptions BaseLoadOptions(double offered_tps, size_t clients) {
   workload::LoadOptions options;
   options.offered_tps = offered_tps;
   options.clients = clients;
+  options.seed = BenchSeed();
   if (FastMode()) {
     options.warmup = std::chrono::milliseconds(300);
     options.duration = std::chrono::milliseconds(1200);

@@ -1,11 +1,13 @@
 #ifndef SIREP_BENCH_BENCH_COMMON_H_
 #define SIREP_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench/report.h"
 #include "cluster/cluster.h"
 #include "cluster/replica_node.h"
 #include "workload/runner.h"
@@ -18,7 +20,33 @@ namespace sirep::bench {
 /// use the durations documented in EXPERIMENTS.md.
 bool FastMode();
 
-/// Per-point measurement window derived from the mode.
+/// The suite-wide workload seed: `--seed N` (via InitBench), else
+/// $SIREP_BENCH_SEED, else 7. Every per-client / per-thread RNG in a
+/// bench derives from this one value (BaseLoadOptions plants it in
+/// LoadOptions::seed), so a bench run is reproducible from the seed
+/// printed in its header and recorded in its BENCH_*.json.
+uint64_t BenchSeed();
+
+/// Shared bench startup: parses `--seed N` / `--seed=N` out of argv
+/// (removing them, so google-benchmark's own flag parsing in the micro
+/// benches doesn't reject them), re-exports the seed as
+/// SIREP_BENCH_SEED, starts the sampling profiler, and prints the run
+/// header (name, mode, seed). Call first thing in main().
+void InitBench(const std::string& name, int* argc, char** argv);
+
+/// Shared bench teardown for the telemetry artifact: stamps the seed,
+/// mode and environment knobs (apply threads, partitions, replication
+/// factor) into `report`, attaches the profiler snapshot, writes
+/// BENCH_<name>.json and prints its path. The human-readable tables a
+/// bench already printed are untouched — the artifact rides along.
+void FinishReport(BenchReport& report);
+
+/// Percentile summary of a SampleStats series (bridges workload
+/// response-time samples into a report's percentile section).
+obs::HistogramSnapshot::Percentiles SamplePercentiles(const SampleStats& s);
+
+/// Per-point measurement window derived from the mode; the workload
+/// seed is BenchSeed().
 workload::LoadOptions BaseLoadOptions(double offered_tps, size_t clients);
 
 /// Runs one load point on a replicated cluster through the JDBC-like

@@ -1,0 +1,10 @@
+// Perf-regression gate: diffs BENCH_*.json artifacts against committed
+// baselines with per-metric tolerance bands. All logic lives in
+// bench::RunBenchCompare so bench_report_test can drive the exact code
+// path CI runs (including the exit code).
+
+#include "bench/report.h"
+
+int main(int argc, char** argv) {
+  return sirep::bench::RunBenchCompare(argc, argv);
+}

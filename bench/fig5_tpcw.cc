@@ -42,7 +42,9 @@ workload::TpcwOptions SmallTpcw() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitBench("fig5_tpcw", &argc, argv);
+  bench::BenchReport report("fig5_tpcw");
   const std::vector<double> loads =
       bench::FastMode() ? std::vector<double>{25, 50, 100}
                         : std::vector<double>{10, 25, 50, 75, 100, 125};
@@ -66,6 +68,11 @@ int main() {
                             Fmt(m.readonly_ms.Mean()),
                             Fmt(m.achieved_tps),
                             Fmt(100.0 * m.abort_rate(), 2)});
+      const std::string point = "centralized@" + Fmt(load, 0);
+      report.AddScalar(point + ".tps", m.achieved_tps, "tps",
+                       bench::Direction::kHigherIsBetter);
+      report.AddScalar(point + ".update_ms", m.update_ms.Mean(), "ms",
+                       bench::Direction::kLowerIsBetter);
     }
   }
 
@@ -105,7 +112,24 @@ int main() {
                             Fmt(m.achieved_tps),
                             Fmt(100.0 * m.abort_rate(), 2)});
       cluster.Quiesce();
+      const std::string point = "si-rep-5@" + Fmt(load, 0);
+      report.AddScalar(point + ".tps", m.achieved_tps, "tps",
+                       bench::Direction::kHigherIsBetter);
+      report.AddScalar(point + ".update_ms", m.update_ms.Mean(), "ms",
+                       bench::Direction::kLowerIsBetter);
+      report.AddScalar(point + ".readonly_ms", m.readonly_ms.Mean(), "ms",
+                       bench::Direction::kLowerIsBetter);
+      if (load == loads.back()) {
+        report.AddPercentiles("si-rep-5.update_ms",
+                              bench::SamplePercentiles(m.update_ms), "ms");
+        report.AddPercentiles("si-rep-5.readonly_ms",
+                              bench::SamplePercentiles(m.readonly_ms), "ms");
+      }
     }
+    report.AttachClusterMetrics(cluster.DumpMetrics());
   }
+  report.SetKnob("replicas", uint64_t{5});
+  report.SetKnob("clients", uint64_t{40});
+  bench::FinishReport(report);
   return 0;
 }

@@ -28,7 +28,9 @@ cluster::CostModel LargeDbCost() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitBench("fig6_largedb", &argc, argv);
+  bench::BenchReport report("fig6_largedb");
   const std::vector<double> loads =
       bench::FastMode() ? std::vector<double>{10, 25, 40}
                         : std::vector<double>{5, 10, 15, 20, 25, 30, 35, 40,
@@ -66,7 +68,20 @@ int main() {
                             Fmt(m.readonly_ms.Mean()),
                             Fmt(m.achieved_tps)});
       cluster.Quiesce();
+      const std::string point =
+          std::to_string(replicas) + "replicas@" + Fmt(load, 0);
+      report.AddScalar(point + ".tps", m.achieved_tps, "tps",
+                       bench::Direction::kHigherIsBetter);
+      report.AddScalar(point + ".update_ms", m.update_ms.Mean(), "ms",
+                       bench::Direction::kLowerIsBetter);
+      if (load == loads.back()) {
+        report.AddPercentiles(std::to_string(replicas) +
+                                  "replicas.update_ms",
+                              bench::SamplePercentiles(m.update_ms), "ms");
+      }
     }
   }
+  report.SetKnob("clients", uint64_t{40});
+  bench::FinishReport(report);
   return 0;
 }

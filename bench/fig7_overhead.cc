@@ -40,7 +40,8 @@ workload::UpdateIntensiveWorkload::Options StressOptions() {
 }
 
 void RunReplicatedSeries(const std::vector<double>& loads,
-                         middleware::ReplicaMode mode, const char* label) {
+                         middleware::ReplicaMode mode, const char* label,
+                         bench::BenchReport& report) {
   cluster::ClusterOptions copt;
   copt.num_replicas = 5;
   copt.workers_per_replica = 2;
@@ -64,12 +65,33 @@ void RunReplicatedSeries(const std::vector<double>& loads,
                           Fmt(m.achieved_tps),
                           Fmt(100.0 * m.abort_rate(), 2)});
     cluster.Quiesce();
+    const std::string point = std::string(label) + "@" + Fmt(load, 0);
+    report.AddScalar(point + ".tps", m.achieved_tps, "tps",
+                     bench::Direction::kHigherIsBetter);
+    report.AddScalar(point + ".update_ms", m.update_ms.Mean(), "ms",
+                     bench::Direction::kLowerIsBetter);
+    report.AddScalar(point + ".abort_pct", 100.0 * m.abort_rate(), "%",
+                     bench::Direction::kInfo);
+    if (load == loads.back()) {
+      report.AddPercentiles(std::string(label) + ".update_ms",
+                            bench::SamplePercentiles(m.update_ms), "ms");
+    }
   }
   // Where the paper estimates middleware overhead (Fig. 7 discussion), we
   // can measure it: per-stage commit-path latencies from the registry.
   std::printf("\n[%s] %s\n", label,
               cluster::Cluster::FormatCommitBreakdown(cluster.DumpMetrics())
                   .c_str());
+  // The flagship config also feeds the artifact's cluster/contention
+  // sections, via the same /metrics.json endpoints monitoring scrapes.
+  if (mode == middleware::ReplicaMode::kSrcaRep) {
+    if (cluster.StartMetricsEndpoints().ok()) {
+      report.AttachClusterScrape(cluster);
+      cluster.StopMetricsEndpoints();
+    } else {
+      report.AttachClusterMetrics(cluster.DumpMetrics());
+    }
+  }
 }
 
 void RunBaselineSeries(const std::vector<double>& loads) {
@@ -117,7 +139,7 @@ void RunBaselineSeries(const std::vector<double>& loads) {
 /// from 1 to 4 threads and flatten once apply stops being the
 /// bottleneck. apply_par_mean is the mean of the apply-parallelism
 /// stage histogram (concurrent appliers observed at apply start).
-void RunApplyThreadSweep(double load) {
+void RunApplyThreadSweep(double load, bench::BenchReport& report) {
   bench::PrintTableHeader(
       "Remote-apply pipeline sweep: srca-rep, 5 replicas, load " +
           Fmt(load, 0) + " tps",
@@ -153,13 +175,22 @@ void RunApplyThreadSweep(double load) {
         {Fmt(threads, 0), Fmt(m.update_ms.Mean()), Fmt(m.achieved_tps),
          Fmt(lag.p50 / 1000.0, 2), Fmt(lag.p95 / 1000.0, 2),
          Fmt(lag.p99 / 1000.0, 2), Fmt(par.mean, 2)});
+    const std::string point =
+        "apply_sweep@" + std::to_string(threads) + "thr";
+    report.AddScalar(point + ".tps", m.achieved_tps, "tps",
+                     bench::Direction::kHigherIsBetter);
+    report.AddScalar(point + ".lag_p95_ms", lag.p95 / 1000.0, "ms",
+                     bench::Direction::kInfo);
+    report.AddPercentiles(point + ".remote_apply_lag_us", lag, "us");
   }
   ::unsetenv("SIREP_APPLY_THREADS");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitBench("fig7_overhead", &argc, argv);
+  bench::BenchReport report("fig7_overhead");
   const std::vector<double> loads =
       bench::FastMode() ? std::vector<double>{50, 125, 200}
                         : std::vector<double>{25, 50, 75, 100, 125, 150, 175,
@@ -182,12 +213,22 @@ int main() {
       bench::PrintTableRow({Fmt(load, 0), "centralized",
                             Fmt(m.update_ms.Mean()), Fmt(m.achieved_tps),
                             Fmt(100.0 * m.abort_rate(), 2)});
+      const std::string point = "centralized@" + Fmt(load, 0);
+      report.AddScalar(point + ".tps", m.achieved_tps, "tps",
+                       bench::Direction::kHigherIsBetter);
+      report.AddScalar(point + ".update_ms", m.update_ms.Mean(), "ms",
+                       bench::Direction::kLowerIsBetter);
     }
   }
 
-  RunReplicatedSeries(loads, middleware::ReplicaMode::kSrcaRep, "srca-rep");
-  RunReplicatedSeries(loads, middleware::ReplicaMode::kSrcaOpt, "srca-opt");
+  RunReplicatedSeries(loads, middleware::ReplicaMode::kSrcaRep, "srca-rep",
+                      report);
+  RunReplicatedSeries(loads, middleware::ReplicaMode::kSrcaOpt, "srca-opt",
+                      report);
   RunBaselineSeries(loads);
-  RunApplyThreadSweep(loads.back());
+  RunApplyThreadSweep(loads.back(), report);
+  report.SetKnob("replicas", uint64_t{5});
+  report.SetKnob("clients", uint64_t{40});
+  bench::FinishReport(report);
   return 0;
 }

@@ -32,7 +32,14 @@ constexpr size_t kPartitions = 16;
 constexpr size_t kClientsPerReplica = 2;
 constexpr size_t kKeysPerClient = 4;
 
-double RunPoint(size_t n, size_t rf, std::chrono::milliseconds window) {
+struct PointResult {
+  double tps = -1;
+  SampleStats commit_ms;  // per-transaction commit-path latency
+};
+
+PointResult RunPoint(size_t n, size_t rf, std::chrono::milliseconds window,
+                     bench::BenchReport* scrape_into) {
+  PointResult result;
   cluster::ClusterOptions copt;
   copt.num_replicas = n;
   copt.workers_per_replica = 1;
@@ -42,12 +49,12 @@ double RunPoint(size_t n, size_t rf, std::chrono::milliseconds window) {
   copt.cost.select_service = std::chrono::milliseconds(0);
   copt.cost.apply_fraction = 1.0;
   cluster::Cluster cluster(copt);
-  if (!cluster.Start().ok()) return -1;
+  if (!cluster.Start().ok()) return result;
   if (!cluster
            .ExecuteEverywhere(
                "CREATE TABLE kv (k INT, v INT, PRIMARY KEY (k))")
            .ok()) {
-    return -1;
+    return result;
   }
 
   // Disjoint key pools, each key held by its client's replica.
@@ -69,7 +76,7 @@ double RunPoint(size_t n, size_t rf, std::chrono::milliseconds window) {
                  .ExecuteEverywhere("INSERT INTO kv VALUES (?, 0)",
                                     {sql::Value::Int(k)})
                  .ok()) {
-          return -1;
+          return result;
         }
       }
     }
@@ -78,10 +85,12 @@ double RunPoint(size_t n, size_t rf, std::chrono::milliseconds window) {
 
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> committed{0};
+  std::vector<SampleStats> commit_ms(n * kClientsPerReplica);
   std::vector<std::thread> clients;
   for (size_t slot = 0; slot < n; ++slot) {
     for (size_t c = 0; c < kClientsPerReplica; ++c) {
       clients.emplace_back([&, slot, c] {
+        SampleStats& latency = commit_ms[slot * kClientsPerReplica + c];
         middleware::SrcaRepReplica* mw = cluster.replica(slot);
         const auto& pool = pools[slot * kClientsPerReplica + c];
         size_t i = 0;
@@ -96,8 +105,12 @@ double RunPoint(size_t n, size_t rf, std::chrono::milliseconds window) {
             mw->RollbackTxn(handle);
             continue;
           }
+          const auto t0 = std::chrono::steady_clock::now();
           if (mw->CommitTxn(handle).ok()) {
             committed.fetch_add(1, std::memory_order_relaxed);
+            latency.Add(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
           }
         }
       });
@@ -111,12 +124,27 @@ double RunPoint(size_t n, size_t rf, std::chrono::milliseconds window) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   cluster.Quiesce();
-  return static_cast<double>(committed.load()) / secs;
+  // The flagship configuration also feeds the artifact's cluster and
+  // contention sections, scraped over the same /metrics.json endpoints
+  // monitoring would hit.
+  if (scrape_into != nullptr) {
+    if (cluster.StartMetricsEndpoints().ok()) {
+      scrape_into->AttachClusterScrape(cluster);
+      cluster.StopMetricsEndpoints();
+    } else {
+      scrape_into->AttachClusterMetrics(cluster.DumpMetrics());
+    }
+  }
+  for (const SampleStats& s : commit_ms) result.commit_ms.Merge(s);
+  result.tps = static_cast<double>(committed.load()) / secs;
+  return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitBench("fig_partial", &argc, argv);
+  bench::BenchReport report("fig_partial");
   const auto window = bench::FastMode() ? std::chrono::milliseconds(250)
                                         : std::chrono::milliseconds(1500);
   const std::vector<size_t> sweep = bench::FastMode()
@@ -129,12 +157,26 @@ int main() {
 
   for (size_t rf : {size_t{1}, size_t{2}, size_t{0}}) {
     for (size_t n : sweep) {
-      const double tps = RunPoint(n, rf, window);
-      if (tps < 0) return 1;
-      bench::PrintTableRow({std::to_string(n),
-                            rf == 0 ? "full" : std::to_string(rf),
-                            std::to_string(kPartitions), Fmt(tps, 0)});
+      const std::string rf_label = rf == 0 ? "full" : std::to_string(rf);
+      // Scrape the widest rf=1 cluster (the scale-out headline config).
+      const bool flagship = rf == 1 && n == sweep.back();
+      const PointResult r =
+          RunPoint(n, rf, window, flagship ? &report : nullptr);
+      if (r.tps < 0) return 1;
+      bench::PrintTableRow({std::to_string(n), rf_label,
+                            std::to_string(kPartitions), Fmt(r.tps, 0)});
+      const std::string point =
+          "rf" + rf_label + "@" + std::to_string(n) + "replicas";
+      report.AddScalar(point + ".write_tps", r.tps, "tps",
+                       bench::Direction::kHigherIsBetter);
+      if (flagship) {
+        report.AddPercentiles(point + ".commit_ms",
+                              bench::SamplePercentiles(r.commit_ms), "ms");
+      }
     }
   }
+  report.SetKnob("partitions", uint64_t{kPartitions});
+  report.SetKnob("clients_per_replica", uint64_t{kClientsPerReplica});
+  bench::FinishReport(report);
   return 0;
 }

@@ -45,7 +45,7 @@ class LatencyListener : public gcs::GroupListener {
 };
 
 void MeasureRate(double rate_per_s, std::chrono::microseconds delay,
-                 int members) {
+                 int members, bench::BenchReport& report) {
   gcs::GroupOptions options;
   options.multicast_delay = delay;
   gcs::Group group(options);
@@ -91,11 +91,21 @@ void MeasureRate(double rate_per_s, std::chrono::microseconds delay,
   // The same distribution as seen by the group's own histogram
   // ("gcs.multicast_us": enqueue -> last stable delivery), extracted
   // from its buckets — what a /metrics scrape reports.
-  const auto p = group.metrics().Snapshot().Percentiles("gcs.multicast_us");
+  const auto snap = group.metrics().Snapshot();
+  const auto p = snap.Percentiles("gcs.multicast_us");
   std::printf("       registry gcs.multicast_us: n=%llu "
               "p50 %5.2f ms, p95 %5.2f ms, p99 %5.2f ms\n",
               static_cast<unsigned long long>(p.count), p.p50 / 1000.0,
               p.p95 / 1000.0, p.p99 / 1000.0);
+  const std::string point = "multicast@" + bench::Fmt(rate_per_s, 0) + "mps";
+  report.AddScalar(point + ".mean_ms", latency_ms.Mean(), "ms",
+                   bench::Direction::kLowerIsBetter);
+  report.AddScalar(point + ".p95_ms", latency_ms.Percentile(95), "ms",
+                   bench::Direction::kInfo);
+  report.AddPercentiles(point + ".gcs_multicast_us", p, "us");
+  // The highest-rate group feeds the artifact's cluster section (the
+  // registry a /metrics scrape of this group would report).
+  if (rate_per_s >= 500.0) report.AttachClusterMetrics(snap);
 }
 
 /// A representative OLTP writeset message: a handful of small rows.
@@ -123,7 +133,8 @@ std::shared_ptr<const middleware::WriteSetMessage> SampleWriteSetMessage() {
 /// writesets — the per-writeset share of the multicast machinery (frame
 /// headers, sequencer round-trips, acks). It should fall monotonically
 /// as the batch size grows.
-void MeasureBatchSweep(gcs::TransportKind kind, const char* label) {
+void MeasureBatchSweep(gcs::TransportKind kind, const char* label,
+                       const char* key, bench::BenchReport& report) {
   std::printf("Writeset batching sweep, %s transport "
               "(1 sender, 3 members, 4-row writesets):\n", label);
   const int kWritesets = 4096;
@@ -161,6 +172,10 @@ void MeasureBatchSweep(gcs::TransportKind kind, const char* label) {
                 batch, us / kWritesets,
                 static_cast<unsigned long long>(frames),
                 static_cast<double>(kWritesets) / frames);
+    report.AddScalar("batch." + std::string(key) + "@" +
+                         std::to_string(batch) + ".us_per_ws",
+                     us / kWritesets, "us",
+                     bench::Direction::kLowerIsBetter);
   }
   std::printf("\n");
 }
@@ -171,7 +186,7 @@ void MeasureBatchSweep(gcs::TransportKind kind, const char* label) {
 /// emulated apply cost — so throughput should scale with width until the
 /// dispatch loop itself becomes the limit. This isolates the pipeline
 /// from fig7_overhead's full-stack sweep (validation, holes, WAL).
-void MeasureApplyPipelineSweep() {
+void MeasureApplyPipelineSweep(bench::BenchReport& report) {
   const int kWritesets = bench::FastMode() ? 1024 : 4096;
   const auto kApplyCost = std::chrono::microseconds(200);
   std::printf("Remote-apply pipeline sweep (%d non-conflicting writesets, "
@@ -209,6 +224,10 @@ void MeasureApplyPipelineSweep() {
                 "speedup %.2fx), applied %d\n",
                 threads, us / kWritesets, kWritesets / (us / 1e6),
                 serial_us / us, applied.load());
+    report.AddScalar("apply_pipeline@" + std::to_string(threads) +
+                         "thr.applies_per_s",
+                     kWritesets / (us / 1e6), "tps",
+                     bench::Direction::kHigherIsBetter);
   }
   std::printf("\n");
 }
@@ -221,7 +240,7 @@ void MeasureApplyPipelineSweep() {
 /// emulate a storage-device fsync with the wal.fsync delay failpoint —
 /// both modes pay the same per-flush cost; group commit wins by doing
 /// fewer flushes.
-void MeasureWalGroupCommit() {
+void MeasureWalGroupCommit(bench::BenchReport& report) {
   const int kThreads = 8;
   const int kTxns = bench::FastMode() ? 100 : 400;
   if (!failpoint::ArmFromList("wal.fsync=delay(200us)").ok()) return;
@@ -266,6 +285,14 @@ void MeasureWalGroupCommit() {
                 static_cast<unsigned long long>(
                     group ? gp.count
                           : static_cast<uint64_t>(kThreads) * kTxns));
+    report.AddScalar(std::string("wal.") + (group ? "group" : "serial") +
+                         ".commits_per_s",
+                     kThreads * kTxns / s, "tps",
+                     bench::Direction::kHigherIsBetter);
+    if (group) {
+      report.AddScalar("wal.group.mean_group_size", gp.mean, "txns",
+                       bench::Direction::kInfo);
+    }
     std::remove(path.c_str());
   }
   failpoint::DisarmAll();
@@ -292,22 +319,26 @@ BENCHMARK(BM_MulticastOrderingOverhead);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::InitBench("gcs_micro", &argc, argv);
+  bench::BenchReport report("gcs_micro");
   std::printf("\nUniform reliable total-order multicast latency "
               "(paper: <= 3 ms at hundreds of msg/s):\n");
   const auto delay = std::chrono::microseconds(1500);  // emulated LAN hop
   for (double rate : {50.0, 200.0, 500.0}) {
-    MeasureRate(rate, delay, /*members=*/5);
+    MeasureRate(rate, delay, /*members=*/5, report);
   }
   std::printf("\n");
 
-  MeasureBatchSweep(gcs::TransportKind::kTcp, "TCP sequencer");
-  MeasureBatchSweep(gcs::TransportKind::kInProcess, "in-process");
+  MeasureBatchSweep(gcs::TransportKind::kTcp, "TCP sequencer", "tcp", report);
+  MeasureBatchSweep(gcs::TransportKind::kInProcess, "in-process", "inproc",
+                    report);
 
-  MeasureApplyPipelineSweep();
-  MeasureWalGroupCommit();
+  MeasureApplyPipelineSweep(report);
+  MeasureWalGroupCommit(report);
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  bench::FinishReport(report);
   return 0;
 }

@@ -9,8 +9,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 
+#include "bench_common.h"
 #include "common/prng.h"
 #include "middleware/ws_list.h"
 #include "workload/simple_workloads.h"
@@ -68,8 +70,10 @@ BENCHMARK(BM_ValidateRecentOnly)->Arg(64)->Arg(512)->Arg(4096);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::InitBench("validation_micro", &argc, argv);
+  bench::BenchReport report("validation_micro");
   // Ablation: tuple- vs table-granularity conflict rates.
-  Prng prng(17);
+  Prng prng(bench::BenchSeed() * 2 + 3);
   constexpr int kPairs = 20000;
   int tuple_conflicts = 0;
   int table_conflicts = 0;
@@ -97,8 +101,37 @@ int main(int argc, char** argv) {
       static_cast<double>(table_conflicts) /
           std::max(1, tuple_conflicts));
 
+  report.AddScalar("tuple_conflict_pct", 100.0 * tuple_conflicts / kPairs,
+                   "%", bench::Direction::kInfo);
+  report.AddScalar("table_conflict_pct", 100.0 * table_conflicts / kPairs,
+                   "%", bench::Direction::kInfo);
+
+  // Timed validation cost (the atomic-phase viability claim): one
+  // ConflictsAfter probe against a 512-writeset backlog.
+  {
+    Prng vprng(3);
+    middleware::WsList list(1 << 20);
+    for (int64_t tid = 1; tid <= 512; ++tid) {
+      list.Append(static_cast<uint64_t>(tid), RandomWs(vprng, 10, 100, 10));
+    }
+    auto probe = RandomWs(vprng, 10, 100, 10);
+    const int kIters = bench::FastMode() ? 2000 : 20000;
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kIters; ++i) {
+      benchmark::DoNotOptimize(list.ConflictsAfter(0, *probe));
+    }
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - start)
+                          .count() /
+                      kIters;
+    std::printf("validate vs 512-ws backlog: %.2f us/validation\n\n", us);
+    report.AddScalar("validate_backlog512.us", us, "us",
+                     bench::Direction::kLowerIsBetter);
+  }
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  bench::FinishReport(report);
   return 0;
 }

@@ -10,6 +10,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench_common.h"
 #include "engine/database.h"
 #include "workload/simple_workloads.h"
 
@@ -111,6 +114,66 @@ void BM_WriteSetIntersect(benchmark::State& state) {
 }
 BENCHMARK(BM_WriteSetIntersect)->Arg(10)->Arg(100)->Arg(1000);
 
+/// Timed restatement of the §6.3 claim for the telemetry artifact:
+/// wall-time per executed transaction vs per applied writeset, and the
+/// resulting apply fraction (paper: ~20 %).
+void MeasureApplyFraction(bench::BenchReport& report) {
+  const int kTxns = bench::FastMode() ? 200 : 1000;
+  auto source = MakeLoadedDb();
+  auto target = MakeLoadedDb();
+  workload::UpdateIntensiveWorkload workload;
+  Prng prng(bench::BenchSeed());
+
+  std::vector<std::shared_ptr<const storage::WriteSet>> writesets;
+  const auto exec_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kTxns; ++i) {
+    auto spec = workload.Next(prng);
+    auto txn = source->Begin();
+    for (const auto& [sql, params] : spec.statements) {
+      if (!source->Execute(txn, sql, params).ok()) std::abort();
+    }
+    writesets.push_back(source->ExtractWriteSet(txn));
+    if (!source->Commit(txn).ok()) std::abort();
+  }
+  const double exec_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - exec_start)
+          .count() /
+      kTxns;
+
+  const auto apply_start = std::chrono::steady_clock::now();
+  for (const auto& ws : writesets) {
+    auto txn = target->Begin();
+    if (!target->ApplyWriteSet(txn, *ws).ok() || !target->Commit(txn).ok()) {
+      std::abort();
+    }
+  }
+  const double apply_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - apply_start)
+          .count() /
+      kTxns;
+
+  std::printf("execute %.1f us/txn, apply %.1f us/ws => apply fraction "
+              "%.1f%% (paper: ~20%%)\n",
+              exec_us, apply_us, 100.0 * apply_us / exec_us);
+  report.AddScalar("execute.us_per_txn", exec_us, "us",
+                   bench::Direction::kLowerIsBetter);
+  report.AddScalar("apply.us_per_ws", apply_us, "us",
+                   bench::Direction::kLowerIsBetter);
+  report.AddScalar("apply_fraction_pct", 100.0 * apply_us / exec_us, "%",
+                   bench::Direction::kInfo);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::InitBench("writeset_micro", &argc, argv);
+  bench::BenchReport report("writeset_micro");
+  MeasureApplyFraction(report);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  bench::FinishReport(report);
+  return 0;
+}

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "obs/flight_recorder.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace sirep::cluster {
@@ -346,6 +347,15 @@ Status Cluster::StartMetricsEndpoints() {
         "/metrics", "text/plain; version=0.0.4", [this, i] {
           return replica(i)->metrics().PrometheusText();
         });
+    server->AddEndpoint("/metrics.json", "application/json", [this, i] {
+      return replica(i)->metrics().SnapshotJson();
+    });
+    server->AddEndpoint("/healthz", "application/json", [this, i] {
+      return replica(i)->HealthJson();
+    });
+    server->AddEndpoint("/profile", "application/json", [] {
+      return obs::Profiler::Global().SnapshotJson();
+    });
     server->AddEndpoint("/flightrecorder", "text/plain", [this, i] {
       return replica(i)->flight_recorder().DumpText();
     });

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/profiler.h"
 #include "storage/types.h"
 
 namespace sirep::middleware {
@@ -64,7 +65,10 @@ class SerialApplyPipeline : public ApplyPipeline {
         depth_->Set(static_cast<int64_t>(queue_.size()));
       }
       lock.unlock();
-      apply_(std::move(entry));
+      {
+        obs::Profiler::Section section("mw.pipeline.apply");
+        apply_(std::move(entry));
+      }
       lock.lock();
     }
   }
@@ -166,7 +170,10 @@ class ShardedApplyPipeline : public ApplyPipeline {
         depth_[victim]->Set(static_cast<int64_t>(queues_[victim].size()));
       }
       lock.unlock();
-      apply_(std::move(entry));
+      {
+        obs::Profiler::Section section("mw.pipeline.apply");
+        apply_(std::move(entry));
+      }
       lock.lock();
     }
   }

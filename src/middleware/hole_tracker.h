@@ -8,6 +8,7 @@
 #include <set>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace sirep::middleware {
 
@@ -62,7 +63,7 @@ class HoleTracker {
   template <typename Fn>
   auto RunStart(Fn&& begin_fn) {
     bool waited = false;
-    std::unique_lock<std::mutex> lock(mu_);
+    auto lock = obs::AcquireProfiled(mu_, lock_stats_);
     ++stats_.starts;
     if (HasHolesLocked() && !cancelled_) {
       ++stats_.delayed_starts;
@@ -92,7 +93,7 @@ class HoleTracker {
   /// outstanding. The caller re-checks on every change notification.
   bool GateOpen(uint64_t tid, bool is_local) const {
     if (!enabled_) return true;
-    std::lock_guard<std::mutex> lock(mu_);
+    auto lock = obs::AcquireProfiled(mu_, lock_stats_);
     return cancelled_ || waiting_starts_ == 0 || is_local ||
            !WouldCreateNewHoleLocked(tid);
   }
@@ -109,7 +110,7 @@ class HoleTracker {
   /// gate was applied at dispatch time.
   template <typename Fn>
   auto RecordCommit(uint64_t tid, Fn&& commit_fn) {
-    std::unique_lock<std::mutex> lock(mu_);
+    auto lock = obs::AcquireProfiled(mu_, lock_stats_);
     ++stats_.commits;
     auto result = commit_fn();
     outstanding_.erase(tid);
@@ -134,6 +135,11 @@ class HoleTracker {
     std::lock_guard<std::mutex> lock(mu_);
     wait_hist_ = hist;
   }
+
+  /// Contention accounting for the tracker mutex on its hottest entry
+  /// points (RunStart / GateOpen / RecordCommit). Set once at replica
+  /// construction, before any transaction.
+  void SetLockStats(const obs::LockStats& stats) { lock_stats_ = stats; }
 
   /// Permanently releases all waiters and opens all gates: the replica
   /// crashed or is shutting down, so no start may block on commits that
@@ -227,6 +233,7 @@ class HoleTracker {
   const bool enabled_;
   std::function<void()> change_listener_;
   obs::Histogram* wait_hist_ = nullptr;
+  obs::LockStats lock_stats_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::set<uint64_t> outstanding_;

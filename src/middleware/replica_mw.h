@@ -262,6 +262,23 @@ class SrcaRepReplica : public gcs::GroupListener {
   /// re-applying later writesets is idempotent.
   uint64_t StableCommitPrefix() const { return holes_.StablePrefix(); }
 
+  /// Liveness/role summary for the /healthz endpoint.
+  struct Health {
+    std::string role;  ///< "live" | "recovering" | "shutdown" | "crashed"
+    std::string mode;  ///< "srca-rep" | "srca-opt"
+    gcs::MemberId member_id = gcs::kInvalidMember;
+    uint64_t view_id = 0;
+    size_t view_members = 0;
+    uint64_t stable_prefix = 0;
+    size_t tocommit_depth = 0;
+    /// Partitions this replica holds; -1 under full replication (all).
+    int64_t held_partitions = -1;
+  };
+  Health GetHealth() const;
+
+  /// GetHealth() as a JSON object — the /healthz response body.
+  std::string HealthJson() const;
+
   Stats stats() const;
 
   /// This replica's metrics registry: "mw.*" counters and the

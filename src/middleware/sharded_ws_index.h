@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cluster/partition_map.h"
+#include "obs/profiler.h"
 #include "storage/types.h"
 #include "storage/write_set.h"
 
@@ -93,7 +94,7 @@ class ShardedWsIndex {
                      std::shared_ptr<const storage::WriteSet> ws) {
     for (const uint64_t digest : digests) {
       Shard& shard = ShardFor(digest);
-      std::lock_guard<std::mutex> lock(shard.mu);
+      auto lock = obs::AcquireProfiled(shard.mu, lock_stats_);
       shard.last_writer[digest] = tid;
     }
     window_.push_back(WsWindowEntry{tid, std::move(ws), std::move(digests)});
@@ -154,6 +155,11 @@ class ShardedWsIndex {
 
   size_t num_shards() const { return shards_.size(); }
 
+  /// Contention accounting shared by all shard mutexes (one logical
+  /// lock with 16 stripes; per-stripe split adds nothing a regression
+  /// hunt needs). Set once at replica construction.
+  void SetLockStats(const obs::LockStats& stats) { lock_stats_ = stats; }
+
   /// Distinct digests currently indexed in `shard` (per-shard gauges).
   size_t ShardSize(size_t shard) const {
     const Shard& s = shards_[shard % shards_.size()];
@@ -190,7 +196,7 @@ class ShardedWsIndex {
 
   bool LastWriterAfter(uint64_t digest, uint64_t cert) const {
     const Shard& shard = ShardFor(digest);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    auto lock = obs::AcquireProfiled(shard.mu, lock_stats_);
     auto it = shard.last_writer.find(digest);
     return it != shard.last_writer.end() && it->second > cert;
   }
@@ -203,6 +209,7 @@ class ShardedWsIndex {
   }
 
   size_t max_entries_;
+  obs::LockStats lock_stats_;
   /// Sliding window in tid order; mutated only by the (single) appender.
   std::deque<WsWindowEntry> window_;
   /// Fixed shard array — never resized, so ShardFor stays stable.

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "middleware/global_txn_id.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "storage/write_set.h"
 
@@ -58,7 +59,7 @@ struct ToCommitEntry {
 class ToCommitQueue {
  public:
   void Append(ToCommitEntry entry) {
-    std::lock_guard<std::mutex> lock(mu_);
+    auto lock = obs::AcquireProfiled(mu_, lock_stats_);
     const uint64_t seq = next_seq_++;
     seq_of_tid_[entry.tid] = seq;
     Node& node = entries_.emplace(seq, Node{std::move(entry), 0}).first->second;
@@ -76,7 +77,7 @@ class ToCommitQueue {
   /// Local validation (Adjustment 1 / Fig. 4 I.2.d): does `ws` intersect
   /// the writeset of any *remote* transaction still queued?
   bool ConflictsWithRemote(const storage::WriteSet& ws) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    auto lock = obs::AcquireProfiled(mu_, lock_stats_);
     for (const auto& we : ws.entries()) {
       if (remote_pending_.count(we.tuple) > 0) return true;
     }
@@ -93,7 +94,7 @@ class ToCommitQueue {
   std::vector<ToCommitEntry> TakeDispatchableRemotes(
       const std::function<bool(uint64_t tid)>& gate_open = nullptr,
       size_t* deferred_by_gate = nullptr) {
-    std::lock_guard<std::mutex> lock(mu_);
+    auto lock = obs::AcquireProfiled(mu_, lock_stats_);
     std::sort(ready_.begin(), ready_.end());
     std::vector<ToCommitEntry> taken;
     std::vector<uint64_t> retained;
@@ -120,7 +121,7 @@ class ToCommitQueue {
   /// Removes a committed (or discarded) transaction. Successors that
   /// reach the front of all their tuple FIFOs become dispatchable.
   void Remove(uint64_t tid) {
-    std::lock_guard<std::mutex> lock(mu_);
+    auto lock = obs::AcquireProfiled(mu_, lock_stats_);
     auto sit = seq_of_tid_.find(tid);
     if (sit == seq_of_tid_.end()) return;
     const uint64_t seq = sit->second;
@@ -165,6 +166,10 @@ class ToCommitQueue {
     });
   }
 
+  /// Contention accounting for the queue mutex on its hottest entry
+  /// points. Set once at replica construction, before any transaction.
+  void SetLockStats(const obs::LockStats& stats) { lock_stats_ = stats; }
+
   /// Wakes WaitUntilEmpty() waiters to re-evaluate their giveup
   /// predicate (call on crash/shutdown).
   void Poke() {
@@ -197,6 +202,7 @@ class ToCommitQueue {
   }
 
   mutable std::mutex mu_;
+  obs::LockStats lock_stats_;
   std::condition_variable empty_cv_;
   uint64_t next_seq_ = 0;
   /// Entries in arrival (= validation) order, keyed by insertion seq.

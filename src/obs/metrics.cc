@@ -156,22 +156,33 @@ HistogramSnapshot::Percentiles MetricsSnapshot::Percentiles(
 
 bool IsValidMetricName(std::string_view name) {
   // component.noun[_unit]: >= 2 lowercase dot-separated segments, each
-  // [a-z][a-z0-9_]*.
+  // [a-z][a-z0-9_]*. Underscores separate words within a segment, so a
+  // segment may not end in one or contain a run of them ("mw.foo_",
+  // "mw.foo__bar") — tightened when the mw.partial.* / mw.recovery.*
+  // families joined the registry so their noun_unit suffixes
+  // (bytes_sent, buffered_msgs, ...) are lintable, not just legal.
   bool at_segment_start = true;
+  bool prev_underscore = false;
   size_t segments = 0;
   for (const char c : name) {
     if (at_segment_start) {
       if (c < 'a' || c > 'z') return false;
       at_segment_start = false;
+      prev_underscore = false;
       ++segments;
     } else if (c == '.') {
+      if (prev_underscore) return false;  // segment ends in '_'
       at_segment_start = true;
-    } else if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
-                 c == '_')) {
+    } else if (c == '_') {
+      if (prev_underscore) return false;  // "__" run
+      prev_underscore = true;
+    } else if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+      prev_underscore = false;
+    } else {
       return false;
     }
   }
-  return segments >= 2 && !at_segment_start;
+  return segments >= 2 && !at_segment_start && !prev_underscore;
 }
 
 void MetricsSnapshot::Merge(const MetricsSnapshot& other) {

@@ -1,0 +1,283 @@
+// Bench telemetry artifacts (ISSUE 10): BenchReport JSON round-trip,
+// percentile math through the obs histogram bridge, the contention
+// derivation from mw.lock.* families, CompareReports' tolerance-band
+// semantics, and the bench_compare tool's exit codes (driven in-process
+// through RunBenchCompare against temp directories).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/report.h"
+#include "obs/metrics.h"
+
+namespace sirep::bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+BenchReport MakeReport() {
+  BenchReport report("unit_bench");
+  report.SetSeed(42);
+  report.SetKnob("replicas", uint64_t{5});
+  report.SetKnob("metrics_source", "local");
+  report.AddScalar("series@100.tps", 123.5, "tps",
+                   Direction::kHigherIsBetter);
+  report.AddScalar("series@100.update_ms", 17.25, "ms",
+                   Direction::kLowerIsBetter, /*tolerance=*/0.25);
+  report.AddScalar("series@100.abort_pct", 0.4, "%", Direction::kInfo);
+  obs::HistogramSnapshot::Percentiles p;
+  p.count = 1000;
+  p.mean = 10.5;
+  p.p50 = 9.0;
+  p.p95 = 30.0;
+  p.p99 = 55.0;
+  report.AddPercentiles("series.update_ms", p, "ms");
+  return report;
+}
+
+TEST(BenchReportTest, JsonRoundTripPreservesEverySection) {
+  BenchReport report = MakeReport();
+
+  // Attach a cluster snapshot carrying lock-contention families: the
+  // contention section must be derived from them.
+  obs::MetricsRegistry registry;
+  registry.GetCounter("mw.committed")->Add(7);
+  registry.GetCounter("mw.lock.holes.acquires")->Add(100);
+  registry.GetCounter("mw.lock.holes.contended")->Add(3);
+  registry.GetLatencyHistogram("mw.lock.holes.wait_us")->Observe(120);
+  report.AttachClusterMetrics(registry.Snapshot());
+
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+
+  auto parsed = BenchReport::FromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const BenchReport& r = parsed.value();
+
+  EXPECT_EQ(r.name(), "unit_bench");
+  EXPECT_EQ(r.seed(), 42u);
+  EXPECT_EQ(r.knobs().at("replicas"), "5");
+  EXPECT_EQ(r.knobs().at("metrics_source"), "local");
+
+  ASSERT_EQ(r.scalars().size(), 3u);
+  const ScalarMetric& tps = r.scalars().at("series@100.tps");
+  EXPECT_DOUBLE_EQ(tps.value, 123.5);
+  EXPECT_EQ(tps.unit, "tps");
+  EXPECT_EQ(tps.direction, Direction::kHigherIsBetter);
+  EXPECT_LT(tps.tolerance, 0);  // unset stays unset across the trip
+  const ScalarMetric& lat = r.scalars().at("series@100.update_ms");
+  EXPECT_EQ(lat.direction, Direction::kLowerIsBetter);
+  EXPECT_DOUBLE_EQ(lat.tolerance, 0.25);
+
+  ASSERT_EQ(r.percentiles().count("series.update_ms"), 1u);
+  const PercentileRow& row = r.percentiles().at("series.update_ms");
+  EXPECT_EQ(row.count, 1000u);
+  EXPECT_DOUBLE_EQ(row.mean, 10.5);
+  EXPECT_DOUBLE_EQ(row.p50, 9.0);
+  EXPECT_DOUBLE_EQ(row.p95, 30.0);
+  EXPECT_DOUBLE_EQ(row.p99, 55.0);
+  EXPECT_EQ(row.unit, "ms");
+
+  ASSERT_EQ(r.contention().count("mw.lock.holes"), 1u);
+  const ContentionRow& lock = r.contention().at("mw.lock.holes");
+  EXPECT_EQ(lock.acquires, 100u);
+  EXPECT_EQ(lock.contended, 3u);
+  EXPECT_GT(lock.wait_p95_us, 0);
+
+  // The embedded cluster JSON survives and still parses as a snapshot.
+  ASSERT_FALSE(r.cluster_json().empty());
+  auto snap = obs::MetricsSnapshot::FromJson(r.cluster_json());
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap.value().counters.at("mw.committed"), 7u);
+}
+
+TEST(BenchReportTest, FromJsonRejectsGarbageAndWrongSchema) {
+  EXPECT_FALSE(BenchReport::FromJson("").ok());
+  EXPECT_FALSE(BenchReport::FromJson("not json").ok());
+  EXPECT_FALSE(BenchReport::FromJson("{\"name\":\"x\"}").ok());  // no version
+  EXPECT_FALSE(
+      BenchReport::FromJson("{\"schema_version\":999,\"name\":\"x\"}").ok());
+}
+
+TEST(BenchReportTest, PercentileBridgeMatchesHistogram) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* hist = registry.GetLatencyHistogram("test.lat_us");
+  for (int i = 1; i <= 100; ++i) hist->Observe(i * 10);
+  const auto p = registry.Snapshot().Percentiles("test.lat_us");
+
+  BenchReport report("percentile_bench");
+  report.AddPercentiles("lat_us", p, "us");
+  auto parsed = BenchReport::FromJson(report.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  const PercentileRow& row = parsed.value().percentiles().at("lat_us");
+  EXPECT_EQ(row.count, 100u);
+  EXPECT_DOUBLE_EQ(row.p50, p.p50);
+  EXPECT_DOUBLE_EQ(row.p95, p.p95);
+  EXPECT_DOUBLE_EQ(row.p99, p.p99);
+  EXPECT_LE(row.p50, row.p95);
+  EXPECT_LE(row.p95, row.p99);
+}
+
+TEST(CompareTest, WithinToleranceAndDriftTheGoodWayPass) {
+  BenchReport baseline("b"), current("b");
+  baseline.AddScalar("tps", 100, "tps", Direction::kHigherIsBetter);
+  baseline.AddScalar("ms", 10, "ms", Direction::kLowerIsBetter);
+  current.AddScalar("tps", 95, "tps", Direction::kHigherIsBetter);  // -5 %
+  current.AddScalar("ms", 200, "ms", Direction::kHigherIsBetter);
+  // Direction comes from the BASELINE row; current claiming otherwise
+  // must not matter — but 200 ms vs 10 ms is way out of band the bad
+  // way, so flip it to an improvement instead:
+  current.AddScalar("ms", 5, "ms", Direction::kLowerIsBetter);
+
+  const CompareResult result =
+      CompareReports(baseline, current, {.default_tolerance = 0.10});
+  EXPECT_FALSE(result.regressed);
+  ASSERT_EQ(result.rows.size(), 2u);
+  for (const auto& row : result.rows) EXPECT_FALSE(row.regressed);
+}
+
+TEST(CompareTest, DriftBeyondToleranceRegresses) {
+  BenchReport baseline("b"), current("b");
+  baseline.AddScalar("tps", 100, "tps", Direction::kHigherIsBetter);
+  current.AddScalar("tps", 80, "tps", Direction::kHigherIsBetter);  // -20 %
+  EXPECT_TRUE(
+      CompareReports(baseline, current, {.default_tolerance = 0.10})
+          .regressed);
+  // A latency metric regresses in the other direction.
+  BenchReport base2("b"), cur2("b");
+  base2.AddScalar("ms", 10, "ms", Direction::kLowerIsBetter);
+  cur2.AddScalar("ms", 12, "ms", Direction::kLowerIsBetter);  // +20 %
+  EXPECT_TRUE(CompareReports(base2, cur2, {.default_tolerance = 0.10})
+                  .regressed);
+}
+
+TEST(CompareTest, PerMetricToleranceOverridesDefault) {
+  BenchReport baseline("b"), current("b");
+  baseline.AddScalar("tps", 100, "tps", Direction::kHigherIsBetter,
+                     /*tolerance=*/0.5);
+  current.AddScalar("tps", 60, "tps", Direction::kHigherIsBetter);  // -40 %
+  // Within the metric's own 50 % band even though the default is 10 %.
+  EXPECT_FALSE(
+      CompareReports(baseline, current, {.default_tolerance = 0.10})
+          .regressed);
+  current.AddScalar("tps", 40, "tps", Direction::kHigherIsBetter);  // -60 %
+  EXPECT_TRUE(
+      CompareReports(baseline, current, {.default_tolerance = 0.10})
+          .regressed);
+}
+
+TEST(CompareTest, InfoMetricsNeverGate) {
+  BenchReport baseline("b"), current("b");
+  baseline.AddScalar("abort_pct", 0.1, "%", Direction::kInfo);
+  current.AddScalar("abort_pct", 99.0, "%", Direction::kInfo);
+  const CompareResult result = CompareReports(baseline, current);
+  EXPECT_FALSE(result.regressed);
+  EXPECT_TRUE(result.rows.empty());
+}
+
+TEST(CompareTest, MetricMissingFromCurrentRegresses) {
+  BenchReport baseline("b"), current("b");
+  baseline.AddScalar("tps", 100, "tps", Direction::kHigherIsBetter);
+  const CompareResult result = CompareReports(baseline, current);
+  EXPECT_TRUE(result.regressed);
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0].note, "missing in current");
+}
+
+TEST(CompareTest, NewCurrentMetricsAreIgnored) {
+  BenchReport baseline("b"), current("b");
+  baseline.AddScalar("tps", 100, "tps", Direction::kHigherIsBetter);
+  current.AddScalar("tps", 100, "tps", Direction::kHigherIsBetter);
+  current.AddScalar("brand_new", 1, "x", Direction::kLowerIsBetter);
+  EXPECT_FALSE(CompareReports(baseline, current).regressed);
+}
+
+// ---- the bench_compare tool end to end (exit codes) -------------------
+
+class BenchCompareToolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("bench_report_test_" +
+             std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    baseline_dir_ = root_ / "baseline";
+    current_dir_ = root_ / "current";
+    fs::create_directories(baseline_dir_);
+    fs::create_directories(current_dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  void WriteArtifact(const fs::path& dir, const BenchReport& report) {
+    std::ofstream file(dir / ("BENCH_" + report.name() + ".json"));
+    file << report.ToJson() << "\n";
+  }
+
+  int Run(const std::vector<std::string>& extra) {
+    std::vector<std::string> args = {"bench_compare"};
+    args.insert(args.end(), extra.begin(), extra.end());
+    std::vector<char*> argv;
+    for (std::string& arg : args) argv.push_back(arg.data());
+    return RunBenchCompare(static_cast<int>(argv.size()), argv.data());
+  }
+
+  fs::path root_, baseline_dir_, current_dir_;
+};
+
+TEST_F(BenchCompareToolTest, PassesOnMatchingDirs) {
+  BenchReport report("unit_bench");
+  report.AddScalar("tps", 100, "tps", Direction::kHigherIsBetter);
+  WriteArtifact(baseline_dir_, report);
+  WriteArtifact(current_dir_, report);
+  EXPECT_EQ(Run({baseline_dir_.string(), current_dir_.string()}), 0);
+}
+
+TEST_F(BenchCompareToolTest, InflatedBaselineMetricFailsTheGate) {
+  // The acceptance scenario: a baseline claiming more throughput than
+  // the current run delivers must make the gate exit non-zero.
+  BenchReport baseline("unit_bench");
+  baseline.AddScalar("tps", 1000, "tps", Direction::kHigherIsBetter);
+  BenchReport current("unit_bench");
+  current.AddScalar("tps", 100, "tps", Direction::kHigherIsBetter);
+  WriteArtifact(baseline_dir_, baseline);
+  WriteArtifact(current_dir_, current);
+  EXPECT_EQ(Run({"--tolerance", "0.5", baseline_dir_.string(),
+                 current_dir_.string()}),
+            1);
+}
+
+TEST_F(BenchCompareToolTest, BaselineWithoutCurrentArtifactFails) {
+  BenchReport report("unit_bench");
+  report.AddScalar("tps", 100, "tps", Direction::kHigherIsBetter);
+  WriteArtifact(baseline_dir_, report);  // nothing in current_dir_
+  EXPECT_EQ(Run({baseline_dir_.string(), current_dir_.string()}), 1);
+}
+
+TEST_F(BenchCompareToolTest, SingleFileModeAndUsageErrors) {
+  BenchReport baseline("unit_bench");
+  baseline.AddScalar("ms", 10, "ms", Direction::kLowerIsBetter);
+  BenchReport slow("unit_bench");
+  slow.AddScalar("ms", 30, "ms", Direction::kLowerIsBetter);
+  const fs::path base_file = baseline_dir_ / "BENCH_unit_bench.json";
+  const fs::path slow_file = current_dir_ / "BENCH_unit_bench.json";
+  WriteArtifact(baseline_dir_, baseline);
+  WriteArtifact(current_dir_, slow);
+
+  EXPECT_EQ(Run({base_file.string(), base_file.string()}), 0);
+  EXPECT_EQ(Run({base_file.string(), slow_file.string()}), 1);
+  // Unreadable baseline is an I/O error, not a regression verdict.
+  EXPECT_EQ(Run({(root_ / "nope.json").string(), base_file.string()}), 2);
+  EXPECT_EQ(Run({}), 2);  // missing positional args
+}
+
+}  // namespace
+}  // namespace sirep::bench

@@ -11,11 +11,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <string>
 #include <utility>
 
 #include "cluster/cluster.h"
 #include "middleware/metrics_http.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace sirep {
 namespace {
@@ -162,6 +165,88 @@ TEST(ClusterMetricsEndpointsTest, ScrapeDuringTraffic) {
 
   cluster.StopMetricsEndpoints();
   EXPECT_TRUE(cluster.MetricsPorts().empty());
+}
+
+TEST(ClusterMetricsEndpointsTest, HealthzReportsRoleAndView) {
+  cluster::ClusterOptions options;
+  options.num_replicas = 2;
+  cluster::Cluster cluster(options);
+  ASSERT_TRUE(cluster.Start().ok());
+  ASSERT_TRUE(cluster.StartMetricsEndpoints().ok());
+  const auto ports = cluster.MetricsPorts();
+  ASSERT_EQ(ports.size(), 2u);
+
+  for (const uint16_t port : ports) {
+    const std::string health = HttpGet(port, "/healthz");
+    EXPECT_EQ(health.rfind("HTTP/1.0 200", 0), 0u) << health;
+    EXPECT_NE(health.find("application/json"), std::string::npos);
+    EXPECT_NE(health.find("\"role\":\"live\""), std::string::npos) << health;
+    EXPECT_NE(health.find("\"mode\":\"srca-rep\""), std::string::npos);
+    EXPECT_NE(health.find("\"view_members\":2"), std::string::npos);
+    // Full replication: no held-partition subset.
+    EXPECT_NE(health.find("\"held_partitions\":-1"), std::string::npos);
+  }
+
+  // The body must match what GetHealth() reports directly.
+  const auto health = cluster.replica(0)->GetHealth();
+  EXPECT_EQ(health.role, "live");
+  EXPECT_EQ(health.view_members, 2u);
+
+  cluster.StopMetricsEndpoints();
+}
+
+TEST(ClusterMetricsEndpointsTest, HealthzReflectsShutdown) {
+  cluster::ClusterOptions options;
+  options.num_replicas = 2;
+  cluster::Cluster cluster(options);
+  ASSERT_TRUE(cluster.Start().ok());
+  cluster.replica(1)->Shutdown();
+  const auto health = cluster.replica(1)->GetHealth();
+  EXPECT_EQ(health.role, "shutdown");
+  EXPECT_NE(cluster.replica(1)->HealthJson().find("\"role\":\"shutdown\""),
+            std::string::npos);
+}
+
+TEST(ClusterMetricsEndpointsTest, ProfileAndMetricsJsonEndpoints) {
+  obs::Profiler::Global().StartSampling(std::chrono::microseconds(500));
+  cluster::ClusterOptions options;
+  options.num_replicas = 2;
+  cluster::Cluster cluster(options);
+  ASSERT_TRUE(cluster.Start().ok());
+  ASSERT_TRUE(cluster
+                  .ExecuteEverywhere(
+                      "CREATE TABLE t (k INT, v INT, PRIMARY KEY (k))")
+                  .ok());
+  auto* mw = cluster.replica(0);
+  auto handle = std::move(mw->BeginTxn()).value();
+  ASSERT_TRUE(mw->Execute(handle, "INSERT INTO t VALUES (1, 1)").ok());
+  ASSERT_TRUE(mw->CommitTxn(handle).ok());
+  cluster.Quiesce();
+
+  ASSERT_TRUE(cluster.StartMetricsEndpoints().ok());
+  const auto ports = cluster.MetricsPorts();
+  ASSERT_EQ(ports.size(), 2u);
+
+  const std::string profile = HttpGet(ports[0], "/profile");
+  EXPECT_EQ(profile.rfind("HTTP/1.0 200", 0), 0u) << profile;
+  EXPECT_NE(profile.find("\"sampling\":true"), std::string::npos);
+  EXPECT_NE(profile.find("\"sections\""), std::string::npos);
+
+  // /metrics.json serves the registry snapshot the bench scraper
+  // consumes: it must parse via MetricsSnapshot::FromJson and contain
+  // the commit counter the transaction above bumped.
+  const std::string body = HttpGet(ports[0], "/metrics.json");
+  EXPECT_EQ(body.rfind("HTTP/1.0 200", 0), 0u);
+  const size_t split = body.find("\r\n\r\n");
+  ASSERT_NE(split, std::string::npos);
+  auto snap = obs::MetricsSnapshot::FromJson(body.substr(split + 4));
+  ASSERT_TRUE(snap.ok()) << snap.status().message();
+  EXPECT_EQ(snap.value().counters.at("mw.committed"), 1u);
+  // The lock-contention families registered at construction are there.
+  EXPECT_GT(snap.value().counters.at("mw.lock.tocommit.acquires"), 0u);
+
+  cluster.StopMetricsEndpoints();
+  obs::Profiler::Global().StopSampling();
 }
 
 }  // namespace
